@@ -1,0 +1,211 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§V). Each iteration regenerates the corresponding
+// artefact at a reduced scale (full paper scale is available through
+// cmd/sfdbench -full); custom metrics surface the headline numbers so
+// `go test -bench` output doubles as a compact reproduction report.
+package sfd_test
+
+import (
+	"io"
+	"testing"
+
+	sfd "repro"
+	"repro/internal/bench"
+	"repro/internal/clock"
+	"repro/internal/qos"
+	"repro/internal/trace"
+)
+
+// benchCfg keeps per-iteration cost moderate; the shape conclusions are
+// already stable at this scale.
+func benchCfg() bench.Config {
+	return bench.Config{Heartbeats: 30_000, SweepPoints: 10, WindowSize: 500}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := benchCfg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_TraceGen regenerates Table I (the WAN host matrix).
+func BenchmarkTable1_TraceGen(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2_TraceStats regenerates Table II: per-environment
+// heartbeat statistics from the calibrated synthetic traces.
+func BenchmarkTable2_TraceStats(b *testing.B) { runExperiment(b, "table2") }
+
+// figBench sweeps the four detectors over one WAN trace and reports the
+// figure's headline series characteristics as custom metrics.
+func figBench(b *testing.B, env string) {
+	cfg := benchCfg()
+	tr, err := bench.MakeTrace(cfg, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var curves []qos.Curve
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curves = bench.FigureCurves(cfg, tr, bench.DefaultTargets())
+	}
+	b.StopTimer()
+	for _, c := range curves {
+		min, max := c.TDRange()
+		switch c.Detector {
+		case "SFD":
+			b.ReportMetric(min.Seconds(), "SFD-TDmin-s")
+			b.ReportMetric(max.Seconds(), "SFD-TDmax-s")
+		case "Chen FD":
+			b.ReportMetric(max.Seconds(), "Chen-TDmax-s")
+		case "phi FD":
+			b.ReportMetric(max.Seconds(), "phi-TDmax-s")
+		}
+	}
+}
+
+// BenchmarkFig6_MRvsTD regenerates Fig. 6 (mistake rate vs detection
+// time, JP↔CH WAN).
+func BenchmarkFig6_MRvsTD(b *testing.B) { figBench(b, "WAN-JPCH") }
+
+// BenchmarkFig7_QAPvsTD regenerates Fig. 7 (query accuracy probability vs
+// detection time, JP↔CH WAN — same sweep, QAP axis).
+func BenchmarkFig7_QAPvsTD(b *testing.B) {
+	cfg := benchCfg()
+	tr, err := bench.MakeTrace(cfg, "WAN-JPCH")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var curves []qos.Curve
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curves = bench.FigureCurves(cfg, tr, bench.DefaultTargets())
+	}
+	b.StopTimer()
+	for _, c := range curves {
+		if c.Detector == "SFD" {
+			if qap, ok := c.BestQAPAt(clock.Second); ok {
+				b.ReportMetric(qap*100, "SFD-QAP-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9_MRvsTD_WAN1 regenerates Fig. 9 (WAN-1, USA→Japan).
+func BenchmarkFig9_MRvsTD_WAN1(b *testing.B) { figBench(b, "WAN-1") }
+
+// BenchmarkFig10_QAPvsTD_WAN1 regenerates Fig. 10 (WAN-1, QAP axis).
+func BenchmarkFig10_QAPvsTD_WAN1(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkWindowSizeEffect regenerates the §V-C window-size study.
+func BenchmarkWindowSizeEffect(b *testing.B) { runExperiment(b, "window") }
+
+// BenchmarkSelfTuningConvergence regenerates the §V-B self-tuning
+// narrative: SM trajectory and the infeasible-target response.
+func BenchmarkSelfTuningConvergence(b *testing.B) {
+	cfg := benchCfg()
+	tr, err := bench.MakeTrace(cfg, "WAN-1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var finalMargin sfd.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := sfd.NewSFD(sfd.Config{
+			WindowSize:    cfg.WindowSize,
+			InitialMargin: 3 * clock.Second,
+			Targets:       bench.DefaultTargets(),
+		})
+		sfd.Replay(tr.Stream(), det)
+		finalMargin = det.Margin()
+	}
+	b.StopTimer()
+	b.ReportMetric(finalMargin.Seconds(), "final-SM-s")
+}
+
+// BenchmarkClusterMonitoring regenerates the §VII multi-cloud scenario:
+// crash detection across the Fig. 1 consortium.
+func BenchmarkClusterMonitoring(b *testing.B) { runExperiment(b, "cluster") }
+
+// BenchmarkDetectorObserve_* measure the per-heartbeat cost of each
+// scheme at the paper's window size — the scalability argument of §V-C
+// ("SFD has good scalability ... it can save valuable memory resources").
+func benchObserve(b *testing.B, det sfd.Detector) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := clock.Time(i) * clock.Time(100*clock.Millisecond)
+		det.Observe(uint64(i), t, t.Add(3*clock.Millisecond))
+	}
+}
+
+func BenchmarkDetectorObserve_SFD(b *testing.B) {
+	benchObserve(b, sfd.NewSFD(sfd.Config{Interval: 100 * clock.Millisecond, Targets: bench.DefaultTargets()}))
+}
+
+func BenchmarkDetectorObserve_Chen(b *testing.B) {
+	benchObserve(b, sfd.NewChen(1000, 100*clock.Millisecond, 100*clock.Millisecond))
+}
+
+func BenchmarkDetectorObserve_Bertier(b *testing.B) {
+	benchObserve(b, sfd.NewBertier(1000, 100*clock.Millisecond, sfd.BertierParams{}))
+}
+
+func BenchmarkDetectorObserve_Phi(b *testing.B) {
+	benchObserve(b, sfd.NewPhi(1000, 8, 0))
+}
+
+// BenchmarkConsensusWithCrash measures one full SFD-driven
+// Chandra–Toueg consensus (5 processes, round-0 coordinator crashed) —
+// the executable form of the paper's ◇P_ac ⇒ consensus claim.
+func BenchmarkConsensusWithCrash(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := sfd.NewConsensus(sfd.ConsensusOptions{
+			N: 5, Seed: 5, StartDelay: 3 * clock.Second,
+			Factory: func(string) sfd.Detector {
+				return sfd.NewSFD(sfd.Config{
+					WindowSize: 20, Interval: 50 * clock.Millisecond,
+					InitialMargin: 200 * clock.Millisecond,
+				})
+			},
+		})
+		for j := 0; j < 5; j++ {
+			c.Propose(j, "v")
+		}
+		c.CrashAt(0, clock.Second)
+		if !c.Run(60 * clock.Second) {
+			b.Fatal("consensus did not terminate")
+		}
+		if _, err := c.Agreement(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures synthetic-trace throughput (the
+// substrate cost underlying every experiment).
+func BenchmarkTraceGeneration(b *testing.B) {
+	gp, err := trace.Preset("WAN-1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gp.Count = 1 << 62 // effectively unbounded; b.N controls the work
+	g := trace.NewGenerator(gp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,66 @@
+// sfdbench regenerates the paper's tables and figures from the
+// calibrated synthetic WAN traces.
+//
+// Usage:
+//
+//	sfdbench                     # run every experiment at default scale
+//	sfdbench -exp fig6           # one experiment
+//	sfdbench -exp list           # list experiment IDs
+//	sfdbench -n 500000 -points 32
+//	sfdbench -full               # paper-scale traces (≈7M heartbeats each)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment ID (table1, table2, fig6, fig7, fig9, fig10, window, selftune, cluster), 'all', or 'list'")
+		n      = flag.Int("n", 0, "heartbeats per trace (default 200000)")
+		points = flag.Int("points", 0, "sweep points per curve (default 24)")
+		ws     = flag.Int("ws", 0, "sliding window size (default 1000, the paper's WS)")
+		full   = flag.Bool("full", false, "use the paper's full heartbeat counts (slow)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Heartbeats: *n, SweepPoints: *points, WindowSize: *ws, Full: *full}
+
+	if *exp == "list" {
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := func(e bench.Experiment) {
+		fmt.Printf("==================================================================\n")
+		fmt.Printf("%s: %s\n", e.ID, e.Title)
+		fmt.Printf("paper: %s\n", e.Paper)
+		fmt.Printf("------------------------------------------------------------------\n")
+		start := time.Now()
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sfdbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.Get(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sfdbench: unknown experiment %q (try -exp list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,159 @@
+// sfdmon is a live UDP heartbeat daemon: run it as a sender on the
+// monitored host and as a monitor on the observing host. The monitor
+// drives an SFD (or a baseline detector) per peer and prints a status
+// table — the paper's PlanetLab motivation turned into a tool ("it is
+// impractical to login one by one without any guidance").
+//
+// Usage:
+//
+//	# on the monitored host:
+//	sfdmon -mode send -to 10.0.0.2:7946 -interval 100ms
+//
+//	# on the monitoring host:
+//	sfdmon -mode monitor -listen :7946 -refresh 1s
+//
+//	# loopback demo in one process:
+//	sfdmon -mode demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	sfd "repro"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "demo", "send, monitor, or demo")
+		to       = flag.String("to", "127.0.0.1:7946", "send: monitor address")
+		listen   = flag.String("listen", ":7946", "monitor: bind address")
+		interval = flag.Duration("interval", 100*time.Millisecond, "send: heartbeat interval")
+		refresh  = flag.Duration("refresh", time.Second, "monitor: status print interval")
+		maxTD    = flag.Duration("maxtd", 2*time.Second, "monitor: target max detection time")
+		maxMR    = flag.Float64("maxmr", 0.5, "monitor: target max mistake rate")
+		minQAP   = flag.Float64("minqap", 0.99, "monitor: target min QAP")
+		duration = flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "send":
+		runSender(*to, *interval, *duration)
+	case "monitor":
+		runMonitor(*listen, *refresh, sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *duration)
+	case "demo":
+		runDemo()
+	default:
+		fmt.Fprintf(os.Stderr, "sfdmon: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func runSender(to string, interval, duration time.Duration) {
+	ep, err := sfd.ListenUDP(":0")
+	if err != nil {
+		fatal(err)
+	}
+	defer ep.Close()
+	clk := sfd.NewRealClock()
+	snd := sfd.NewHeartbeatSender(ep, to, interval, clk)
+	snd.Start()
+	fmt.Printf("sfdmon: heartbeating to %s every %v (from %s)\n", to, interval, ep.Addr())
+	waitForExit(duration)
+	snd.Stop()
+	fmt.Printf("sfdmon: sent %d heartbeats\n", snd.Sent())
+}
+
+func runMonitor(listen string, refresh time.Duration, targets sfd.Targets, duration time.Duration) {
+	ep, err := sfd.ListenUDP(listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer ep.Close()
+	clk := sfd.NewRealClock()
+	mon := sfd.NewMonitor(clk, sfd.SFDFactory(targets), sfd.MonitorOptions{})
+	recv := sfd.NewHeartbeatReceiver(ep, clk, mon.Observe)
+	recv.Start()
+	fmt.Printf("sfdmon: monitoring on %s (targets %v)\n", ep.Addr(), targets)
+
+	ticker := time.NewTicker(refresh)
+	defer ticker.Stop()
+	done := exitChan(duration)
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+			fmt.Printf("--- %s ---\n", time.Now().Format(time.RFC3339))
+			fmt.Print(sfd.FormatSnapshot(mon.Snapshot(clk.Now())))
+		}
+	}
+}
+
+// runDemo wires a sender and monitor over UDP loopback, crashes the
+// sender halfway, and shows the status flip.
+func runDemo() {
+	monEP, err := sfd.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	defer monEP.Close()
+	sndEP, err := sfd.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	defer sndEP.Close()
+
+	clk := sfd.NewRealClock()
+	mon := sfd.NewMonitor(clk, sfd.SFDFactory(sfd.Targets{MaxTD: time.Second, MaxMR: 1, MinQAP: 0.99}), sfd.MonitorOptions{})
+	recv := sfd.NewHeartbeatReceiver(monEP, clk, mon.Observe)
+	recv.Start()
+
+	snd := sfd.NewHeartbeatSender(sndEP, monEP.Addr(), 20*time.Millisecond, clk)
+	snd.Start()
+	fmt.Println("demo: sender heartbeating over UDP loopback at 50 Hz")
+
+	time.Sleep(2 * time.Second)
+	printDemo(mon, clk, "while alive")
+	fmt.Println("demo: crashing the sender...")
+	snd.Crash()
+	time.Sleep(1500 * time.Millisecond)
+	printDemo(mon, clk, "after crash")
+}
+
+func printDemo(mon *sfd.Monitor, clk sfd.Clock, label string) {
+	for _, r := range mon.Snapshot(clk.Now()) {
+		fmt.Printf("demo [%s]: peer=%s status=%s suspicion=%.3f\n",
+			label, r.Peer, r.Status, r.SuspicionLevel)
+	}
+}
+
+func exitChan(duration time.Duration) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		if duration > 0 {
+			select {
+			case <-sig:
+			case <-time.After(duration):
+			}
+			return
+		}
+		<-sig
+	}()
+	return done
+}
+
+func waitForExit(duration time.Duration) { <-exitChan(duration) }
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sfdmon: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Quickstart: create an SFD with a QoS requirement, feed it heartbeats,
+// and query it — the minimal integration a downstream service needs.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	sfd "repro"
+)
+
+func main() {
+	// The application's QoS requirement (the paper's Q̄oS): detect
+	// crashes within 900 ms, make fewer than 0.35 wrong suspicions per
+	// second, answer liveness queries correctly 99.4% of the time.
+	det := sfd.NewSFD(sfd.Config{
+		Interval: 100 * time.Millisecond, // known heartbeat period Δt
+		Targets: sfd.Targets{
+			MaxTD:  900 * time.Millisecond,
+			MaxMR:  0.35,
+			MinQAP: 0.994,
+		},
+	})
+
+	// Feed it heartbeats. In production these come from a
+	// sfd.HeartbeatReceiver; here we synthesize a jittery WAN.
+	rng := rand.New(rand.NewSource(1))
+	var send, recv sfd.Time
+	for seq := uint64(0); seq < 3000; seq++ {
+		send = sfd.Time(seq) * sfd.Time(100*time.Millisecond)
+		recv = send.Add(50*time.Millisecond + time.Duration(rng.Intn(20))*time.Millisecond)
+		det.Observe(seq, send, recv)
+	}
+
+	now := recv.Add(10 * time.Millisecond)
+	fmt.Printf("state:      %v\n", det.State())
+	fmt.Printf("margin SM:  %v (self-tuned from the 100ms default)\n", det.Margin())
+	fmt.Printf("suspect?    %v (heartbeats flowing)\n", det.Suspect(now))
+	fmt.Printf("suspicion:  %.3f (accrual level: fraction of margin consumed)\n",
+		det.SuspicionLevel(now))
+
+	// The process goes silent: the accrual level climbs continuously, so
+	// different applications can react at different thresholds (§I).
+	for _, silence := range []time.Duration{200 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second} {
+		t := recv.Add(silence)
+		fmt.Printf("after %-6v silence: suspect=%-5v level=%.2f\n",
+			silence, det.Suspect(t), det.SuspicionLevel(t))
+	}
+	fmt.Printf("response:   %s\n", det.Response())
+}

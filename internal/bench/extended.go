@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/qos"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "extended",
+		Title: "Extended comparison — six detectors, equal-TD anchors, crossovers",
+		Paper: "Beyond the paper's four schemes: adds the TCP-RTO-style detector and the exponential accrual variant; compares at equal detection time as §V prescribes, and locates MR crossovers.",
+		Run:   runExtended,
+	})
+}
+
+func runExtended(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	tr, err := MakeTrace(cfg, "WAN-1")
+	if err != nil {
+		return err
+	}
+	ws := cfg.WindowSize
+	n := cfg.SweepPoints
+
+	curves := FigureCurves(cfg, tr, DefaultTargets())
+	rto := qos.Sweep(tr, "RTO", func(k float64) detector.Detector {
+		return detector.NewRTO(k, 2)
+	}, qos.LinSpace(1, 12, n))
+	phiExp := qos.Sweep(tr, "phi-exp", func(p float64) detector.Detector {
+		return detector.NewPhiExp(ws, p)
+	}, qos.LinSpace(0.1, 4, n))
+	curves = append(curves, rto, phiExp)
+
+	for _, c := range curves {
+		fmt.Fprintln(w, c.Table())
+	}
+	fmt.Fprintln(w, ScatterPlot(curves, "mr"))
+
+	// Equal-TD comparison, the honest ranking the paper insists on.
+	anchors := []clock.Duration{
+		150 * clock.Millisecond, 300 * clock.Millisecond,
+		600 * clock.Millisecond, clock.Second, 2 * clock.Second,
+	}
+	fmt.Fprintln(w, "equal-detection-time ranking:")
+	fmt.Fprintln(w, qos.AnchorTable(qos.CompareAt(curves, anchors)))
+
+	// Crossovers between the interesting pairs.
+	pairs := [][2]string{{"Chen FD", "phi FD"}, {"Chen FD", "RTO"}, {"phi FD", "phi-exp"}}
+	byName := map[string]qos.Curve{}
+	for _, c := range curves {
+		byName[c.Detector] = c
+	}
+	for _, p := range pairs {
+		a, b := byName[p[0]], byName[p[1]]
+		if td, ok := qos.Crossover(a, b); ok {
+			fmt.Fprintf(w, "crossover: %s vs %s MR ordering flips at TD ≈ %.3fs\n",
+				p[0], p[1], td.Seconds())
+		} else {
+			fmt.Fprintf(w, "crossover: %s vs %s — none in the overlapping range (one dominates)\n",
+				p[0], p[1])
+		}
+	}
+
+	// SFD pinned for reference at the default targets.
+	sfdRes := qos.Replay(tr.Stream(), core.New(core.Config{
+		WindowSize: ws, InitialMargin: 200 * clock.Millisecond, Targets: DefaultTargets(),
+	}))
+	fmt.Fprintf(w, "\nreference SFD at default targets: %s\n", sfdRes)
+	return nil
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/qos"
+	"repro/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "figall",
+		Title: "§V-B — all six PlanetLab environments (WAN-1..6)",
+		Paper: "\"A similar behavior can be observed in the different experimental settings. The experimental results from WAN-2 to WAN-6 obtained on the PlanetLab are similar to WAN-1.\"",
+		Run:   runFigAll,
+	})
+}
+
+// runFigAll verifies the paper's similarity claim: the qualitative
+// relations of Fig. 9 must hold on every PlanetLab environment, not just
+// WAN-1.
+func runFigAll(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "%-8s  %-24s %-24s %-24s  %-7s %-7s %-7s\n",
+		"case", "Chen TD range [s]", "phi TD range [s]", "SFD TD range [s]",
+		"widest", "capped", "banded")
+	allHold := true
+	for _, env := range trace.PresetNames() {
+		if env == "WAN-JPCH" {
+			continue
+		}
+		tr, err := MakeTrace(cfg, env)
+		if err != nil {
+			return err
+		}
+		curves := FigureCurves(cfg, tr, DefaultTargets())
+		byName := map[string]qos.Curve{}
+		for _, c := range curves {
+			byName[c.Detector] = c
+		}
+		cMin, cMax := byName["Chen FD"].TDRange()
+		pMin, pMax := byName["phi FD"].TDRange()
+		sMin, sMax := byName["SFD"].TDRange()
+
+		widest := cMax-cMin >= pMax-pMin && cMax-cMin >= sMax-sMin
+		capped := pMax < cMax // φ's curve stops before Chen's conservative reach
+		banded := sMax < cMax // SFD avoids the conservative extreme
+		allHold = allHold && widest && capped && banded
+
+		fmt.Fprintf(w, "%-8s  [%6.3f, %7.3f]       [%6.3f, %7.3f]       [%6.3f, %7.3f]        %-7v %-7v %-7v\n",
+			env, cMin.Seconds(), cMax.Seconds(), pMin.Seconds(), pMax.Seconds(),
+			sMin.Seconds(), sMax.Seconds(), widest, capped, banded)
+	}
+	fmt.Fprintf(w, "\nsimilarity claim holds on every environment: %v\n", allHold)
+	if !allHold {
+		return fmt.Errorf("bench: figall similarity claim violated")
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/qos"
+)
+
+// ScatterPlot renders curves as an ASCII scatter in the paper's figure
+// layout: detection time (seconds) on X, and on Y either mistake rate on
+// a log scale (yAxis = "mr", Fig. 6/9) or query accuracy probability on a
+// linear percent scale (yAxis = "qap", Fig. 7/10). Each curve gets a
+// distinct glyph.
+func ScatterPlot(curves []qos.Curve, yAxis string) string {
+	const width, height = 72, 22
+	glyphs := []byte{'S', 'C', 'B', 'F', '*', '+', 'x', 'o'}
+
+	type pt struct {
+		x, y float64
+		g    byte
+	}
+	var pts []pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+
+	logY := yAxis != "qap"
+	for ci, c := range curves {
+		g := glyphs[ci%len(glyphs)]
+		for _, p := range c.Points {
+			x := p.Result.TDAvg.Seconds()
+			var y float64
+			if logY {
+				mr := p.Result.MR
+				if mr <= 0 {
+					mr = 1e-7 // plot floor for zero-mistake points
+				}
+				y = math.Log10(mr)
+			} else {
+				y = p.Result.QAP * 100
+			}
+			pts = append(pts, pt{x, y, g})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if len(pts) == 0 {
+		return "(no points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		col := int((p.x - minX) / (maxX - minX) * float64(width-1))
+		row := int((p.y - minY) / (maxY - minY) * float64(height-1))
+		row = height - 1 - row
+		if grid[row][col] == ' ' || grid[row][col] == p.g {
+			grid[row][col] = p.g
+		} else {
+			grid[row][col] = '#' // collision
+		}
+	}
+
+	var b strings.Builder
+	yLabel := "mistake rate [1/s, log10]"
+	if !logY {
+		yLabel = "query accuracy probability [%]"
+	}
+	fmt.Fprintf(&b, "%s vs detection time [s]\n", yLabel)
+	for i, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(i)/float64(height-1)
+		if logY {
+			fmt.Fprintf(&b, "%9.2e │%s\n", math.Pow(10, yVal), row)
+		} else {
+			fmt.Fprintf(&b, "%9.3f │%s\n", yVal, row)
+		}
+	}
+	fmt.Fprintf(&b, "          └%s\n", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "           %-10.3f%*s\n", minX, width-10, fmt.Sprintf("%.3f", maxX))
+	var legend []string
+	for ci, c := range curves {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[ci%len(glyphs)], c.Detector))
+	}
+	fmt.Fprintf(&b, "           legend: %s\n", strings.Join(legend, "  "))
+	return b.String()
+}

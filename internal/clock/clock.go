@@ -1,0 +1,91 @@
+// Package clock provides the time abstraction used throughout the
+// repository: a monotonic Time in nanoseconds, a Clock interface, a
+// wall-clock implementation, and a deterministic simulated clock for
+// discrete-event simulation and tests.
+//
+// The paper's system model (§II-B) assumes processes have access to a
+// local clock device used to measure the passage of time, with no global
+// synchronization requirement beyond negligible drift. All detector and
+// QoS code is written against the Clock interface so that the same code
+// runs over real UDP heartbeats and over simulated or replayed traces.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Time is a monotonic instant in nanoseconds since an arbitrary origin.
+// It is deliberately not time.Time: traces, simulators and detectors only
+// ever need a totally ordered monotonic scalar, and int64 nanoseconds make
+// trace files compact and arithmetic allocation-free.
+type Time int64
+
+// Duration aliases time.Duration; all intervals in the repository are
+// expressed with it.
+type Duration = time.Duration
+
+// Common durations re-exported for convenience.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t−u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Clock abstracts a monotonic time source plus timer facilities.
+type Clock interface {
+	// Now returns the current monotonic instant.
+	Now() Time
+	// After returns a channel that delivers the fire time once d has
+	// elapsed.
+	After(d Duration) <-chan Time
+	// Sleep blocks the caller for d.
+	Sleep(d Duration)
+}
+
+// Real is a Clock backed by the process monotonic clock.
+type Real struct {
+	origin time.Time
+	once   sync.Once
+}
+
+// NewReal returns a wall-clock-backed Clock whose origin is the moment of
+// creation.
+func NewReal() *Real {
+	return &Real{origin: time.Now()}
+}
+
+// Now returns nanoseconds elapsed since the clock was created.
+func (r *Real) Now() Time { return Time(time.Since(r.origin)) }
+
+// After mirrors time.After, translated into clock Time.
+func (r *Real) After(d Duration) <-chan Time {
+	ch := make(chan Time, 1)
+	go func() {
+		time.Sleep(d)
+		ch <- r.Now()
+	}()
+	return ch
+}
+
+// Sleep blocks for d.
+func (r *Real) Sleep(d Duration) { time.Sleep(d) }

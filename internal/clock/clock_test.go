@@ -1,0 +1,241 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(250 * Millisecond)
+	if got := t1.Sub(t0); got != 250*Millisecond {
+		t.Fatalf("Sub = %v, want 250ms", got)
+	}
+	if !t0.Before(t1) || t1.Before(t0) {
+		t.Fatal("Before ordering wrong")
+	}
+	if !t1.After(t0) || t0.After(t1) {
+		t.Fatal("After ordering wrong")
+	}
+	if got := t1.Seconds(); got != 0.25 {
+		t.Fatalf("Seconds = %v, want 0.25", got)
+	}
+	if got := FromSeconds(0.25); got != t1 {
+		t.Fatalf("FromSeconds = %v, want %v", got, t1)
+	}
+}
+
+func TestTimeAddSubRoundTrip(t *testing.T) {
+	f := func(base int64, delta int32) bool {
+		t0 := Time(base)
+		d := Duration(delta)
+		return t0.Add(d).Sub(t0) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealClockMonotonic(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	time.Sleep(time.Millisecond)
+	b := c.Now()
+	if !b.After(a) {
+		t.Fatalf("real clock did not advance: %v then %v", a, b)
+	}
+}
+
+func TestRealClockAfter(t *testing.T) {
+	c := NewReal()
+	start := c.Now()
+	fired := <-c.After(5 * time.Millisecond)
+	if fired.Sub(start) < 4*time.Millisecond {
+		t.Fatalf("After fired too early: %v", fired.Sub(start))
+	}
+}
+
+func TestSimNowStartsAtOrigin(t *testing.T) {
+	s := NewSim(Time(42))
+	if s.Now() != 42 {
+		t.Fatalf("Now = %d, want 42", s.Now())
+	}
+}
+
+func TestSimAdvanceMovesTime(t *testing.T) {
+	s := NewSim(0)
+	s.Advance(3 * Second)
+	if s.Now() != Time(3*Second) {
+		t.Fatalf("Now = %v, want 3s", s.Now())
+	}
+	s.Advance(-Second) // negative advance is a no-op
+	if s.Now() != Time(3*Second) {
+		t.Fatal("negative Advance moved time")
+	}
+}
+
+func TestSimAfterFiresInOrder(t *testing.T) {
+	s := NewSim(0)
+	var order []int
+	s.AfterFunc(30*Millisecond, func(Time) { order = append(order, 3) })
+	s.AfterFunc(10*Millisecond, func(Time) { order = append(order, 1) })
+	s.AfterFunc(20*Millisecond, func(Time) { order = append(order, 2) })
+	s.Advance(50 * Millisecond)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSimEqualDeadlinesFIFO(t *testing.T) {
+	s := NewSim(0)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.AfterFunc(Millisecond, func(Time) { order = append(order, i) })
+	}
+	s.Advance(Millisecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-deadline order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSimAfterChannel(t *testing.T) {
+	s := NewSim(0)
+	ch := s.After(100 * Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	s.Advance(100 * Millisecond)
+	got := <-ch
+	if got != Time(100*Millisecond) {
+		t.Fatalf("fire time = %v, want 100ms", got)
+	}
+}
+
+func TestSimAfterZeroFiresImmediately(t *testing.T) {
+	s := NewSim(Time(7))
+	got := <-s.After(0)
+	if got != 7 {
+		t.Fatalf("fire time = %v, want 7", got)
+	}
+}
+
+func TestSimCallbackSchedulesCallback(t *testing.T) {
+	s := NewSim(0)
+	var times []Time
+	var tick func(Time)
+	tick = func(now Time) {
+		times = append(times, now)
+		if len(times) < 4 {
+			s.AfterFunc(10*Millisecond, tick)
+		}
+	}
+	s.AfterFunc(10*Millisecond, tick)
+	s.Advance(100 * Millisecond)
+	if len(times) != 4 {
+		t.Fatalf("got %d ticks, want 4", len(times))
+	}
+	for i, at := range times {
+		want := Time((i + 1) * 10 * int(Millisecond))
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestSimAdvanceToPastIsNoop(t *testing.T) {
+	s := NewSim(Time(Second))
+	s.AdvanceTo(Time(Millisecond))
+	if s.Now() != Time(Second) {
+		t.Fatal("AdvanceTo moved time backwards")
+	}
+}
+
+func TestSimRunUntilIdle(t *testing.T) {
+	s := NewSim(0)
+	count := 0
+	s.AfterFunc(Second, func(Time) { count++ })
+	s.AfterFunc(2*Second, func(Time) { count++ })
+	fired := s.RunUntilIdle()
+	if fired != 2 || count != 2 {
+		t.Fatalf("fired=%d count=%d, want 2,2", fired, count)
+	}
+	if s.Now() != Time(2*Second) {
+		t.Fatalf("Now = %v, want 2s", s.Now())
+	}
+	if s.PendingWaiters() != 0 {
+		t.Fatal("waiters remain after RunUntilIdle")
+	}
+}
+
+func TestSimJumpFiresWaitersAtLanding(t *testing.T) {
+	s := NewSim(0)
+	var firedAt Time = -1
+	s.AfterFunc(10*Millisecond, func(now Time) { firedAt = now })
+	s.Jump(time.Second)
+	if firedAt != Time(time.Second) {
+		t.Fatalf("jumped waiter fired at %v, want 1s (landing instant)", firedAt)
+	}
+}
+
+func TestSimSleepUnblocksOnAdvance(t *testing.T) {
+	s := NewSim(0)
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(50 * Millisecond)
+		close(done)
+	}()
+	// Wait for the sleeper to register its waiter.
+	for s.PendingWaiters() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	s.Advance(50 * Millisecond)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep never returned after Advance")
+	}
+}
+
+func TestSimAdvanceFiresOnlyDueWaiters(t *testing.T) {
+	s := NewSim(0)
+	fired := 0
+	s.AfterFunc(10*Millisecond, func(Time) { fired++ })
+	s.AfterFunc(30*Millisecond, func(Time) { fired++ })
+	s.Advance(20 * Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.PendingWaiters() != 1 {
+		t.Fatalf("pending = %d, want 1", s.PendingWaiters())
+	}
+}
+
+func TestSimManyWaitersProperty(t *testing.T) {
+	// Property: regardless of insertion order, waiters fire in
+	// nondecreasing deadline order.
+	f := func(deadlines []uint16) bool {
+		s := NewSim(0)
+		var fired []Time
+		for _, d := range deadlines {
+			s.AfterFunc(Duration(d)*Microsecond, func(at Time) {
+				fired = append(fired, at)
+			})
+		}
+		s.RunUntilIdle()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(deadlines)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package clock
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Sim is a deterministic simulated Clock. Time only advances when Advance
+// or Run is called, which makes tests and discrete-event simulations fully
+// reproducible. Sim is safe for concurrent use.
+type Sim struct {
+	mu      sync.Mutex
+	now     Time
+	waiters waiterHeap
+	seq     int64 // tie-break so equal-deadline waiters fire FIFO
+}
+
+type waiter struct {
+	at  Time
+	seq int64
+	ch  chan Time
+	fn  func(Time)
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// NewSim returns a simulated clock starting at the given origin.
+func NewSim(origin Time) *Sim {
+	return &Sim{now: origin}
+}
+
+// Now returns the current simulated instant.
+func (s *Sim) Now() Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// After returns a channel that receives the fire time when the simulated
+// clock reaches now+d.
+func (s *Sim) After(d Duration) <-chan Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan Time, 1)
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.seq++
+	heap.Push(&s.waiters, &waiter{at: s.now.Add(d), seq: s.seq, ch: ch})
+	return ch
+}
+
+// AfterFunc schedules fn to run (synchronously, inside Advance) when the
+// simulated clock reaches now+d.
+func (s *Sim) AfterFunc(d Duration, fn func(Time)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	heap.Push(&s.waiters, &waiter{at: s.now.Add(d), seq: s.seq, fn: fn})
+}
+
+// Sleep blocks until the simulated clock has advanced by d. It only
+// returns once another goroutine calls Advance far enough.
+func (s *Sim) Sleep(d Duration) { <-s.After(d) }
+
+// Advance moves simulated time forward by d, firing every waiter whose
+// deadline falls inside the advanced span, in deadline order. Callbacks
+// scheduled by fired callbacks also fire if they fall within the span.
+func (s *Sim) Advance(d Duration) {
+	if d < 0 {
+		return
+	}
+	s.mu.Lock()
+	target := s.now.Add(d)
+	s.advanceTo(target)
+	s.mu.Unlock()
+}
+
+// AdvanceTo moves simulated time forward to the absolute instant t
+// (no-op when t is in the past).
+func (s *Sim) AdvanceTo(t Time) {
+	s.mu.Lock()
+	s.advanceTo(t)
+	s.mu.Unlock()
+}
+
+// advanceTo must be called with mu held.
+func (s *Sim) advanceTo(target Time) {
+	for len(s.waiters) > 0 && s.waiters[0].at <= target {
+		w := heap.Pop(&s.waiters).(*waiter)
+		if w.at > s.now {
+			s.now = w.at
+		}
+		if w.ch != nil {
+			w.ch <- s.now
+		}
+		if w.fn != nil {
+			// Release the lock while running the callback so it can
+			// schedule further timers.
+			fn, at := w.fn, s.now
+			s.mu.Unlock()
+			fn(at)
+			s.mu.Lock()
+		}
+	}
+	if target > s.now {
+		s.now = target
+	}
+}
+
+// RunUntilIdle fires all pending waiters regardless of deadline, advancing
+// time to each. It returns the number of waiters fired. Useful for
+// draining a simulation to completion.
+func (s *Sim) RunUntilIdle() int {
+	fired := 0
+	for {
+		s.mu.Lock()
+		if len(s.waiters) == 0 {
+			s.mu.Unlock()
+			return fired
+		}
+		next := s.waiters[0].at
+		s.advanceTo(next)
+		s.mu.Unlock()
+		fired++
+	}
+}
+
+// PendingWaiters reports how many timers are currently scheduled.
+func (s *Sim) PendingWaiters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+// Jump moves the clock forward instantly WITHOUT firing intermediate
+// waiters' callbacks at their precise deadlines — instead every waiter in
+// the jumped-over span fires at the landing instant. This models a
+// coarse clock discontinuity (e.g. a VM pause), used in failure-injection
+// tests.
+func (s *Sim) Jump(d Duration) {
+	if d < 0 {
+		return
+	}
+	s.mu.Lock()
+	target := s.now.Add(d)
+	s.now = target
+	for len(s.waiters) > 0 && s.waiters[0].at <= target {
+		w := heap.Pop(&s.waiters).(*waiter)
+		if w.ch != nil {
+			w.ch <- target
+		}
+		if w.fn != nil {
+			fn := w.fn
+			s.mu.Unlock()
+			fn(target)
+			s.mu.Lock()
+		}
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,398 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/heartbeat"
+	"repro/internal/netsim"
+)
+
+const msK = clock.Millisecond
+
+func chenFactory(alpha clock.Duration) Factory {
+	return func(string) detector.Detector {
+		return detector.NewChen(50, 100*msK, alpha)
+	}
+}
+
+// feedMonitor delivers n regular heartbeats from peer.
+func feedMonitor(m *Monitor, peer string, n int, iv clock.Duration) clock.Time {
+	var last clock.Time
+	for i := 0; i < n; i++ {
+		send := clock.Time(i) * clock.Time(iv)
+		recv := send.Add(2 * msK)
+		m.Observe(heartbeat.Arrival{From: peer, Seq: uint64(i), Send: send, Recv: recv})
+		last = recv
+	}
+	return last
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{StatusUnknown, StatusActive, StatusBusy, StatusSuspected, StatusOffline, Status(42)} {
+		if s.String() == "" {
+			t.Fatal("empty status string")
+		}
+	}
+}
+
+func TestMonitorLifecycle(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(50*msK), Options{})
+	m.Watch("p1")
+	m.Watch("p1") // idempotent
+	m.Watch("p2")
+	peers := m.Peers()
+	if len(peers) != 2 || peers[0] != "p1" || peers[1] != "p2" {
+		t.Fatalf("Peers = %v", peers)
+	}
+	if st, ok := m.StatusOf("p1", 0); !ok || st != StatusUnknown {
+		t.Fatalf("fresh peer status = %v,%v", st, ok)
+	}
+	if _, ok := m.StatusOf("ghost", 0); ok {
+		t.Fatal("unknown peer reported ok")
+	}
+	m.Unwatch("p2")
+	if len(m.Peers()) != 1 {
+		t.Fatal("Unwatch failed")
+	}
+}
+
+func TestMonitorActiveWhileHeartbeating(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(100*msK), Options{})
+	last := feedMonitor(m, "srv", 60, 100*msK)
+	st, ok := m.StatusOf("srv", last.Add(10*msK))
+	if !ok || st != StatusActive {
+		t.Fatalf("status = %v, want active", st)
+	}
+}
+
+func TestMonitorSuspectsAfterSilence(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(100*msK), Options{OfflineAfter: 5 * clock.Second})
+	last := feedMonitor(m, "srv", 60, 100*msK)
+	// Soon after the freshness point the server is suspected...
+	st, _ := m.StatusOf("srv", last.Add(400*msK))
+	if st != StatusSuspected {
+		t.Fatalf("status after silence = %v, want suspected", st)
+	}
+	// ...and after the offline grace period it is declared offline.
+	st, _ = m.StatusOf("srv", last.Add(6*clock.Second))
+	if st != StatusOffline {
+		t.Fatalf("status after grace = %v, want offline", st)
+	}
+}
+
+func TestMonitorBusyBandWithAccrual(t *testing.T) {
+	// SFD's accrual level consumes the margin gradually: between BusyLevel
+	// and SuspectLevel the server reports busy.
+	factory := func(string) detector.Detector {
+		return core.New(core.Config{WindowSize: 20, Interval: 100 * msK, InitialMargin: 200 * msK})
+	}
+	m := NewMonitor(clock.NewSim(0), factory, Options{BusyLevel: 0.5, SuspectLevel: 1.0})
+	var last clock.Time
+	for i := 0; i < 40; i++ {
+		send := clock.Time(i) * clock.Time(100*msK)
+		recv := send.Add(2 * msK)
+		m.Observe(heartbeat.Arrival{From: "srv", Seq: uint64(i), Send: send, Recv: recv})
+		last = recv
+	}
+	// At last + interval + 60% of margin: suspicion ≈ 0.6 → busy.
+	busyAt := last.Add(100 * msK).Add(120 * msK)
+	st, lvl := StatusUnknown, 0.0
+	if got, ok := m.StatusOf("srv", busyAt); ok {
+		st = got
+	}
+	snap := m.Snapshot(busyAt)
+	for _, r := range snap {
+		if r.Peer == "srv" {
+			lvl = r.SuspicionLevel
+		}
+	}
+	if st != StatusBusy {
+		t.Fatalf("status = %v (level %v), want busy", st, lvl)
+	}
+}
+
+func TestMonitorRecoversFromWrongSuspicion(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(50*msK), Options{})
+	last := feedMonitor(m, "srv", 60, 100*msK)
+	if st, _ := m.StatusOf("srv", last.Add(500*msK)); st != StatusSuspected {
+		t.Fatal("not suspected during gap")
+	}
+	// Heartbeats resume (shifted 500 ms by the outage): once the sliding
+	// window refills with the new schedule, trust must be restored —
+	// Chen's estimator tracks the shift only as old samples age out.
+	var lastRecv clock.Time
+	for k := 0; k < 60; k++ {
+		seq := uint64(60 + k)
+		send := last.Add(498*msK + clock.Duration(k)*100*msK)
+		lastRecv = last.Add(500*msK + clock.Duration(k)*100*msK)
+		m.Observe(heartbeat.Arrival{From: "srv", Seq: seq, Send: send, Recv: lastRecv})
+	}
+	if st, _ := m.StatusOf("srv", lastRecv.Add(10*msK)); st != StatusActive {
+		t.Fatalf("status after recovery = %v, want active", st)
+	}
+}
+
+func TestMonitorMaxSilenceSafetyNet(t *testing.T) {
+	// A process that crashes right after its very first heartbeat never
+	// gives an interval-estimating detector enough history to form a
+	// freshness point; the MaxSilence net must still flag it.
+	estFactory := func(string) detector.Detector {
+		return detector.NewChen(50, 0, 50*msK) // interval estimated: needs ≥2 arrivals
+	}
+	m := NewMonitor(clock.NewSim(0), estFactory, Options{MaxSilence: clock.Second})
+	m.Observe(heartbeat.Arrival{From: "flash", Seq: 0, Send: 0, Recv: clock.Time(msK)})
+	if st, _ := m.StatusOf("flash", clock.Time(500*msK)); st != StatusActive {
+		t.Fatalf("status before MaxSilence = %v, want active", st)
+	}
+	if st, _ := m.StatusOf("flash", clock.Time(2*clock.Second)); st < StatusSuspected {
+		t.Fatalf("status after MaxSilence = %v, want suspected", st)
+	}
+	// Without the net, the same peer stays active forever.
+	m2 := NewMonitor(clock.NewSim(0), estFactory, Options{})
+	m2.Observe(heartbeat.Arrival{From: "flash", Seq: 0, Send: 0, Recv: clock.Time(msK)})
+	if st, _ := m2.StatusOf("flash", clock.Time(3600*clock.Second)); st != StatusActive {
+		t.Fatalf("disabled net changed semantics: %v", st)
+	}
+}
+
+func TestMonitorAutoRegistersNewPeer(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(50*msK), Options{})
+	m.Observe(heartbeat.Arrival{From: "newcomer", Seq: 0, Send: 0, Recv: clock.Time(msK)})
+	if len(m.Peers()) != 1 {
+		t.Fatal("auto-registration failed")
+	}
+}
+
+func TestMonitorStaleArrivalIgnored(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(50*msK), Options{})
+	feedMonitor(m, "srv", 10, 100*msK)
+	snapBefore := m.Snapshot(clock.Time(clock.Second))
+	m.Observe(heartbeat.Arrival{From: "srv", Seq: 3, Send: 0, Recv: clock.Time(2 * clock.Second)})
+	snapAfter := m.Snapshot(clock.Time(clock.Second))
+	if snapBefore[0].LastSeq != snapAfter[0].LastSeq {
+		t.Fatal("stale arrival mutated state")
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(50*msK), Options{})
+	for _, p := range []string{"zeta", "alpha", "mid"} {
+		m.Watch(p)
+	}
+	snap := m.Snapshot(0)
+	if len(snap) != 3 || snap[0].Peer != "alpha" || snap[2].Peer != "zeta" {
+		t.Fatalf("snapshot order wrong: %+v", snap)
+	}
+	for _, r := range snap {
+		if r.Status != StatusUnknown || r.Detector == "" {
+			t.Fatalf("fresh peer report wrong: %+v", r)
+		}
+	}
+}
+
+func TestQuorumMasksSingleMonitorMistake(t *testing.T) {
+	clk := clock.NewSim(0)
+	mk := func() *Monitor { return NewMonitor(clk, chenFactory(50*msK), Options{}) }
+	m1, m2, m3 := mk(), mk(), mk()
+	// All three watch srv; m1 misses the last heartbeats (its own path
+	// lost them), so it alone suspects.
+	last := feedMonitor(m2, "srv", 60, 100*msK)
+	feedMonitor(m3, "srv", 60, 100*msK)
+	feedMonitor(m1, "srv", 55, 100*msK)
+	q := Quorum{Monitors: []*Monitor{m1, m2, m3}}
+	now := last.Add(50 * msK)
+	sus, votes := q.Suspected("srv", now)
+	if sus {
+		t.Fatalf("quorum suspected with %d vote(s)", votes)
+	}
+	if votes != 1 {
+		t.Fatalf("votes = %d, want 1 (only the lossy monitor)", votes)
+	}
+	// Explicit Need=1 turns it into an any-of alarm.
+	q.Need = 1
+	if sus, _ := q.Suspected("srv", now); !sus {
+		t.Fatal("Need=1 quorum did not suspect")
+	}
+}
+
+func TestSimClusterCrashDetection(t *testing.T) {
+	sc := NewSimCluster(netsim.LinkParams{DelayBase: 5 * msK, JitterMean: msK, JitterStd: msK}, 1)
+	mon := sc.AddMonitor("q", chenFactory(100*msK), Options{})
+	srv := sc.AddSender("p", 100*msK, 2*msK, "q")
+	mon.Mon.Watch("p")
+
+	sc.RunFor(20*clock.Second, 10*msK)
+	if st, _ := mon.Mon.StatusOf("p", sc.Clk.Now()); st != StatusActive {
+		t.Fatalf("server not active while alive: %v", st)
+	}
+	srv.Crash()
+	lat, ok := sc.DetectCrash("q", "p", 10*clock.Second)
+	if !ok {
+		t.Fatal("crash never detected")
+	}
+	// Detection should land near Δt + margin (+ link delay): well under 1s.
+	if lat > clock.Second {
+		t.Fatalf("detection latency %v too large", lat)
+	}
+	if p50, p99, ok := mon.Mon.DetectionLatency(); !ok || p50 <= 0 || p99 < p50 {
+		t.Fatalf("latency quantiles wrong: %v/%v/%v", p50, p99, ok)
+	}
+}
+
+func TestSimClusterOneMonitorsMultiple(t *testing.T) {
+	sc := NewSimCluster(netsim.LinkParams{DelayBase: 2 * msK}, 2)
+	mon := sc.AddMonitor("q", chenFactory(150*msK), Options{})
+	const n = 10
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("p%d", i)
+		sc.AddSender(name, 100*msK, 2*msK, "q")
+		mon.Mon.Watch(name)
+	}
+	sc.RunFor(15*clock.Second, 10*msK)
+	snap := mon.Mon.Snapshot(sc.Clk.Now())
+	if len(snap) != n {
+		t.Fatalf("snapshot has %d peers, want %d", len(snap), n)
+	}
+	for _, r := range snap {
+		if r.Status != StatusActive {
+			t.Fatalf("%s: status %v, want active", r.Peer, r.Status)
+		}
+	}
+	// Crash three of them; all three must be detected, others unaffected.
+	for i := 0; i < 3; i++ {
+		sc.Sender(fmt.Sprintf("p%d", i)).Crash()
+	}
+	sc.RunFor(2*clock.Second, 10*msK)
+	now := sc.Clk.Now()
+	for i := 0; i < n; i++ {
+		st, _ := mon.Mon.StatusOf(fmt.Sprintf("p%d", i), now)
+		if i < 3 && st < StatusSuspected {
+			t.Fatalf("crashed p%d not suspected: %v", i, st)
+		}
+		if i >= 3 && st != StatusActive {
+			t.Fatalf("alive p%d wrongly %v", i, st)
+		}
+	}
+}
+
+func TestSimClusterBusyServer(t *testing.T) {
+	factory := func(string) detector.Detector {
+		return core.New(core.Config{WindowSize: 30, Interval: 100 * msK, InitialMargin: 300 * msK})
+	}
+	sc := NewSimCluster(netsim.LinkParams{DelayBase: 2 * msK}, 3)
+	mon := sc.AddMonitor("q", factory, Options{BusyLevel: 0.3, SuspectLevel: 1.0})
+	srv := sc.AddSender("p", 100*msK, msK, "q")
+	mon.Mon.Watch("p")
+	sc.RunFor(10*clock.Second, 10*msK)
+
+	// Make the server sluggish: +150 ms per beat stretches arrivals into
+	// the busy band without crossing the 300 ms margin.
+	srv.SetBusy(150 * msK)
+	sawBusy := false
+	for i := 0; i < 400; i++ {
+		sc.RunFor(50*msK, 10*msK)
+		if st, _ := mon.Mon.StatusOf("p", sc.Clk.Now()); st == StatusBusy {
+			sawBusy = true
+			break
+		}
+	}
+	if !sawBusy {
+		t.Fatal("sluggish server never classified busy")
+	}
+}
+
+func TestConsortiumScenario(t *testing.T) {
+	con := BuildConsortium(ConsortiumConfig{
+		ServersPerCloud: 2,
+		Interval:        100 * msK,
+		Jitter:          2 * msK,
+		Factory:         chenFactory(250 * msK),
+		Seed:            7,
+	})
+	if len(con.Clouds) != 5 {
+		t.Fatalf("clouds = %d, want 5", len(con.Clouds))
+	}
+	con.RunFor(20*clock.Second, 10*msK)
+
+	// Every manager sees its own servers active.
+	now := con.Clk.Now()
+	for name, cl := range con.Clouds {
+		for _, srv := range cl.Servers {
+			st, ok := cl.Manager.Mon.StatusOf(srv.name, now)
+			if !ok || st != StatusActive {
+				t.Fatalf("%s: server %s status %v", name, srv.name, st)
+			}
+		}
+	}
+	// Every manager sees every other cloud's beacon active.
+	for name, cl := range con.Clouds {
+		for other := range con.Clouds {
+			if other == name {
+				continue
+			}
+			st, ok := cl.Manager.Mon.StatusOf(other+"/beacon", now)
+			if !ok || st != StatusActive {
+				t.Fatalf("%s: beacon of %s status %v (ok=%v)", name, other, st, ok)
+			}
+		}
+	}
+
+	// Crash GA's beacon: the cross-cloud quorum must agree.
+	con.Sender("GA/beacon").Crash()
+	con.RunFor(3*clock.Second, 10*msK)
+	q := con.CrossCloudQuorum("GA")
+	sus, votes := q.Suspected("GA/beacon", con.Clk.Now())
+	if !sus {
+		t.Fatalf("consortium did not reach quorum on crashed beacon (votes=%d)", votes)
+	}
+}
+
+func TestDetectCrashEdgeCases(t *testing.T) {
+	sc := NewSimCluster(netsim.LinkParams{DelayBase: msK}, 4)
+	sc.AddMonitor("q", chenFactory(100*msK), Options{})
+	sc.AddSender("p", 100*msK, 0, "q")
+	// Unknown names.
+	if _, ok := sc.DetectCrash("ghost", "p", clock.Second); ok {
+		t.Fatal("unknown monitor accepted")
+	}
+	if _, ok := sc.DetectCrash("q", "ghost", clock.Second); ok {
+		t.Fatal("unknown peer accepted")
+	}
+	// Peer not crashed.
+	if _, ok := sc.DetectCrash("q", "p", clock.Second); ok {
+		t.Fatal("DetectCrash on live peer succeeded")
+	}
+}
+
+func TestScoreboardFormatting(t *testing.T) {
+	if FormatSnapshot(nil) != "(no peers)\n" {
+		t.Fatal("empty snapshot format wrong")
+	}
+	reports := []Report{
+		{Peer: "a", Status: StatusActive, Detector: "SFD"},
+		{Peer: "b", Status: StatusSuspected, SuspicionLevel: 3.2, Detector: "SFD"},
+		{Peer: "c", Status: StatusOffline, SuspicionLevel: 42, Detector: "SFD"},
+	}
+	board := FormatSnapshot(reports)
+	for _, want := range []string{"a", "b", "c", "suspected", "offline", "detector"} {
+		if !strings.Contains(board, want) {
+			t.Fatalf("board missing %q:\n%s", want, board)
+		}
+	}
+	counts, attention := Summarize(reports)
+	if counts[StatusActive] != 1 || counts[StatusSuspected] != 1 || counts[StatusOffline] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if len(attention) != 2 || attention[0] != "b" || attention[1] != "c" {
+		t.Fatalf("attention = %v", attention)
+	}
+	sum := FormatSummary(reports, 0)
+	if !strings.Contains(sum, "active=1") || !strings.Contains(sum, "investigate: b c") {
+		t.Fatalf("summary = %q", sum)
+	}
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/netsim"
+)
+
+func TestElectorPicksLowestAliveCandidate(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(100*msK), Options{})
+	last := feedMonitor(m, "a", 60, 100*msK)
+	feedMonitor(m, "b", 75, 100*msK) // b keeps heartbeating past a's silence
+	e := NewElector("c", m, []string{"c", "a", "b"})
+	if got := e.Candidates(); got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("ranking = %v", got)
+	}
+	now := last.Add(10 * msK)
+	if l := e.Leader(now); l != "a" {
+		t.Fatalf("leader = %q, want a", l)
+	}
+	// "a" goes silent: leadership falls to "b".
+	if l := e.Leader(last.Add(clock.Second)); l != "b" {
+		t.Fatalf("leader after a's silence = %q, want b", l)
+	}
+	if e.Changes() != 2 { // "" → a, a → b
+		t.Fatalf("changes = %d, want 2", e.Changes())
+	}
+}
+
+func TestElectorFallsBackToSelf(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(100*msK), Options{})
+	last := feedMonitor(m, "a", 60, 100*msK)
+	e := NewElector("z", m, []string{"a", "z"})
+	if l := e.Leader(last.Add(10 * clock.Second)); l != "z" {
+		t.Fatalf("no fallback to self: %q", l)
+	}
+}
+
+func TestElectorSelfIsNeverSuspected(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(100*msK), Options{})
+	e := NewElector("a", m, []string{"a", "b"})
+	// No heartbeats at all: "a" leads because it is self.
+	if l := e.Leader(clock.Time(clock.Second)); l != "a" {
+		t.Fatalf("leader = %q, want self", l)
+	}
+}
+
+func TestElectorUnknownPeersSkipped(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(100*msK), Options{})
+	m.Watch("a") // watched but never heard from
+	last := feedMonitor(m, "b", 60, 100*msK)
+	e := NewElector("c", m, []string{"a", "b", "c"})
+	if l := e.Leader(last.Add(10 * msK)); l != "b" {
+		t.Fatalf("leader = %q, want b (a never seen)", l)
+	}
+}
+
+func TestElectorOnChangeCallback(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(100*msK), Options{})
+	last := feedMonitor(m, "a", 60, 100*msK)
+	e := NewElector("b", m, []string{"a", "b"})
+	var transitions []string
+	e.OnChange(func(old, new string, at clock.Time) {
+		transitions = append(transitions, old+"→"+new)
+	})
+	e.Leader(last.Add(10 * msK))     // → a
+	e.Leader(last.Add(clock.Second)) // a suspected → b
+	if len(transitions) != 2 || transitions[1] != "a→b" {
+		t.Fatalf("transitions = %v", transitions)
+	}
+}
+
+func TestElectionConvergesAcrossSimCluster(t *testing.T) {
+	// Every node heartbeats to every other; each runs its own monitor and
+	// elector. After warm-up all agree on p0; after p0 crashes all
+	// converge to p1 — Ω in action.
+	sc := NewSimCluster(netsim.LinkParams{DelayBase: 2 * msK, JitterMean: msK, JitterStd: msK}, 11)
+	const n = 4
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%d", i)
+	}
+	monitors := make([]*SimMonitor, n)
+	electors := make([]*Elector, n)
+	for i, name := range names {
+		monitors[i] = sc.AddMonitor(name+"/mon", chenFactory(200*msK), Options{})
+	}
+	for i, name := range names {
+		var targets []string
+		for j := range names {
+			if j != i {
+				targets = append(targets, names[j]+"/mon")
+			}
+		}
+		sc.AddSender(name, 100*msK, 2*msK, targets...)
+		for j := range names {
+			if j != i {
+				monitors[j].Mon.Watch(name)
+			}
+		}
+	}
+	for i, name := range names {
+		electors[i] = NewElector(name, monitors[i].Mon, names)
+	}
+
+	sc.RunFor(15*clock.Second, 10*msK)
+	now := sc.Clk.Now()
+	for i, e := range electors {
+		if l := e.Leader(now); l != "p0" {
+			t.Fatalf("elector %d picked %q before crash, want p0", i, l)
+		}
+	}
+
+	sc.Sender("p0").Crash()
+	sc.RunFor(3*clock.Second, 10*msK)
+	now = sc.Clk.Now()
+	for i, e := range electors {
+		l := e.Leader(now)
+		want := "p1"
+		if i == 0 {
+			continue // the crashed node's own elector is moot
+		}
+		if l != want {
+			t.Fatalf("elector %d picked %q after crash, want %q", i, l, want)
+		}
+	}
+}

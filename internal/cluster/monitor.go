@@ -1,0 +1,338 @@
+// Package cluster provides the cloud-monitoring layer of the paper's
+// model (Fig. 1): a Monitor that watches many servers with one failure
+// detector each ("one monitors multiple"), a quorum aggregator combining
+// several monitors' views ("multiple monitor multiple", §VII), the
+// four-state server-status model from the introduction (active, busy/
+// slow, suspected, offline), and a deterministic multi-cloud simulation
+// of the U.S. southern-states education cloud consortium used by the
+// examples and benchmarks.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/heartbeat"
+	"repro/internal/stats"
+)
+
+// Status is a monitored server's state as the paper's introduction
+// classifies it: "some of the servers are active and available, while
+// others are busy or heavy loaded, and the remaining are offline or even
+// crashed".
+type Status int
+
+const (
+	// StatusUnknown: no heartbeat seen yet.
+	StatusUnknown Status = iota
+	// StatusActive: suspicion below the busy threshold.
+	StatusActive
+	// StatusBusy: heartbeats arriving late — the server is alive but
+	// slow or heavily loaded (suspicion between the busy and suspect
+	// thresholds).
+	StatusBusy
+	// StatusSuspected: suspicion above the suspect threshold.
+	StatusSuspected
+	// StatusOffline: suspected continuously for longer than the offline
+	// grace period — treated as crashed (a crashed process does not
+	// recover in the paper's model, but a wrongly-suspected server that
+	// resumes heartbeats is restored).
+	StatusOffline
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusUnknown:
+		return "unknown"
+	case StatusActive:
+		return "active"
+	case StatusBusy:
+		return "busy"
+	case StatusSuspected:
+		return "suspected"
+	case StatusOffline:
+		return "offline"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options tunes a Monitor. The thresholds act on the accrual suspicion
+// level (for detectors implementing detector.Accrual); binary detectors
+// map trust→0 and suspect→SuspectLevel.
+type Options struct {
+	// BusyLevel is the suspicion level at which a server is reported
+	// busy/slow (default 0.5 — half the safety margin consumed).
+	BusyLevel float64
+	// SuspectLevel is the level at which it is reported suspected
+	// (default 1.0 — the freshness point, per the SFD accrual scale).
+	SuspectLevel float64
+	// OfflineAfter is how long a continuous suspicion lasts before the
+	// server is declared offline (default 10 s).
+	OfflineAfter clock.Duration
+	// MaxSilence, when positive, is a safety net under the detector: a
+	// peer whose last heartbeat is older than this is reported suspected
+	// even if its detector never accumulated enough arrivals to form a
+	// freshness point (e.g. the process crashed right after its first
+	// beacon). 0 disables it.
+	MaxSilence clock.Duration
+}
+
+func (o *Options) defaults() {
+	if o.BusyLevel <= 0 {
+		o.BusyLevel = 0.5
+	}
+	if o.SuspectLevel <= o.BusyLevel {
+		o.SuspectLevel = o.BusyLevel + 0.5
+	}
+	if o.OfflineAfter <= 0 {
+		o.OfflineAfter = 10 * clock.Second
+	}
+}
+
+// Factory builds a fresh failure detector for a newly watched peer.
+type Factory func(peer string) detector.Detector
+
+// DefaultFactory returns SFD instances with the paper's defaults and the
+// given QoS targets.
+func DefaultFactory(targets core.Targets) Factory {
+	return func(string) detector.Detector {
+		cfg := core.DefaultConfig()
+		cfg.Targets = targets
+		return core.New(cfg)
+	}
+}
+
+// Report is a point-in-time view of one monitored server.
+type Report struct {
+	Peer           string
+	Status         Status
+	SuspicionLevel float64
+	LastSeq        uint64
+	LastArrival    clock.Time
+	FreshnessPoint clock.Time
+	Detector       string
+}
+
+// Monitor watches many peers, one detector each. It is safe for
+// concurrent use (heartbeat receivers run on their own goroutines).
+type Monitor struct {
+	clk     clock.Clock
+	factory Factory
+	opts    Options
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+
+	// Detection-latency tail tracking across confirmed crashes (fed by
+	// the simulation harness / integration tests).
+	latP50, latP99 *stats.P2Quantile
+}
+
+type peerState struct {
+	det          detector.Detector
+	lastSeq      uint64
+	lastArrival  clock.Time
+	seen         bool
+	suspectSince clock.Time
+	suspected    bool
+}
+
+// NewMonitor builds a Monitor creating detectors with factory.
+func NewMonitor(clk clock.Clock, factory Factory, opts Options) *Monitor {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	if factory == nil {
+		factory = DefaultFactory(core.Targets{})
+	}
+	opts.defaults()
+	return &Monitor{
+		clk: clk, factory: factory, opts: opts,
+		peers:  make(map[string]*peerState),
+		latP50: stats.NewP2Quantile(0.5),
+		latP99: stats.NewP2Quantile(0.99),
+	}
+}
+
+// Watch registers a peer (idempotent).
+func (m *Monitor) Watch(peer string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.peers[peer]; !ok {
+		m.peers[peer] = &peerState{det: m.factory(peer)}
+	}
+}
+
+// Unwatch removes a peer.
+func (m *Monitor) Unwatch(peer string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.peers, peer)
+}
+
+// Peers returns the watched peer names, sorted.
+func (m *Monitor) Peers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.peers))
+	for p := range m.peers {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Observe feeds one heartbeat arrival; it matches heartbeat.Handler, so a
+// Monitor can be wired directly into a Receiver:
+//
+//	recv := heartbeat.NewReceiver(ep, clk, monitor.Observe)
+//
+// Arrivals from unwatched peers auto-register them (a new server joining
+// the cloud announces itself by heartbeating).
+func (m *Monitor) Observe(a heartbeat.Arrival) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps, ok := m.peers[a.From]
+	if !ok {
+		ps = &peerState{det: m.factory(a.From)}
+		m.peers[a.From] = ps
+	}
+	if ps.seen && a.Seq <= ps.lastSeq {
+		return // stale
+	}
+	ps.det.Observe(a.Seq, a.Send, a.Recv)
+	ps.lastSeq, ps.lastArrival, ps.seen = a.Seq, a.Recv, true
+}
+
+// level computes the suspicion level of a peer at instant now.
+func (m *Monitor) level(ps *peerState, now clock.Time) float64 {
+	if acc, ok := ps.det.(detector.Accrual); ok {
+		return acc.SuspicionLevel(now)
+	}
+	if ps.det.Suspect(now) {
+		return m.opts.SuspectLevel
+	}
+	return 0
+}
+
+// statusLocked classifies a peer and maintains its suspicion episode
+// bookkeeping. Must hold mu.
+func (m *Monitor) statusLocked(ps *peerState, now clock.Time) (Status, float64) {
+	if !ps.seen {
+		return StatusUnknown, 0
+	}
+	lvl := m.level(ps, now)
+	if m.opts.MaxSilence > 0 && now.Sub(ps.lastArrival) > m.opts.MaxSilence && lvl < m.opts.SuspectLevel {
+		lvl = m.opts.SuspectLevel
+	}
+	switch {
+	case lvl >= m.opts.SuspectLevel:
+		if !ps.suspected {
+			ps.suspected = true
+			// The suspicion episode began when the freshness point
+			// expired, not when somebody first asked — otherwise a
+			// rarely-queried monitor would never reach OfflineAfter.
+			ps.suspectSince = now
+			if fp := ps.det.FreshnessPoint(); fp > 0 && fp.Before(now) {
+				ps.suspectSince = fp
+			}
+		}
+		if now.Sub(ps.suspectSince) >= m.opts.OfflineAfter {
+			return StatusOffline, lvl
+		}
+		return StatusSuspected, lvl
+	case lvl >= m.opts.BusyLevel:
+		ps.suspected = false
+		return StatusBusy, lvl
+	default:
+		ps.suspected = false
+		return StatusActive, lvl
+	}
+}
+
+// StatusOf returns one peer's classification at instant now.
+func (m *Monitor) StatusOf(peer string, now clock.Time) (Status, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps, ok := m.peers[peer]
+	if !ok {
+		return StatusUnknown, false
+	}
+	st, _ := m.statusLocked(ps, now)
+	return st, true
+}
+
+// Snapshot reports every watched peer at instant now, sorted by name —
+// the "guidance" the paper's PlanetLab motivation asks for ("it is
+// impractical to login one by one without any guidance").
+func (m *Monitor) Snapshot(now clock.Time) []Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Report, 0, len(m.peers))
+	for name, ps := range m.peers {
+		st, lvl := m.statusLocked(ps, now)
+		out = append(out, Report{
+			Peer:           name,
+			Status:         st,
+			SuspicionLevel: lvl,
+			LastSeq:        ps.lastSeq,
+			LastArrival:    ps.lastArrival,
+			FreshnessPoint: ps.det.FreshnessPoint(),
+			Detector:       ps.det.Name(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// RecordDetectionLatency feeds one confirmed crash-to-detection latency
+// into the monitor's tail estimators (used by the simulation harness).
+func (m *Monitor) RecordDetectionLatency(d clock.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latP50.Add(float64(d))
+	m.latP99.Add(float64(d))
+}
+
+// DetectionLatency returns the median and p99 of recorded crash-detection
+// latencies; ok is false before any sample.
+func (m *Monitor) DetectionLatency() (p50, p99 clock.Duration, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latP50.Count() == 0 {
+		return 0, 0, false
+	}
+	return clock.Duration(m.latP50.Value()), clock.Duration(m.latP99.Value()), true
+}
+
+// Quorum aggregates several monitors' views of the same peer set — the
+// "multiple monitor multiple" deployment of §VII. A peer is suspected
+// globally when at least Need monitors classify it at or above
+// StatusSuspected; this masks individual monitors' wrong suspicions
+// caused by their own network paths.
+type Quorum struct {
+	Monitors []*Monitor
+	Need     int
+}
+
+// Suspected reports whether the quorum suspects the peer at instant now,
+// along with the per-monitor vote count.
+func (q Quorum) Suspected(peer string, now clock.Time) (bool, int) {
+	votes := 0
+	for _, m := range q.Monitors {
+		if st, ok := m.StatusOf(peer, now); ok && st >= StatusSuspected {
+			votes++
+		}
+	}
+	need := q.Need
+	if need <= 0 {
+		need = len(q.Monitors)/2 + 1
+	}
+	return votes >= need, votes
+}

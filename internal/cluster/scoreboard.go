@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// FormatSnapshot renders a monitor snapshot as an aligned status board —
+// the human-readable "guidance" the paper's PlanetLab motivation asks
+// for. Used by cmd/sfdmon and the examples.
+func FormatSnapshot(reports []Report) string {
+	if len(reports) == 0 {
+		return "(no peers)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-10s %-10s %-10s %s\n", "peer", "status", "level", "lastSeq", "detector")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-28s %-10s %-10.3f %-10d %s\n",
+			r.Peer, r.Status, r.SuspicionLevel, r.LastSeq, r.Detector)
+	}
+	return b.String()
+}
+
+// Summarize counts a snapshot by status and lists the peers needing
+// attention (suspected or offline).
+func Summarize(reports []Report) (counts map[Status]int, attention []string) {
+	counts = make(map[Status]int)
+	for _, r := range reports {
+		counts[r.Status]++
+		if r.Status >= StatusSuspected {
+			attention = append(attention, r.Peer)
+		}
+	}
+	return counts, attention
+}
+
+// FormatSummary renders Summarize's output in one line plus the
+// attention list, e.g. "active=182 offline=18 | investigate: node-042 …".
+func FormatSummary(reports []Report, now clock.Time) string {
+	counts, attention := Summarize(reports)
+	var parts []string
+	for _, st := range []Status{StatusActive, StatusBusy, StatusSuspected, StatusOffline, StatusUnknown} {
+		if counts[st] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", st, counts[st]))
+		}
+	}
+	line := strings.Join(parts, " ")
+	if len(attention) > 0 {
+		line += " | investigate: " + strings.Join(attention, " ")
+	}
+	return line
+}

@@ -1,0 +1,124 @@
+// Package core implements the paper's primary contribution: the general
+// self-tuning failure detection method (§IV-A, Fig. 4–5, Algorithm 1) and
+// the concrete Self-tuning Failure Detector SFD (§IV-B/C, Eq. 11–13).
+//
+// SFD predicts the next freshness point as τ_{k+1} = EA_{k+1} + SM_{k+1}
+// (Chen's expected arrival time plus a *dynamic* safety margin) and
+// adjusts SM between time slots using feedback that compares the
+// measured output QoS (detection time, mistake rate, query accuracy
+// probability) against the application's target QoS.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// QoS is the failure-detection quality-of-service tuple of Eq. 1,
+// QoS = (TD, MR, QAP), following Chen et al.'s metrics (§II-C):
+//
+//   - TD: detection time — how long a crash goes undetected.
+//   - MR: mistake rate — wrong suspicions per second.
+//   - QAP: query accuracy probability — the probability that a random
+//     query sees a correct "up" indication; in [0,1].
+type QoS struct {
+	TD  clock.Duration
+	MR  float64
+	QAP float64
+}
+
+// String renders the tuple in paper units (seconds, 1/s, percent).
+func (q QoS) String() string {
+	return fmt.Sprintf("QoS{TD=%.3fs MR=%.3g/s QAP=%.4f%%}",
+		q.TD.Seconds(), q.MR, q.QAP*100)
+}
+
+// Targets is the application's QoS requirement (the paper's overlined
+// Q̄oS): TD and MR are upper bounds, QAP a lower bound (Fig. 5: "the
+// target MR and TD should be smaller than the required values ... the
+// QAP should be larger").
+type Targets struct {
+	MaxTD  clock.Duration
+	MaxMR  float64
+	MinQAP float64
+}
+
+// String renders the requirement.
+func (t Targets) String() string {
+	return fmt.Sprintf("Targets{TD≤%.3fs MR≤%.3g/s QAP≥%.4f%%}",
+		t.MaxTD.Seconds(), t.MaxMR, t.MinQAP*100)
+}
+
+// Valid reports whether the targets are well-formed.
+func (t Targets) Valid() bool {
+	return t.MaxTD > 0 && t.MaxMR >= 0 && t.MinQAP >= 0 && t.MinQAP <= 1
+}
+
+// Verdict is the outcome of one feedback evaluation (Algorithm 1 step 2).
+type Verdict int
+
+const (
+	// VerdictStable: all three requirements met; Sat = 0, keep SM.
+	VerdictStable Verdict = iota
+	// VerdictIncrease: detection is fast enough but accuracy is violated
+	// (MR too high and/or QAP too low); Sat = +β, grow the margin.
+	VerdictIncrease
+	// VerdictDecrease: accuracy is fine but detection is too slow
+	// (TD above target); Sat = −β, shrink the margin.
+	VerdictDecrease
+	// VerdictInfeasible: both speed and accuracy are violated — no margin
+	// value can satisfy the request on this network; SFD must "give a
+	// response" (Algorithm 1 line 14).
+	VerdictInfeasible
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictStable:
+		return "stable"
+	case VerdictIncrease:
+		return "increase"
+	case VerdictDecrease:
+		return "decrease"
+	case VerdictInfeasible:
+		return "infeasible"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Decide implements the feedback rule of Algorithm 1. The printed
+// algorithm's signs are typos relative to Eq. 12 and the paper's own
+// WAN-1 walkthrough ("SFD finds this output TD is larger than the
+// requirement, it automatically adjusts ... by setting Sat = −β to reduce
+// SM) to reduce the TD"); Decide follows the semantics, see DESIGN.md §4.
+func Decide(measured QoS, target Targets) Verdict {
+	tdOK := measured.TD <= target.MaxTD
+	accOK := measured.MR <= target.MaxMR && measured.QAP >= target.MinQAP
+	switch {
+	case tdOK && accOK:
+		return VerdictStable
+	case !tdOK && accOK:
+		return VerdictDecrease
+	case tdOK && !accOK:
+		return VerdictIncrease
+	default:
+		return VerdictInfeasible
+	}
+}
+
+// Sat converts a verdict into the Sat_k{QoS, Q̄oS} coefficient of Eq. 13:
+// +β, −β, or 0. Infeasible yields 0 (the adjustment loop halts and the
+// detector reports the failure instead).
+func Sat(v Verdict, beta float64) float64 {
+	switch v {
+	case VerdictIncrease:
+		return beta
+	case VerdictDecrease:
+		return -beta
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,160 @@
+package detector
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/clock"
+)
+
+// This file implements a QoS-driven *configuration procedure* in the
+// spirit of Chen et al.'s (the paper's [28]) analysis: given the
+// probabilistic behaviour of the network (message loss probability and
+// delay moments) and a QoS requirement, compute a heartbeat interval Δt
+// and safety margin α that satisfy the requirement — or report that none
+// can. SFD makes this tuning automatic and continuous; the static
+// procedure remains useful for initial provisioning (choosing Δt and
+// SM₁), and the repository's benchmarks use it as a non-adaptive
+// reference point.
+//
+// Derivation (one-sided Chebyshev / Cantelli, distribution-free):
+//
+//	worst-case detection time   TD ≈ Δt + E[D] + α      (crash right
+//	    after a send: the next freshness point is one interval plus the
+//	    expected delay plus the margin away)
+//	per-heartbeat false-suspicion probability
+//	    p_false ≤ p_L + (1 − p_L)·V[D] / (V[D] + α²)    (a heartbeat is
+//	    lost, or delayed more than α beyond its expectation)
+//	mistake rate                MR ≈ p_false / Δt
+//	query accuracy              QAP ≥ 1 − p_false·E[TM]/Δt, with the
+//	    mean mistake duration E[TM] ≈ Δt (a wrong suspicion ends at the
+//	    next arrival).
+//
+// Cantelli is deliberately conservative: it holds for any delay
+// distribution, which suits WAN tails that are far from normal.
+
+// NetworkStats is the probabilistic network model the configuration
+// consumes — measurable online from trace.Analyze or a Prober.
+type NetworkStats struct {
+	LossRate  float64        // p_L: fraction of heartbeats lost
+	DelayMean clock.Duration // E[D]: one-way delay expectation
+	DelayStd  clock.Duration // sqrt(V[D])
+}
+
+// Requirements is the QoS the application demands, in Chen et al.'s
+// terms: an upper bound on detection time, an upper bound on mistake
+// rate, and a lower bound on query accuracy probability.
+type Requirements struct {
+	MaxTD  clock.Duration
+	MaxMR  float64 // mistakes per second
+	MinQAP float64 // in [0,1]
+}
+
+// Configuration is the computed operating point.
+type Configuration struct {
+	Interval clock.Duration // heartbeat interval Δt
+	Alpha    clock.Duration // safety margin α (Chen) / initial SM₁ (SFD)
+	// Predicted QoS at this operating point under the model.
+	PredictedTD  clock.Duration
+	PredictedMR  float64
+	PredictedQAP float64
+}
+
+// ErrInfeasible reports that no (Δt, α) pair satisfies the requirements
+// on the given network — the static analogue of SFD's "can not satisfy"
+// response.
+var ErrInfeasible = errors.New("detector: QoS requirements infeasible on this network")
+
+// Configure computes a heartbeat interval and safety margin meeting the
+// requirements, or ErrInfeasible. It searches candidate intervals from
+// aggressive to relaxed and, for each, derives the smallest margin whose
+// Cantelli bound meets the accuracy requirements, keeping the first
+// candidate whose predicted detection time also fits. Preferring larger
+// Δt (scanned descending) minimizes network load, mirroring Chen's
+// "largest sending interval" objective.
+func Configure(net NetworkStats, req Requirements) (Configuration, error) {
+	if req.MaxTD <= 0 || req.MinQAP < 0 || req.MinQAP > 1 {
+		return Configuration{}, errors.New("detector: invalid requirements")
+	}
+	if net.LossRate < 0 || net.LossRate >= 1 {
+		return Configuration{}, errors.New("detector: invalid loss rate")
+	}
+
+	// Loss alone lower-bounds the per-heartbeat false-suspicion
+	// probability; if even p_L violates the accuracy targets at every
+	// interval, nothing helps.
+	variance := float64(net.DelayStd) * float64(net.DelayStd)
+
+	// Candidate intervals: log-spaced, from MaxTD down to MaxTD/1000.
+	const steps = 200
+	for i := 0; i < steps; i++ {
+		frac := math.Pow(1000, -float64(i)/(steps-1)) // 1 → 1/1000
+		dt := clock.Duration(float64(req.MaxTD) * frac)
+		if dt <= 0 {
+			continue
+		}
+		// Largest margin the TD budget allows at this interval.
+		alphaMax := req.MaxTD - dt - net.DelayMean
+		if alphaMax < 0 {
+			continue
+		}
+		// Smallest margin meeting the accuracy targets.
+		alpha, ok := minMargin(net.LossRate, variance, dt, req)
+		if !ok || alpha > float64(alphaMax) {
+			continue
+		}
+		cfg := Configuration{Interval: dt, Alpha: clock.Duration(alpha)}
+		cfg.PredictedTD = dt + net.DelayMean + cfg.Alpha
+		pFalse := falseProb(net.LossRate, variance, alpha)
+		cfg.PredictedMR = pFalse / dt.Seconds()
+		cfg.PredictedQAP = 1 - pFalse
+		return cfg, nil
+	}
+	return Configuration{}, ErrInfeasible
+}
+
+// falseProb is the Cantelli-bounded per-heartbeat false-suspicion
+// probability at margin alpha (ns).
+func falseProb(pL, variance, alpha float64) float64 {
+	tail := 1.0
+	if alpha > 0 {
+		tail = variance / (variance + alpha*alpha)
+	} else if variance == 0 {
+		tail = 0
+	}
+	return pL + (1-pL)*tail
+}
+
+// minMargin returns the smallest alpha (ns) such that both the MR and
+// QAP requirements hold at interval dt; ok=false when even alpha→∞
+// (tail→0, p_false→p_L) cannot satisfy them.
+func minMargin(pL, variance float64, dt clock.Duration, req Requirements) (float64, bool) {
+	// Required per-heartbeat false probability.
+	pMR := math.Inf(1)
+	if req.MaxMR >= 0 {
+		pMR = req.MaxMR * dt.Seconds()
+	}
+	// QAP ≈ 1 − p_false (mistake duration ≈ one interval).
+	pQAP := 1 - req.MinQAP
+	pReq := math.Min(pMR, pQAP)
+	if pReq >= 1 {
+		return 0, true // no accuracy requirement at all
+	}
+	if pL >= pReq {
+		return 0, false // loss alone already violates the budget
+	}
+	// Solve pL + (1−pL)·V/(V+α²) ≤ pReq for α.
+	if variance == 0 {
+		return 0, true
+	}
+	budget := (pReq - pL) / (1 - pL)
+	if budget <= 0 {
+		return 0, false
+	}
+	if budget >= 1 {
+		return 0, true
+	}
+	// V/(V+α²) = budget  ⇒  α = sqrt(V·(1−budget)/budget).
+	alpha := math.Sqrt(variance * (1 - budget) / budget)
+	return alpha, true
+}

@@ -1,0 +1,153 @@
+package detector
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+)
+
+func wanStats() NetworkStats {
+	return NetworkStats{
+		LossRate:  0.004,
+		DelayMean: 140 * clock.Millisecond,
+		DelayStd:  15 * clock.Millisecond,
+	}
+}
+
+func TestConfigureFeasible(t *testing.T) {
+	cfg, err := Configure(wanStats(), Requirements{
+		MaxTD: clock.Second, MaxMR: 0.5, MinQAP: 0.99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Interval <= 0 || cfg.Alpha < 0 {
+		t.Fatalf("bad configuration %+v", cfg)
+	}
+	if cfg.PredictedTD > clock.Second {
+		t.Fatalf("predicted TD %v exceeds requirement", cfg.PredictedTD)
+	}
+	if cfg.PredictedMR > 0.5 {
+		t.Fatalf("predicted MR %v exceeds requirement", cfg.PredictedMR)
+	}
+	if cfg.PredictedQAP < 0.99 {
+		t.Fatalf("predicted QAP %v below requirement", cfg.PredictedQAP)
+	}
+}
+
+func TestConfigurePrefersLargeInterval(t *testing.T) {
+	// With loose accuracy demands, the procedure should pick an interval
+	// near the TD budget (minimal network load), not a tiny one.
+	cfg, err := Configure(NetworkStats{DelayMean: clock.Millisecond, DelayStd: clock.Millisecond},
+		Requirements{MaxTD: clock.Second, MaxMR: 100, MinQAP: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Interval < 500*clock.Millisecond {
+		t.Fatalf("interval %v needlessly aggressive", cfg.Interval)
+	}
+}
+
+func TestConfigureInfeasibleByLoss(t *testing.T) {
+	// 10% loss: any heartbeat miss is a mistake; demanding QAP ≥ 99.99%
+	// cannot be met no matter the margin.
+	_, err := Configure(NetworkStats{LossRate: 0.1, DelayMean: clock.Millisecond, DelayStd: clock.Millisecond},
+		Requirements{MaxTD: clock.Second, MaxMR: 1000, MinQAP: 0.9999})
+	if err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestConfigureInfeasibleByDelay(t *testing.T) {
+	// Delay mean alone exceeds the TD budget.
+	_, err := Configure(NetworkStats{DelayMean: 2 * clock.Second, DelayStd: clock.Millisecond},
+		Requirements{MaxTD: clock.Second, MaxMR: 1000, MinQAP: 0})
+	if err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestConfigureTightAccuracyNeedsLargerMargin(t *testing.T) {
+	// Note: with 0.4% loss the QAP budget must stay above p_L = 0.004,
+	// so 0.99 is tight-but-feasible while 0.999 would be infeasible.
+	loose, err1 := Configure(wanStats(), Requirements{MaxTD: clock.Second, MaxMR: 1, MinQAP: 0.95})
+	tight, err2 := Configure(wanStats(), Requirements{MaxTD: clock.Second, MaxMR: 0.02, MinQAP: 0.99})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	if tight.Alpha <= loose.Alpha {
+		t.Fatalf("tight accuracy margin %v not larger than loose %v", tight.Alpha, loose.Alpha)
+	}
+}
+
+func TestConfigureInvalidInputs(t *testing.T) {
+	if _, err := Configure(wanStats(), Requirements{MaxTD: 0}); err == nil {
+		t.Fatal("zero MaxTD accepted")
+	}
+	if _, err := Configure(wanStats(), Requirements{MaxTD: clock.Second, MinQAP: 1.5}); err == nil {
+		t.Fatal("QAP > 1 accepted")
+	}
+	if _, err := Configure(NetworkStats{LossRate: 1}, Requirements{MaxTD: clock.Second}); err == nil {
+		t.Fatal("loss rate 1 accepted")
+	}
+	if _, err := Configure(NetworkStats{LossRate: -0.1}, Requirements{MaxTD: clock.Second}); err == nil {
+		t.Fatal("negative loss accepted")
+	}
+}
+
+func TestConfigureZeroVariance(t *testing.T) {
+	// Deterministic delays: zero margin suffices for accuracy.
+	cfg, err := Configure(NetworkStats{DelayMean: 10 * clock.Millisecond, DelayStd: 0},
+		Requirements{MaxTD: clock.Second, MaxMR: 0.001, MinQAP: 0.9999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Alpha != 0 {
+		t.Fatalf("alpha = %v on a deterministic network, want 0", cfg.Alpha)
+	}
+}
+
+func TestConfigurePredictionsSatisfyRequirementsProperty(t *testing.T) {
+	// Property: whenever Configure succeeds, its own predictions satisfy
+	// the requirements it was given.
+	f := func(lossRaw, stdRaw, tdRaw uint8, mrRaw, qapRaw uint8) bool {
+		net := NetworkStats{
+			LossRate:  float64(lossRaw%50) / 1000,                           // 0–4.9%
+			DelayMean: clock.Duration(10+int(stdRaw)) * clock.Millisecond,   // 10–265ms
+			DelayStd:  clock.Duration(1+int(stdRaw)%40) * clock.Millisecond, // 1–40ms
+		}
+		req := Requirements{
+			MaxTD:  clock.Duration(200+int(tdRaw)*10) * clock.Millisecond, // 0.2–2.75s
+			MaxMR:  0.01 + float64(mrRaw)/50,                              // 0.01–5.1
+			MinQAP: 0.5 + float64(qapRaw%50)/100,                          // 0.5–0.99
+		}
+		cfg, err := Configure(net, req)
+		if err != nil {
+			return true // infeasible is a legal answer
+		}
+		return cfg.PredictedTD <= req.MaxTD &&
+			cfg.PredictedMR <= req.MaxMR+1e-12 &&
+			cfg.PredictedQAP >= req.MinQAP-1e-12 &&
+			cfg.Interval > 0 && cfg.Alpha >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalseProbMonotoneInAlpha(t *testing.T) {
+	variance := math.Pow(15e6, 2) // (15ms in ns)²
+	prev := 2.0
+	for a := 0.0; a < 1e9; a += 5e7 {
+		p := falseProb(0.01, variance, a)
+		if p > prev {
+			t.Fatalf("falseProb increased at α=%v", a)
+		}
+		prev = p
+	}
+	if falseProb(0.01, variance, 1e12) < 0.01-1e-15 {
+		t.Fatal("false prob dropped below loss floor")
+	}
+}

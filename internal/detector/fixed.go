@@ -1,0 +1,72 @@
+package detector
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// Fixed is the naive non-adaptive baseline: a constant timeout after the
+// last heartbeat arrival. It is the "conventional implementation" the
+// paper's §II-B discusses (fixed freshness point spacing) — too short a
+// timeout yields a high wrong-suspicion rate, too long a timeout inflates
+// detection time, and nothing adapts in between. It exists so benches can
+// show what the adaptive schemes buy.
+type Fixed struct {
+	timeout  clock.Duration
+	last     clock.Time
+	haveLast bool
+	count    int
+	warmup   int
+}
+
+// NewFixed returns a fixed-timeout detector. warmup is the number of
+// arrivals before Ready reports true (for parity with the windowed
+// schemes in replay comparisons).
+func NewFixed(timeout clock.Duration, warmup int) *Fixed {
+	if timeout <= 0 {
+		timeout = clock.Second
+	}
+	return &Fixed{timeout: timeout, warmup: warmup}
+}
+
+// Observe implements Detector.
+func (f *Fixed) Observe(seq uint64, send, recv clock.Time) {
+	f.last, f.haveLast = recv, true
+	f.count++
+}
+
+// FreshnessPoint implements Detector.
+func (f *Fixed) FreshnessPoint() clock.Time {
+	if !f.haveLast {
+		return 0
+	}
+	return f.last.Add(f.timeout)
+}
+
+// Suspect implements Detector.
+func (f *Fixed) Suspect(now clock.Time) bool {
+	return f.haveLast && now.After(f.FreshnessPoint())
+}
+
+// Ready implements Detector.
+func (f *Fixed) Ready() bool { return f.count >= f.warmup }
+
+// Timeout returns the configured timeout.
+func (f *Fixed) Timeout() clock.Duration { return f.timeout }
+
+// SetTimeout changes the timeout (hook for core.SelfTuner).
+func (f *Fixed) SetTimeout(d clock.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.timeout = d
+}
+
+// Name implements Detector.
+func (f *Fixed) Name() string { return fmt.Sprintf("Fixed(τ=%v)", f.timeout) }
+
+// Reset implements Detector.
+func (f *Fixed) Reset() {
+	f.last, f.haveLast, f.count = 0, false, 0
+}

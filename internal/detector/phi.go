@@ -1,0 +1,113 @@
+package detector
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+// PhiMaxThreshold is the largest Φ the paper's sweep reaches
+// ("For φ FD, the parameters are set the same as in [30-31]:
+// Φ ∈ [0.5, 16]") — beyond it the original implementation's rounding
+// errors "prevent to compute points in the conservative range".
+const PhiMaxThreshold = 16.0
+
+// Phi implements the φ accrual failure detector (§III, Eq. 9–10): it
+// maintains a sliding window of heartbeat inter-arrival times, fits a
+// normal distribution N(μ, σ²), and reports the suspicion level
+// φ(t_now) = −log10(P_later(t_now − T_last)). An application-supplied
+// threshold Φ converts the accrual output into a binary suspicion and an
+// effective freshness point.
+type Phi struct {
+	threshold float64
+	ia        *window.Samples // inter-arrival times (ns)
+	minSigma  float64         // variance floor (ns)
+	last      clock.Time
+	haveLast  bool
+}
+
+// NewPhi returns a φ FD with the given window size and threshold Φ.
+// minSigma guards the normal fit against zero variance during warm-up
+// (the reference implementation uses a similar floor); pass 0 for the
+// default of 10 µs.
+func NewPhi(ws int, threshold float64, minSigma clock.Duration) *Phi {
+	if ws <= 0 {
+		ws = DefaultWindowSize
+	}
+	if threshold <= 0 {
+		threshold = 1
+	}
+	if minSigma <= 0 {
+		minSigma = 10 * clock.Microsecond
+	}
+	return &Phi{threshold: threshold, ia: window.NewSamples(ws), minSigma: float64(minSigma)}
+}
+
+// Observe implements Detector.
+func (p *Phi) Observe(seq uint64, send, recv clock.Time) {
+	if p.haveLast {
+		iv := float64(recv.Sub(p.last))
+		if iv > 0 {
+			p.ia.Push(iv)
+		}
+	}
+	p.last, p.haveLast = recv, true
+}
+
+// mu and sigma return the fitted distribution parameters in ns.
+func (p *Phi) dist() (mu, sigma float64, ok bool) {
+	if p.ia.Len() < 2 {
+		return 0, 0, false
+	}
+	mu = p.ia.Mean()
+	sigma = p.ia.StdDev()
+	if sigma < p.minSigma {
+		sigma = p.minSigma
+	}
+	return mu, sigma, true
+}
+
+// SuspicionLevel implements Accrual: the current φ value at instant now.
+func (p *Phi) SuspicionLevel(now clock.Time) float64 {
+	mu, sigma, ok := p.dist()
+	if !ok || !p.haveLast {
+		return 0
+	}
+	elapsed := float64(now.Sub(p.last))
+	return stats.Phi(elapsed, mu, sigma)
+}
+
+// FreshnessPoint implements Detector: the absolute instant at which φ
+// crosses the configured threshold, T_last + PhiInverse(Φ, μ, σ).
+func (p *Phi) FreshnessPoint() clock.Time {
+	mu, sigma, ok := p.dist()
+	if !ok || !p.haveLast {
+		return 0
+	}
+	return p.last.Add(clock.Duration(stats.PhiInverse(p.threshold, mu, sigma)))
+}
+
+// Suspect implements Detector.
+func (p *Phi) Suspect(now clock.Time) bool {
+	if !p.haveLast || p.ia.Len() < 2 {
+		return false
+	}
+	return p.SuspicionLevel(now) > p.threshold
+}
+
+// Ready implements Detector.
+func (p *Phi) Ready() bool { return p.ia.Full() }
+
+// Name implements Detector.
+func (p *Phi) Name() string { return fmt.Sprintf("φ(Φ=%g)", p.threshold) }
+
+// Threshold returns the configured Φ.
+func (p *Phi) Threshold() float64 { return p.threshold }
+
+// Reset implements Detector.
+func (p *Phi) Reset() {
+	p.ia.Reset()
+	p.last, p.haveLast = 0, false
+}

@@ -1,0 +1,102 @@
+package detector
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/clock"
+	"repro/internal/window"
+)
+
+// PhiExp is the exponential-tail variant of the φ accrual detector: it
+// models heartbeat inter-arrival times as exponential with the window
+// mean, so the suspicion level has the closed form
+//
+//	φ(t) = −log10(P_later(t)) = −log10(e^{−t/μ}) = t / (μ·ln 10).
+//
+// This is the simplification popularized by Cassandra's accrual detector
+// (its CASSANDRA-2597 change replaced the normal tail with an
+// exponential one). Compared to the normal-model φ it is cheaper (no
+// variance term), heavier-tailed (more conservative for the same Φ on
+// regular traffic), and immune to the zero-variance degeneracy. It joins
+// the extended comparison benchmark.
+type PhiExp struct {
+	threshold float64
+	ia        *window.Samples
+	last      clock.Time
+	haveLast  bool
+}
+
+// NewPhiExp returns an exponential accrual FD with the given window size
+// and threshold Φ.
+func NewPhiExp(ws int, threshold float64) *PhiExp {
+	if ws <= 0 {
+		ws = DefaultWindowSize
+	}
+	if threshold <= 0 {
+		threshold = 1
+	}
+	return &PhiExp{threshold: threshold, ia: window.NewSamples(ws)}
+}
+
+// Observe implements Detector.
+func (p *PhiExp) Observe(seq uint64, send, recv clock.Time) {
+	if p.haveLast {
+		iv := float64(recv.Sub(p.last))
+		if iv > 0 {
+			p.ia.Push(iv)
+		}
+	}
+	p.last, p.haveLast = recv, true
+}
+
+// SuspicionLevel implements Accrual.
+func (p *PhiExp) SuspicionLevel(now clock.Time) float64 {
+	if !p.haveLast || p.ia.Len() < 1 {
+		return 0
+	}
+	mu := p.ia.Mean()
+	if mu <= 0 {
+		return 0
+	}
+	elapsed := float64(now.Sub(p.last))
+	if elapsed <= 0 {
+		return 0
+	}
+	return elapsed / (mu * math.Ln10)
+}
+
+// FreshnessPoint implements Detector: φ(t) = Φ at t = Φ·μ·ln 10.
+func (p *PhiExp) FreshnessPoint() clock.Time {
+	if !p.haveLast || p.ia.Len() < 1 {
+		return 0
+	}
+	mu := p.ia.Mean()
+	if mu <= 0 {
+		return 0
+	}
+	return p.last.Add(clock.Duration(p.threshold * mu * math.Ln10))
+}
+
+// Suspect implements Detector.
+func (p *PhiExp) Suspect(now clock.Time) bool {
+	if !p.haveLast || p.ia.Len() < 1 {
+		return false
+	}
+	return p.SuspicionLevel(now) > p.threshold
+}
+
+// Ready implements Detector.
+func (p *PhiExp) Ready() bool { return p.ia.Full() }
+
+// Name implements Detector.
+func (p *PhiExp) Name() string { return fmt.Sprintf("φ-exp(Φ=%g)", p.threshold) }
+
+// Threshold returns the configured Φ.
+func (p *PhiExp) Threshold() float64 { return p.threshold }
+
+// Reset implements Detector.
+func (p *PhiExp) Reset() {
+	p.ia.Reset()
+	p.last, p.haveLast = 0, false
+}

@@ -1,0 +1,103 @@
+package detector
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+)
+
+// RTO is a TCP-retransmission-timeout-style failure detector: the
+// freshness point is the last arrival plus Jacobson/Karels' classic
+// estimate over *inter-arrival* times,
+//
+//	timeout = srtt + k·rttvar
+//
+// with srtt/rttvar the EWMA mean and mean-deviation of the heartbeat
+// inter-arrival series (gains 1/8 and 1/4, k = 4, as in RFC 6298).
+//
+// It differs from Bertier FD in what it smooths: Bertier applies the
+// Jacobson machinery to the *error of Chen's arrival estimator*, keeping
+// the windowed EA; RTO applies it directly to inter-arrivals and keeps no
+// window at all. It is the cheapest adaptive baseline (O(1) memory) and
+// appears in the extended comparison benchmark.
+type RTO struct {
+	k      float64
+	srtt   *stats.EWMA
+	rttvar *stats.EWMA
+	last   clock.Time
+	have   bool
+	count  int
+	warmup int
+}
+
+// NewRTO returns an RTO detector. k ≤ 0 defaults to 4; warmup is the
+// arrivals needed before Ready (for replay parity; default 2).
+func NewRTO(k float64, warmup int) *RTO {
+	if k <= 0 {
+		k = 4
+	}
+	if warmup < 2 {
+		warmup = 2
+	}
+	return &RTO{
+		k:      k,
+		srtt:   stats.NewEWMA(1.0 / 8),
+		rttvar: stats.NewEWMA(1.0 / 4),
+		warmup: warmup,
+	}
+}
+
+// Observe implements Detector.
+func (r *RTO) Observe(seq uint64, send, recv clock.Time) {
+	if r.have {
+		ia := float64(recv.Sub(r.last))
+		if ia > 0 {
+			if !r.srtt.Initialized() {
+				r.srtt.Set(ia)
+				r.rttvar.Set(ia / 2)
+			} else {
+				r.rttvar.Add(math.Abs(ia - r.srtt.Value()))
+				r.srtt.Add(ia)
+			}
+		}
+	}
+	r.last, r.have = recv, true
+	r.count++
+}
+
+// timeout returns the current adaptive timeout (0 before two arrivals).
+func (r *RTO) timeout() clock.Duration {
+	if !r.srtt.Initialized() {
+		return 0
+	}
+	return clock.Duration(r.srtt.Value() + r.k*r.rttvar.Value())
+}
+
+// FreshnessPoint implements Detector.
+func (r *RTO) FreshnessPoint() clock.Time {
+	if !r.have || !r.srtt.Initialized() {
+		return 0
+	}
+	return r.last.Add(r.timeout())
+}
+
+// Suspect implements Detector.
+func (r *RTO) Suspect(now clock.Time) bool {
+	fp := r.FreshnessPoint()
+	return fp != 0 && now.After(fp)
+}
+
+// Ready implements Detector.
+func (r *RTO) Ready() bool { return r.count >= r.warmup }
+
+// Name implements Detector.
+func (r *RTO) Name() string { return fmt.Sprintf("RTO(k=%g)", r.k) }
+
+// Reset implements Detector.
+func (r *RTO) Reset() {
+	r.srtt = stats.NewEWMA(1.0 / 8)
+	r.rttvar = stats.NewEWMA(1.0 / 4)
+	r.last, r.have, r.count = 0, false, 0
+}

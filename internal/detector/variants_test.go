@@ -1,0 +1,171 @@
+package detector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestRTOBasics(t *testing.T) {
+	r := NewRTO(0, 0) // defaults: k=4, warmup=2
+	if r.k != 4 || r.warmup != 2 {
+		t.Fatalf("defaults wrong: %+v", r)
+	}
+	if r.FreshnessPoint() != 0 || r.Suspect(clock.Time(clock.Second)) {
+		t.Fatal("fresh RTO should not suspect")
+	}
+	last := feedRegular(r, 50, 100*msD, 0)
+	if !r.Ready() {
+		t.Fatal("not ready")
+	}
+	fp := r.FreshnessPoint()
+	if !fp.After(last) {
+		t.Fatalf("FP %v not after last %v", fp, last)
+	}
+	// Perfectly regular arrivals: srtt = 100ms, rttvar → 0, so the
+	// timeout converges toward ~1 interval.
+	if fp.Sub(last) > 250*msD {
+		t.Fatalf("timeout %v too conservative on a regular stream", fp.Sub(last))
+	}
+	if !r.Suspect(fp + 1) {
+		t.Fatal("not suspected after FP")
+	}
+	r.Reset()
+	if r.Ready() || r.FreshnessPoint() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestRTOAdaptsToJitter(t *testing.T) {
+	calm := NewRTO(4, 2)
+	jittery := NewRTO(4, 2)
+	feedRegular(calm, 100, 100*msD, 0)
+	rng := rand.New(rand.NewSource(5))
+	var send, last clock.Time
+	for i := 0; i < 100; i++ {
+		recv := send.Add(clock.Duration(rng.Intn(int(60 * msD))))
+		if recv <= last {
+			recv = last + 1
+		}
+		jittery.Observe(uint64(i), send, recv)
+		last = recv
+		send = send.Add(100 * msD)
+	}
+	if jittery.timeout() <= calm.timeout() {
+		t.Fatalf("jittery timeout %v not above calm %v", jittery.timeout(), calm.timeout())
+	}
+}
+
+func TestRTOLargerKMoreConservative(t *testing.T) {
+	k2 := NewRTO(2, 2)
+	k8 := NewRTO(8, 2)
+	rng := rand.New(rand.NewSource(6))
+	var send, last clock.Time
+	for i := 0; i < 200; i++ {
+		recv := send.Add(clock.Duration(rng.Intn(int(20 * msD))))
+		if recv <= last {
+			recv = last + 1
+		}
+		k2.Observe(uint64(i), send, recv)
+		k8.Observe(uint64(i), send, recv)
+		last = recv
+		send = send.Add(100 * msD)
+	}
+	if k8.FreshnessPoint() <= k2.FreshnessPoint() {
+		t.Fatal("larger k not more conservative")
+	}
+}
+
+func TestPhiExpClosedForm(t *testing.T) {
+	p := NewPhiExp(50, 8)
+	last := feedRegular(p, 60, 100*msD, 0)
+	// μ = 100ms exactly, so φ(t) = t/(μ·ln10) and FP = last + 8·μ·ln10.
+	mu := float64(100 * msD)
+	wantFP := last.Add(clock.Duration(8 * mu * math.Ln10))
+	fp := p.FreshnessPoint()
+	if d := float64(fp - wantFP); math.Abs(d) > float64(msD) {
+		t.Fatalf("FP = %v, want %v", fp, wantFP)
+	}
+	lvl := p.SuspicionLevel(last.Add(clock.Duration(mu * math.Ln10)))
+	if math.Abs(lvl-1.0) > 1e-6 {
+		t.Fatalf("φ at μ·ln10 = %v, want 1", lvl)
+	}
+}
+
+func TestPhiExpMonotoneAndSafeties(t *testing.T) {
+	p := NewPhiExp(0, 0) // defaults
+	if p.ia.Cap() != DefaultWindowSize || p.Threshold() != 1 {
+		t.Fatal("defaults wrong")
+	}
+	if p.Suspect(clock.Time(clock.Second)) || p.FreshnessPoint() != 0 {
+		t.Fatal("fresh PhiExp should be silent")
+	}
+	last := feedRegular(p, 30, 100*msD, 0)
+	prev := -1.0
+	for dt := clock.Duration(0); dt < 3*clock.Second; dt += 50 * msD {
+		lvl := p.SuspicionLevel(last.Add(dt))
+		if lvl < prev {
+			t.Fatalf("φ-exp decreased at +%v", dt)
+		}
+		prev = lvl
+	}
+	if !p.Suspect(p.FreshnessPoint() + clock.Time(msD)) {
+		t.Fatal("not suspected after FP")
+	}
+	if p.Suspect(p.FreshnessPoint() - clock.Time(msD)) {
+		t.Fatal("suspected before FP")
+	}
+	p.Reset()
+	if p.FreshnessPoint() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestPhiExpMoreConservativeThanNormalPhiOnRegularTraffic(t *testing.T) {
+	// On low-variance traffic the exponential model's heavy tail yields a
+	// later freshness point than the normal model at equal Φ.
+	norm := NewPhi(50, 8, 0)
+	exp := NewPhiExp(50, 8)
+	rng := rand.New(rand.NewSource(7))
+	var send, last clock.Time
+	for i := 0; i < 100; i++ {
+		recv := send.Add(clock.Duration(rng.Intn(int(5 * msD))))
+		if recv <= last {
+			recv = last + 1
+		}
+		norm.Observe(uint64(i), send, recv)
+		exp.Observe(uint64(i), send, recv)
+		last = recv
+		send = send.Add(100 * msD)
+	}
+	if exp.FreshnessPoint() <= norm.FreshnessPoint() {
+		t.Fatalf("φ-exp FP %v not beyond φ FP %v on regular traffic",
+			exp.FreshnessPoint(), norm.FreshnessPoint())
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	if NewRTO(4, 2).Name() == "" || NewPhiExp(10, 2).Name() == "" {
+		t.Fatal("empty names")
+	}
+}
+
+func BenchmarkRTOObserve(b *testing.B) {
+	r := NewRTO(4, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := clock.Time(i) * clock.Time(100*msD)
+		r.Observe(uint64(i), t, t)
+	}
+}
+
+func BenchmarkPhiExpObserve(b *testing.B) {
+	p := NewPhiExp(1000, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := clock.Time(i) * clock.Time(100*msD)
+		p.Observe(uint64(i), t, t)
+	}
+}

@@ -1,0 +1,82 @@
+// Package heartbeat implements the paper's monitoring protocol (Fig. 2):
+// a Sender emits numbered, timestamped heartbeats every Δt over an
+// unreliable datagram endpoint; a Receiver decodes them, filters stale
+// deliveries, and feeds any failure detector. A Ping probe runs alongside
+// to estimate the round-trip time, mirroring the paper's "low-frequency
+// ping process ... a means to obtain a rough estimation of the round-trip
+// time, and also to make sure the network is connected" (§V).
+package heartbeat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// Kind discriminates wire messages.
+type Kind uint8
+
+const (
+	// KindHeartbeat is a periodic liveness message.
+	KindHeartbeat Kind = 1
+	// KindPing requests an echo (RTT probe).
+	KindPing Kind = 2
+	// KindPong answers a ping, echoing its timestamp.
+	KindPong Kind = 3
+)
+
+// wire format: magic(2) version(1) kind(1) seq(8) time(8) = 20 bytes.
+const (
+	msgSize    = 20
+	msgVersion = 1
+)
+
+var msgMagic = [2]byte{'H', 'B'}
+
+// ErrBadMessage reports an undecodable datagram.
+var ErrBadMessage = errors.New("heartbeat: bad message")
+
+// Message is a decoded wire message.
+type Message struct {
+	Kind Kind
+	Seq  uint64
+	// Time is the sender's clock at send for heartbeats and pings; pongs
+	// echo the ping's timestamp so the prober can compute RTT from its
+	// own clock alone.
+	Time clock.Time
+}
+
+// Marshal encodes the message into a fresh 20-byte buffer.
+func (m Message) Marshal() []byte {
+	buf := make([]byte, msgSize)
+	buf[0], buf[1] = msgMagic[0], msgMagic[1]
+	buf[2] = msgVersion
+	buf[3] = byte(m.Kind)
+	binary.BigEndian.PutUint64(buf[4:], m.Seq)
+	binary.BigEndian.PutUint64(buf[12:], uint64(m.Time))
+	return buf
+}
+
+// Unmarshal decodes a datagram.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) != msgSize {
+		return Message{}, fmt.Errorf("%w: length %d", ErrBadMessage, len(b))
+	}
+	if b[0] != msgMagic[0] || b[1] != msgMagic[1] {
+		return Message{}, fmt.Errorf("%w: bad magic", ErrBadMessage)
+	}
+	if b[2] != msgVersion {
+		return Message{}, fmt.Errorf("%w: version %d", ErrBadMessage, b[2])
+	}
+	k := Kind(b[3])
+	if k != KindHeartbeat && k != KindPing && k != KindPong {
+		return Message{}, fmt.Errorf("%w: kind %d", ErrBadMessage, b[3])
+	}
+	return Message{
+		Kind: k,
+		Seq:  binary.BigEndian.Uint64(b[4:]),
+		Time: clock.Time(binary.BigEndian.Uint64(b[12:])),
+	}, nil
+}

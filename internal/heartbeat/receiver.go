@@ -1,0 +1,208 @@
+package heartbeat
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Arrival is one decoded heartbeat delivery.
+type Arrival struct {
+	From string
+	Seq  uint64
+	Send clock.Time // sender clock (from the payload)
+	Recv clock.Time // receiver clock (local arrival)
+}
+
+// Handler consumes arrivals; it is invoked from the receiver goroutine,
+// so it must be fast or hand off.
+type Handler func(Arrival)
+
+// Receiver drains an endpoint, decodes heartbeats, filters stale
+// (out-of-order or duplicate) deliveries per sender, answers pings, and
+// feeds arrivals to the handler — the paper's monitoring process q.
+type Receiver struct {
+	ep      transport.Endpoint
+	clk     clock.Clock
+	handler Handler
+
+	mu       sync.Mutex
+	lastSeq  map[string]uint64
+	received uint64
+	stale    uint64
+
+	done chan struct{}
+}
+
+// NewReceiver wraps the endpoint. The handler may be nil (pings are still
+// answered, counters still maintained).
+func NewReceiver(ep transport.Endpoint, clk clock.Clock, h Handler) *Receiver {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	return &Receiver{
+		ep: ep, clk: clk, handler: h,
+		lastSeq: make(map[string]uint64),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the receive loop; it exits when the endpoint closes.
+func (r *Receiver) Start() {
+	go func() {
+		defer close(r.done)
+		for in := range r.ep.Recv() {
+			r.handle(in)
+		}
+	}()
+}
+
+func (r *Receiver) handle(in transport.Inbound) {
+	msg, err := Unmarshal(in.Payload)
+	if err != nil {
+		return // foreign datagram: ignore
+	}
+	switch msg.Kind {
+	case KindPing:
+		pong := Message{Kind: KindPong, Seq: msg.Seq, Time: msg.Time}
+		_ = r.ep.Send(in.From, pong.Marshal())
+	case KindHeartbeat:
+		recv := r.clk.Now()
+		r.mu.Lock()
+		last, seen := r.lastSeq[in.From]
+		if seen && msg.Seq <= last {
+			r.stale++
+			r.mu.Unlock()
+			return // duplicate or reordered: the detector needs increasing seq
+		}
+		r.lastSeq[in.From] = msg.Seq
+		r.received++
+		h := r.handler
+		r.mu.Unlock()
+		if h != nil {
+			h(Arrival{From: in.From, Seq: msg.Seq, Send: msg.Time, Recv: recv})
+		}
+	case KindPong:
+		// Pongs are consumed by Prober instances sharing the endpoint;
+		// a bare Receiver ignores them.
+	}
+}
+
+// Wait blocks until the receive loop exits (endpoint closed).
+func (r *Receiver) Wait() { <-r.done }
+
+// Counters returns the number of accepted and stale heartbeats.
+func (r *Receiver) Counters() (received, stale uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.received, r.stale
+}
+
+// Prober measures RTT with ping/pong exchanges over its own endpoint —
+// the paper's parallel low-frequency ping process.
+type Prober struct {
+	ep  transport.Endpoint
+	to  string
+	clk clock.Clock
+
+	mu       sync.Mutex
+	rtt      *stats.EWMA
+	rttStats stats.Welford
+	nextSeq  uint64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewProber probes `to` through ep. Gain 0.2 smooths the RTT estimate.
+func NewProber(ep transport.Endpoint, to string, clk clock.Clock) *Prober {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	return &Prober{
+		ep: ep, to: to, clk: clk,
+		rtt:  stats.NewEWMA(0.2),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Start sends a ping every interval and consumes pongs until Stop or
+// endpoint close.
+func (p *Prober) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(p.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		p.sendPing()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-ticker.C:
+				p.sendPing()
+			case in, ok := <-p.ep.Recv():
+				if !ok {
+					return
+				}
+				p.consume(in)
+			}
+		}
+	}()
+}
+
+func (p *Prober) sendPing() {
+	p.mu.Lock()
+	seq := p.nextSeq
+	p.nextSeq++
+	p.mu.Unlock()
+	msg := Message{Kind: KindPing, Seq: seq, Time: p.clk.Now()}
+	_ = p.ep.Send(p.to, msg.Marshal())
+}
+
+func (p *Prober) consume(in transport.Inbound) {
+	msg, err := Unmarshal(in.Payload)
+	if err != nil || msg.Kind != KindPong {
+		return
+	}
+	rtt := p.clk.Now().Sub(msg.Time)
+	if rtt < 0 {
+		return
+	}
+	p.mu.Lock()
+	p.rtt.Add(float64(rtt))
+	p.rttStats.Add(float64(rtt))
+	p.mu.Unlock()
+}
+
+// RTT returns the smoothed round-trip estimate; ok is false before the
+// first pong.
+func (p *Prober) RTT() (clock.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.rtt.Initialized() {
+		return 0, false
+	}
+	return clock.Duration(p.rtt.Value()), true
+}
+
+// Samples returns how many pongs have been received — nonzero proves the
+// network is connected, the probe's second purpose in the paper.
+func (p *Prober) Samples() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rttStats.N()
+}
+
+// Stop terminates the probe loop.
+func (p *Prober) Stop() {
+	p.once.Do(func() { close(p.stop) })
+	<-p.done
+}

@@ -1,0 +1,91 @@
+package heartbeat
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/transport"
+)
+
+// Sender periodically emits heartbeats to one destination — the paper's
+// process p ("p may periodically send a message to q, perform local
+// computation, or is subject to crash", §II-B).
+type Sender struct {
+	ep       transport.Endpoint
+	to       string
+	interval time.Duration
+	clk      clock.Clock
+
+	seq     uint64 // next sequence number (atomic)
+	crashed atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewSender builds a sender emitting a heartbeat to `to` every interval
+// on the given clock. Call Start to begin.
+func NewSender(ep transport.Endpoint, to string, interval time.Duration, clk clock.Clock) *Sender {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	return &Sender{
+		ep: ep, to: to, interval: interval, clk: clk,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+}
+
+// Start launches the heartbeat loop in its own goroutine. Also answers
+// nothing — senders only transmit; the Receiver handles pings.
+func (s *Sender) Start() {
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(s.interval)
+		defer ticker.Stop()
+		// Send the first heartbeat immediately so monitors see the
+		// process as soon as it starts.
+		s.emit()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				if s.crashed.Load() {
+					return
+				}
+				s.emit()
+			}
+		}
+	}()
+}
+
+func (s *Sender) emit() {
+	seq := atomic.AddUint64(&s.seq, 1) - 1
+	msg := Message{Kind: KindHeartbeat, Seq: seq, Time: s.clk.Now()}
+	_ = s.ep.Send(s.to, msg.Marshal()) // unreliable channel: best effort
+}
+
+// Crash simulates a process crash: heartbeats stop abruptly with no
+// farewell message, exactly like Fig. 2's fourth case ("after p sends out
+// the heartbeat m(i+1), p is crashed").
+func (s *Sender) Crash() {
+	s.crashed.Store(true)
+	s.Stop()
+}
+
+// Crashed reports whether Crash was called.
+func (s *Sender) Crashed() bool { return s.crashed.Load() }
+
+// Stop terminates the loop gracefully and waits for it to exit.
+func (s *Sender) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Sent returns the number of heartbeats emitted so far.
+func (s *Sender) Sent() uint64 { return atomic.LoadUint64(&s.seq) }

@@ -1,0 +1,176 @@
+package qos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// This file analyses relationships *between* QoS curves — who wins at a
+// given detection-time budget, and where two detectors' orderings flip.
+// The paper's §V warns that comparing parametric detectors at arbitrary
+// parameter values "almost always leads to the erroneous conclusion that
+// one is better for detection time while the other provides higher
+// accuracy"; the honest comparison is at equal TD, which is what these
+// helpers implement.
+
+// Anchor is the comparison of all curves at one detection-time budget.
+type Anchor struct {
+	TD       clock.Duration
+	BestMR   string  // detector with the lowest interpolated MR at TD
+	MR       float64 // that MR
+	BestQAP  string  // detector with the highest interpolated QAP at TD
+	QAP      float64
+	Eligible int // curves whose TD range covers the anchor
+}
+
+// interpMR linearly interpolates a curve's MR at the given TD; ok=false
+// when TD lies outside the curve's range. Points must be TD-sorted.
+func interpMR(c Curve, td clock.Duration) (float64, bool) {
+	return interpolate(c, td, func(r Result) float64 { return r.MR })
+}
+
+// interpQAP interpolates QAP at TD.
+func interpQAP(c Curve, td clock.Duration) (float64, bool) {
+	return interpolate(c, td, func(r Result) float64 { return r.QAP })
+}
+
+func interpolate(c Curve, td clock.Duration, f func(Result) float64) (float64, bool) {
+	pts := append([]Point(nil), c.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Result.TDAvg < pts[j].Result.TDAvg })
+	if len(pts) == 0 {
+		return 0, false
+	}
+	if td < pts[0].Result.TDAvg || td > pts[len(pts)-1].Result.TDAvg {
+		return 0, false
+	}
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1].Result, pts[i].Result
+		if td >= a.TDAvg && td <= b.TDAvg {
+			span := float64(b.TDAvg - a.TDAvg)
+			if span == 0 {
+				return f(a), true
+			}
+			frac := float64(td-a.TDAvg) / span
+			return f(a) + frac*(f(b)-f(a)), true
+		}
+	}
+	return f(pts[len(pts)-1].Result), true
+}
+
+// CompareAt evaluates every curve at the given anchors and reports the
+// winners. Single-point curves (Bertier) participate only at anchors
+// inside their degenerate range.
+func CompareAt(curves []Curve, anchors []clock.Duration) []Anchor {
+	out := make([]Anchor, 0, len(anchors))
+	for _, td := range anchors {
+		a := Anchor{TD: td}
+		bestMR, bestQAP := -1.0, -1.0
+		for _, c := range curves {
+			if mr, ok := interpMR(c, td); ok {
+				a.Eligible++
+				if bestMR < 0 || mr < bestMR {
+					bestMR, a.BestMR = mr, c.Detector
+					a.MR = mr
+				}
+				if qap, ok := interpQAP(c, td); ok {
+					if bestQAP < 0 || qap > bestQAP {
+						bestQAP, a.BestQAP = qap, c.Detector
+						a.QAP = qap
+					}
+				}
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Crossover finds the detection time at which curve a stops having lower
+// MR than curve b (or vice versa): the first sign change of
+// MR_a(TD) − MR_b(TD) over their overlapping range, located by bisection
+// on the interpolants. ok=false when the ordering never flips (no
+// crossover — one curve dominates the overlap).
+func Crossover(a, b Curve) (clock.Duration, bool) {
+	aMin, aMax := a.TDRange()
+	bMin, bMax := b.TDRange()
+	lo, hi := maxD(aMin, bMin), minD(aMax, bMax)
+	if lo >= hi {
+		return 0, false
+	}
+	diff := func(td clock.Duration) (float64, bool) {
+		ma, ok1 := interpMR(a, td)
+		mb, ok2 := interpMR(b, td)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		return ma - mb, true
+	}
+	dLo, ok := diff(lo)
+	if !ok {
+		return 0, false
+	}
+	// Scan for a sign change, then bisect.
+	const scanSteps = 64
+	step := (hi - lo) / scanSteps
+	if step <= 0 {
+		return 0, false
+	}
+	prevTD, prevD := lo, dLo
+	for td := lo + step; td <= hi; td += step {
+		d, ok := diff(td)
+		if !ok {
+			continue
+		}
+		if (prevD < 0) != (d < 0) && prevD != 0 {
+			l, r := prevTD, td
+			for i := 0; i < 40; i++ {
+				mid := (l + r) / 2
+				dm, ok := diff(mid)
+				if !ok {
+					break
+				}
+				if (dm < 0) == (prevD < 0) {
+					l = mid
+				} else {
+					r = mid
+				}
+			}
+			return (l + r) / 2, true
+		}
+		prevTD, prevD = td, d
+	}
+	return 0, false
+}
+
+// AnchorTable renders CompareAt results.
+func AnchorTable(anchors []Anchor) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s  %-14s %-14s  %-14s %-12s %s\n",
+		"TD[s]", "best MR", "value", "best QAP", "value", "eligible")
+	for _, a := range anchors {
+		if a.Eligible == 0 {
+			fmt.Fprintf(&b, "%10.3f  %-14s\n", a.TD.Seconds(), "(no curve)")
+			continue
+		}
+		fmt.Fprintf(&b, "%10.3f  %-14s %-14.4g  %-14s %-12.5f %d\n",
+			a.TD.Seconds(), a.BestMR, a.MR, a.BestQAP, a.QAP*100, a.Eligible)
+	}
+	return b.String()
+}
+
+func maxD(a, b clock.Duration) clock.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minD(a, b clock.Duration) clock.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

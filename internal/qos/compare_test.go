@@ -1,0 +1,132 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/detector"
+)
+
+// small aliases keeping the real-sweep test readable
+type detectorIface = detector.Detector
+
+func newChenMS(alphaMS float64) detector.Detector {
+	return detector.NewChen(500, 0, clock.Duration(alphaMS*float64(clock.Millisecond)))
+}
+
+func newPhiThresh(p float64) detector.Detector {
+	return detector.NewPhi(500, p, 0)
+}
+
+func mkCurve(name string, pts ...[3]float64) Curve {
+	// each pt: TD seconds, MR, QAP
+	c := Curve{Detector: name}
+	for i, p := range pts {
+		c.Points = append(c.Points, Point{
+			Param: float64(i),
+			Result: Result{
+				Detector: name,
+				TDAvg:    clock.FromSeconds(p[0]).Sub(0),
+				MR:       p[1],
+				QAP:      p[2],
+			},
+		})
+	}
+	return c
+}
+
+func TestInterpolation(t *testing.T) {
+	c := mkCurve("x", [3]float64{0.1, 1.0, 0.9}, [3]float64{0.3, 0.5, 0.95}, [3]float64{0.5, 0.1, 0.99})
+	mr, ok := interpMR(c, clock.FromSeconds(0.2).Sub(0))
+	if !ok || mr < 0.74 || mr > 0.76 {
+		t.Fatalf("interp MR at 0.2s = %v,%v, want 0.75", mr, ok)
+	}
+	qap, ok := interpQAP(c, clock.FromSeconds(0.4).Sub(0))
+	if !ok || qap < 0.969 || qap > 0.971 {
+		t.Fatalf("interp QAP at 0.4s = %v,%v, want 0.97", qap, ok)
+	}
+	if _, ok := interpMR(c, clock.FromSeconds(0.05).Sub(0)); ok {
+		t.Fatal("interpolated outside range")
+	}
+	if _, ok := interpMR(c, clock.FromSeconds(0.9).Sub(0)); ok {
+		t.Fatal("interpolated beyond range")
+	}
+	// Exact endpoints.
+	if mr, ok := interpMR(c, clock.FromSeconds(0.1).Sub(0)); !ok || mr != 1.0 {
+		t.Fatalf("endpoint interp = %v,%v", mr, ok)
+	}
+}
+
+func TestCompareAtPicksWinners(t *testing.T) {
+	fast := mkCurve("fast", [3]float64{0.1, 0.9, 0.90}, [3]float64{0.5, 0.5, 0.94})
+	slow := mkCurve("slow", [3]float64{0.2, 0.4, 0.97}, [3]float64{0.6, 0.01, 0.999})
+	anchors := CompareAt([]Curve{fast, slow},
+		[]clock.Duration{150 * clock.Millisecond, 300 * clock.Millisecond, clock.Second})
+	if anchors[0].BestMR != "fast" || anchors[0].Eligible != 1 {
+		t.Fatalf("anchor 0: %+v (only fast covers 0.15s)", anchors[0])
+	}
+	if anchors[1].BestMR != "slow" || anchors[1].Eligible != 2 {
+		t.Fatalf("anchor 1: %+v (slow has lower MR at 0.3s)", anchors[1])
+	}
+	if anchors[1].BestQAP != "slow" {
+		t.Fatalf("anchor 1 QAP winner: %+v", anchors[1])
+	}
+	if anchors[2].Eligible != 0 {
+		t.Fatalf("anchor 2 should be empty: %+v", anchors[2])
+	}
+	table := AnchorTable(anchors)
+	if !strings.Contains(table, "slow") || !strings.Contains(table, "(no curve)") {
+		t.Fatalf("bad table:\n%s", table)
+	}
+}
+
+func TestCrossoverFound(t *testing.T) {
+	// a starts below b, ends above: exactly one crossover around 0.3s.
+	a := mkCurve("a", [3]float64{0.1, 0.1, 0.9}, [3]float64{0.5, 0.5, 0.9})
+	b := mkCurve("b", [3]float64{0.1, 0.5, 0.9}, [3]float64{0.5, 0.1, 0.9})
+	td, ok := Crossover(a, b)
+	if !ok {
+		t.Fatal("crossover not found")
+	}
+	s := td.Seconds()
+	if s < 0.28 || s > 0.32 {
+		t.Fatalf("crossover at %.3fs, want ≈0.30", s)
+	}
+}
+
+func TestCrossoverAbsentWhenDominated(t *testing.T) {
+	a := mkCurve("a", [3]float64{0.1, 0.1, 0.9}, [3]float64{0.5, 0.05, 0.9})
+	b := mkCurve("b", [3]float64{0.1, 0.5, 0.9}, [3]float64{0.5, 0.4, 0.9})
+	if _, ok := Crossover(a, b); ok {
+		t.Fatal("phantom crossover between non-intersecting curves")
+	}
+}
+
+func TestCrossoverDisjointRanges(t *testing.T) {
+	a := mkCurve("a", [3]float64{0.1, 0.1, 0.9}, [3]float64{0.2, 0.05, 0.9})
+	b := mkCurve("b", [3]float64{0.5, 0.5, 0.9}, [3]float64{0.9, 0.4, 0.9})
+	if _, ok := Crossover(a, b); ok {
+		t.Fatal("crossover with no overlap")
+	}
+}
+
+func TestCompareOnRealSweep(t *testing.T) {
+	// Chen vs φ on the JP↔CH trace: the anchor machinery must produce a
+	// coherent winner in the range both curves cover.
+	tr := wanTrace(t, "WAN-JPCH", 25_000)
+	chen := Sweep(tr, "Chen", func(a float64) detectorIface {
+		return newChenMS(a)
+	}, []float64{0, 50, 100, 200, 400})
+	phi := Sweep(tr, "phi", func(p float64) detectorIface {
+		return newPhiThresh(p)
+	}, []float64{0.5, 1, 2, 4, 8})
+	pMin, pMax := phi.TDRange()
+	anchors := CompareAt([]Curve{chen, phi}, []clock.Duration{(pMin + pMax) / 2})
+	if anchors[0].Eligible < 1 {
+		t.Fatalf("no eligible curves at mid-anchor: %+v", anchors[0])
+	}
+	if anchors[0].BestMR == "" || anchors[0].BestQAP == "" {
+		t.Fatalf("no winners: %+v", anchors[0])
+	}
+}

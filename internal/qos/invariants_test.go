@@ -1,0 +1,126 @@
+package qos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/trace"
+)
+
+// randomTrace builds a structurally valid random trace from quick inputs.
+func randomTrace(seed int64, n int, lossPct int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{Meta: trace.Meta{Name: "rand"}}
+	var send, lastRecv clock.Time
+	for i := 0; i < n; i++ {
+		rec := trace.Record{Seq: uint64(i), SendTime: send}
+		if rng.Intn(100) < lossPct {
+			rec.Lost = true
+		} else {
+			recv := send.Add(clock.Duration(1+rng.Intn(int(80*msQ))) + 5*msQ)
+			if recv <= lastRecv {
+				recv = lastRecv + 1
+			}
+			rec.RecvTime = recv
+			lastRecv = recv
+		}
+		tr.Records = append(tr.Records, rec)
+		send = send.Add(50*msQ + clock.Duration(rng.Intn(int(50*msQ))))
+	}
+	return tr
+}
+
+// TestReplayInvariantsProperty checks the structural invariants every
+// replay result must satisfy for any detector on any valid trace:
+// QAP ∈ [0,1], MistakeDur ≤ TotalTime, TDMin ≤ TDAvg ≤ TDMax, and the
+// arrival/warm-up partition adds up.
+func TestReplayInvariantsProperty(t *testing.T) {
+	f := func(seed int64, lossRaw, detSel uint8) bool {
+		lossPct := int(lossRaw % 30)
+		tr := randomTrace(seed, 2000, lossPct)
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		var det detector.Detector
+		switch detSel % 5 {
+		case 0:
+			det = detector.NewChen(100, 0, 50*msQ)
+		case 1:
+			det = detector.NewBertier(100, 0, detector.DefaultBertierParams())
+		case 2:
+			det = detector.NewPhi(100, 4, 0)
+		case 3:
+			det = detector.NewRTO(4, 2)
+		default:
+			det = core.New(core.Config{WindowSize: 100, InitialMargin: 50 * msQ})
+		}
+		res := Replay(tr.Stream(), det)
+		if res.QAP < 0 || res.QAP > 1 {
+			return false
+		}
+		if res.MistakeDur > res.TotalTime {
+			return false
+		}
+		if res.Arrivals > 0 && (res.TDMin > res.TDAvg || res.TDAvg > res.TDMax) {
+			return false
+		}
+		if res.Mistakes > 0 && res.TM <= 0 {
+			return false
+		}
+		received := int64(0)
+		for _, r := range tr.Records {
+			if !r.Lost {
+				received++
+			}
+		}
+		return res.Arrivals+res.Warmup == received
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayMoreLossMoreMistakesTrend: for a fixed aggressive detector,
+// higher loss can only hurt accuracy (statistically, with fixed seed).
+func TestReplayMoreLossMoreMistakesTrend(t *testing.T) {
+	mk := func(lossPct int) Result {
+		tr := randomTrace(99, 4000, lossPct)
+		return Replay(tr.Stream(), detector.NewChen(100, 0, 40*msQ))
+	}
+	clean := mk(0)
+	lossy := mk(20)
+	if lossy.Mistakes <= clean.Mistakes {
+		t.Fatalf("20%% loss produced %d mistakes vs %d clean", lossy.Mistakes, clean.Mistakes)
+	}
+	if lossy.QAP >= clean.QAP {
+		t.Fatalf("20%% loss QAP %v not below clean %v", lossy.QAP, clean.QAP)
+	}
+}
+
+// TestCrashDetectedForEveryDetectorType: every detector in the repository
+// eventually detects an injected crash on a clean trace.
+func TestCrashDetectedForEveryDetectorType(t *testing.T) {
+	tr := randomTrace(7, 3000, 0)
+	dets := []detector.Detector{
+		detector.NewChen(100, 0, 100*msQ),
+		detector.NewBertier(100, 0, detector.DefaultBertierParams()),
+		detector.NewPhi(100, 8, 0),
+		detector.NewPhiExp(100, 2),
+		detector.NewRTO(4, 2),
+		detector.NewFixed(2*clock.Second, 100),
+		core.New(core.Config{WindowSize: 100, InitialMargin: 100 * msQ}),
+	}
+	for _, det := range dets {
+		out := ReplayWithCrash(tr.Stream(), det, 1500)
+		if out.Latency <= 0 {
+			t.Errorf("%s: crash not detected", det.Name())
+		}
+		if out.Latency > 30*clock.Second {
+			t.Errorf("%s: implausible latency %v", det.Name(), out.Latency)
+		}
+	}
+}

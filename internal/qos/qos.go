@@ -1,0 +1,216 @@
+// Package qos measures the quality of service of failure detectors by
+// replaying heartbeat traces through them, exactly as the paper's
+// evaluation does (§V: "These logged arrival times are used to replay the
+// execution for each FD scheme ... it provides a fair experimental
+// platform for every FD").
+//
+// It computes Chen et al.'s metrics (§II-C): detection time TD, mistake
+// rate MR, query accuracy probability QAP, and the auxiliary mistake
+// duration TM and mistake recurrence time TMR (Fig. 3), plus parameter
+// sweeps that trace each detector's QoS curve for the MR-vs-TD and
+// QAP-vs-TD figures.
+package qos
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/detector"
+	"repro/internal/trace"
+)
+
+// Result is the measured QoS of one detector over one trace replay.
+type Result struct {
+	Detector string
+
+	// Detection time: the latency from a (hypothetical) crash occurring
+	// immediately after a heartbeat send to the freshness point at which
+	// the monitor would begin suspecting — measured at every received
+	// heartbeat, after warm-up.
+	TDAvg clock.Duration
+	TDMin clock.Duration
+	TDMax clock.Duration
+
+	// Accuracy: wrong suspicions observed during replay. A mistake
+	// begins when the freshness point expires while the sender is alive
+	// and ends when the next heartbeat arrives (Fig. 2, case 3).
+	Mistakes   int64
+	MistakeDur clock.Duration // Σ wrong-suspicion durations
+	MR         float64        // mistakes per second of monitored time
+	QAP        float64        // 1 − MistakeDur/TotalTime, in [0,1]
+	TM         clock.Duration // mean mistake duration (Fig. 3)
+	TMR        clock.Duration // mean mistake recurrence time (Fig. 3)
+
+	// Bookkeeping.
+	Arrivals  int64          // received heartbeats measured (post warm-up)
+	Warmup    int64          // heartbeats consumed to fill the window
+	TotalTime clock.Duration // measured span (first to last post-warm-up arrival)
+}
+
+// String renders the headline metrics.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: TD=%.4fs MR=%.3g/s QAP=%.5f%% (mistakes=%d over %.0fs)",
+		r.Detector, r.TDAvg.Seconds(), r.MR, r.QAP*100, r.Mistakes, r.TotalTime.Seconds())
+}
+
+// Replay feeds the stream through det and measures its QoS. Heartbeats
+// before det.Ready() (plus any before the first freshness point exists)
+// count as warm-up — "It is reasonable to analyze the sampled data only
+// after the sliding window is full because the network is unstable during
+// the warm-up period" (§V).
+func Replay(s trace.Stream, det detector.Detector) Result {
+	res := Result{Detector: det.Name(), TDMin: 1 << 62}
+
+	var (
+		measStart     clock.Time
+		measuring     bool
+		lastSeq       uint64
+		haveSeq       bool
+		lastRecv      clock.Time
+		tdSum         float64
+		prevMistakeAt clock.Time
+		recurrenceSum float64
+		recurrenceCnt int64
+		lastFP        clock.Time
+	)
+
+	for {
+		rec, ok := s.Next()
+		if !ok {
+			break
+		}
+		if rec.Lost {
+			continue
+		}
+		// Guard against stale or reordered records.
+		if haveSeq && (rec.Seq <= lastSeq || rec.RecvTime <= lastRecv) {
+			continue
+		}
+
+		if measuring {
+			// Wrong suspicion: the previous freshness point expired
+			// before this (alive) heartbeat arrived.
+			if lastFP != 0 && rec.RecvTime.After(lastFP) {
+				res.Mistakes++
+				res.MistakeDur += rec.RecvTime.Sub(lastFP)
+				if prevMistakeAt != 0 {
+					recurrenceSum += float64(lastFP.Sub(prevMistakeAt))
+					recurrenceCnt++
+				}
+				prevMistakeAt = lastFP
+			}
+		}
+
+		det.Observe(rec.Seq, rec.SendTime, rec.RecvTime)
+		lastSeq, haveSeq, lastRecv = rec.Seq, true, rec.RecvTime
+		fp := det.FreshnessPoint()
+
+		if !measuring {
+			res.Warmup++
+			if det.Ready() && fp != 0 {
+				measuring = true
+				measStart = rec.RecvTime
+			}
+			lastFP = fp
+			continue
+		}
+
+		res.Arrivals++
+		if fp != 0 {
+			td := fp.Sub(rec.SendTime)
+			if td < 0 {
+				td = 0
+			}
+			tdSum += float64(td)
+			if td < res.TDMin {
+				res.TDMin = td
+			}
+			if td > res.TDMax {
+				res.TDMax = td
+			}
+		}
+		lastFP = fp
+		res.TotalTime = rec.RecvTime.Sub(measStart)
+	}
+
+	if res.Arrivals > 0 {
+		res.TDAvg = clock.Duration(tdSum / float64(res.Arrivals))
+	} else {
+		res.TDMin = 0
+	}
+	if res.TotalTime > 0 {
+		res.MR = float64(res.Mistakes) / res.TotalTime.Seconds()
+		qap := 1 - float64(res.MistakeDur)/float64(res.TotalTime)
+		if qap < 0 {
+			qap = 0
+		}
+		res.QAP = qap
+	} else {
+		res.QAP = 1
+	}
+	if res.Mistakes > 0 {
+		res.TM = res.MistakeDur / clock.Duration(res.Mistakes)
+	}
+	if recurrenceCnt > 0 {
+		res.TMR = clock.Duration(recurrenceSum / float64(recurrenceCnt))
+	}
+	return res
+}
+
+// CrashOutcome is the result of a crash-injection replay.
+type CrashOutcome struct {
+	Result
+	CrashAt    clock.Time     // instant of the injected crash
+	DetectedAt clock.Time     // when the detector began suspecting permanently
+	Latency    clock.Duration // DetectedAt − CrashAt: the *actual* TD
+}
+
+// ReplayWithCrash replays the stream but injects a crash: every heartbeat
+// with Seq ≥ crashSeq is dropped, and the crash instant is the send time
+// of the first dropped heartbeat (the worst case the TD metric models —
+// the process dies right after its last successful send). The returned
+// outcome carries both the pre-crash QoS and the actual detection
+// latency, which validates that the replay TD estimate predicts real
+// detection behaviour.
+func ReplayWithCrash(s trace.Stream, det detector.Detector, crashSeq uint64) CrashOutcome {
+	pre := &crashFilter{s: s, crashSeq: crashSeq}
+	out := CrashOutcome{Result: Replay(pre, det)}
+	if !pre.crashed {
+		return out // stream ended before the crash point
+	}
+	out.CrashAt = pre.crashAt
+	fp := det.FreshnessPoint()
+	out.DetectedAt = fp
+	if fp < out.CrashAt {
+		// Already suspecting at crash time (aggressive detector).
+		out.DetectedAt = out.CrashAt
+	}
+	out.Latency = out.DetectedAt.Sub(out.CrashAt)
+	return out
+}
+
+// crashFilter drops every record at or after crashSeq, remembering the
+// crash instant.
+type crashFilter struct {
+	s        trace.Stream
+	crashSeq uint64
+	crashed  bool
+	crashAt  clock.Time
+}
+
+func (c *crashFilter) Next() (trace.Record, bool) {
+	for {
+		rec, ok := c.s.Next()
+		if !ok {
+			return trace.Record{}, false
+		}
+		if rec.Seq >= c.crashSeq {
+			if !c.crashed {
+				c.crashed = true
+				c.crashAt = rec.SendTime
+			}
+			continue
+		}
+		return rec, true
+	}
+}

@@ -1,0 +1,291 @@
+package qos
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/trace"
+)
+
+const msQ = clock.Millisecond
+
+// syntheticTrace builds a deterministic trace: n heartbeats every iv,
+// constant delay, with the listed sequence numbers dropped.
+func syntheticTrace(n int, iv, delay clock.Duration, drop map[uint64]bool) *trace.Trace {
+	tr := &trace.Trace{Meta: trace.Meta{Name: "synthetic", Interval: iv}}
+	for i := 0; i < n; i++ {
+		rec := trace.Record{Seq: uint64(i), SendTime: clock.Time(i) * clock.Time(iv)}
+		if drop[rec.Seq] {
+			rec.Lost = true
+		} else {
+			rec.RecvTime = rec.SendTime.Add(delay)
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	return tr
+}
+
+func wanTrace(t testing.TB, name string, count int) *trace.Trace {
+	t.Helper()
+	gp, err := trace.Preset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp.Count = count
+	return trace.Collect(gp.Meta, trace.NewGenerator(gp))
+}
+
+func TestReplayPerfectNetworkNoMistakes(t *testing.T) {
+	tr := syntheticTrace(500, 100*msQ, 5*msQ, nil)
+	det := detector.NewChen(50, 100*msQ, 50*msQ)
+	res := Replay(tr.Stream(), det)
+	if res.Mistakes != 0 {
+		t.Fatalf("mistakes = %d on a perfect network", res.Mistakes)
+	}
+	if res.QAP != 1 {
+		t.Fatalf("QAP = %v, want 1", res.QAP)
+	}
+	if res.MR != 0 {
+		t.Fatalf("MR = %v, want 0", res.MR)
+	}
+	// TD = Δt + delay + α for a crash right after a send on a perfectly
+	// regular network.
+	want := 100*msQ + 5*msQ + 50*msQ
+	if d := res.TDAvg - want; d < -msQ || d > msQ {
+		t.Fatalf("TD = %v, want ≈%v", res.TDAvg, want)
+	}
+	if res.Warmup == 0 {
+		t.Fatal("no warm-up recorded")
+	}
+	if res.Arrivals != 500-res.Warmup {
+		t.Fatalf("arrivals %d + warmup %d != 500", res.Arrivals, res.Warmup)
+	}
+}
+
+func TestReplayLossCausesMistakesForAggressiveDetector(t *testing.T) {
+	// Drop a run of heartbeats: an aggressive Chen (α=0) must record
+	// exactly one wrong suspicion ending at the next arrival.
+	drop := map[uint64]bool{200: true, 201: true, 202: true}
+	tr := syntheticTrace(400, 100*msQ, 5*msQ, drop)
+	det := detector.NewChen(50, 100*msQ, 10*msQ)
+	res := Replay(tr.Stream(), det)
+	if res.Mistakes != 1 {
+		t.Fatalf("mistakes = %d, want 1", res.Mistakes)
+	}
+	// Suspicion spans from FP(200) ≈ 20.015s+α to arrival of 203 ≈
+	// 20.305s: roughly 280 ms.
+	if res.MistakeDur < 200*msQ || res.MistakeDur > 400*msQ {
+		t.Fatalf("mistake duration = %v, want ≈290ms", res.MistakeDur)
+	}
+	if res.QAP >= 1 || res.QAP < 0.9 {
+		t.Fatalf("QAP = %v", res.QAP)
+	}
+	if res.TM != res.MistakeDur {
+		t.Fatalf("TM = %v, want %v for a single mistake", res.TM, res.MistakeDur)
+	}
+}
+
+func TestReplayTMRBetweenMistakes(t *testing.T) {
+	drop := map[uint64]bool{100: true, 300: true}
+	tr := syntheticTrace(500, 100*msQ, 5*msQ, drop)
+	det := detector.NewChen(20, 100*msQ, 10*msQ)
+	res := Replay(tr.Stream(), det)
+	if res.Mistakes != 2 {
+		t.Fatalf("mistakes = %d, want 2", res.Mistakes)
+	}
+	// Suspicion starts ≈ 20s apart (200 heartbeats × 100 ms).
+	if res.TMR < 19*clock.Second || res.TMR > 21*clock.Second {
+		t.Fatalf("TMR = %v, want ≈20s", res.TMR)
+	}
+}
+
+func TestReplaySkipsStaleRecords(t *testing.T) {
+	tr := syntheticTrace(100, 100*msQ, 5*msQ, nil)
+	// Inject a duplicate and an out-of-order record.
+	dup := tr.Records[50]
+	tr.Records = append(tr.Records[:60], append([]trace.Record{dup}, tr.Records[60:]...)...)
+	det := detector.NewChen(10, 100*msQ, 20*msQ)
+	res := Replay(tr.Stream(), det)
+	if res.Mistakes != 0 {
+		t.Fatalf("stale record caused mistakes: %d", res.Mistakes)
+	}
+}
+
+func TestReplayEmptyStream(t *testing.T) {
+	res := Replay(trace.NewCursor(&trace.Trace{}), detector.NewChen(10, 100*msQ, 0))
+	if res.Arrivals != 0 || res.Mistakes != 0 || res.QAP != 1 {
+		t.Fatalf("empty replay: %+v", res)
+	}
+	if res.TDMin != 0 {
+		t.Fatalf("TDMin sentinel leaked: %v", res.TDMin)
+	}
+}
+
+func TestReplayWithCrashDetection(t *testing.T) {
+	tr := syntheticTrace(1000, 100*msQ, 5*msQ, nil)
+	det := detector.NewChen(50, 100*msQ, 50*msQ)
+	out := ReplayWithCrash(tr.Stream(), det, 500)
+	if out.CrashAt != clock.Time(500)*clock.Time(100*msQ) {
+		t.Fatalf("CrashAt = %v", out.CrashAt)
+	}
+	if out.Latency <= 0 {
+		t.Fatal("crash not detected")
+	}
+	// The TD estimate models a crash right after a send; the injected
+	// crash happens right before the next send, so the actual latency
+	// lands in [TD − Δt, TD].
+	lo, hi := out.TDAvg-100*msQ-5*msQ, out.TDAvg+5*msQ
+	if out.Latency < lo || out.Latency > hi {
+		t.Fatalf("actual latency %v outside [%v, %v] (TD=%v)", out.Latency, lo, hi, out.TDAvg)
+	}
+}
+
+func TestReplayWithCrashBeforeWarmup(t *testing.T) {
+	tr := syntheticTrace(100, 100*msQ, 5*msQ, nil)
+	det := detector.NewChen(50, 100*msQ, 50*msQ)
+	out := ReplayWithCrash(tr.Stream(), det, 2000) // crash beyond trace end
+	if out.CrashAt != 0 || out.Latency != 0 {
+		t.Fatalf("phantom crash: %+v", out)
+	}
+}
+
+func TestSweepChenMonotoneTradeoff(t *testing.T) {
+	tr := wanTrace(t, "WAN-JPCH", 30_000)
+	params := []float64{0, 50, 100, 200, 400, 800} // α in ms
+	curve := Sweep(tr, "Chen", func(a float64) detector.Detector {
+		return detector.NewChen(1000, 0, clock.Duration(a*float64(msQ)))
+	}, params)
+	if len(curve.Points) != len(params) {
+		t.Fatalf("curve has %d points", len(curve.Points))
+	}
+	// TD strictly increases with α; MR is nonincreasing (within noise).
+	for i := 1; i < len(curve.Points); i++ {
+		prev, cur := curve.Points[i-1].Result, curve.Points[i].Result
+		if cur.TDAvg <= prev.TDAvg {
+			t.Errorf("TD not increasing: α=%v gives %v after %v",
+				curve.Points[i].Param, cur.TDAvg, prev.TDAvg)
+		}
+		if cur.MR > prev.MR*1.05+1e-9 {
+			t.Errorf("MR increased with α: %v → %v", prev.MR, cur.MR)
+		}
+	}
+}
+
+func TestSweepPhiCurve(t *testing.T) {
+	tr := wanTrace(t, "WAN-JPCH", 30_000)
+	curve := Sweep(tr, "phi", func(phi float64) detector.Detector {
+		return detector.NewPhi(1000, phi, 0)
+	}, []float64{0.5, 1, 2, 4, 8, 16})
+	for i := 1; i < len(curve.Points); i++ {
+		if curve.Points[i].Result.TDAvg <= curve.Points[i-1].Result.TDAvg {
+			t.Errorf("φ TD not increasing at Φ=%v", curve.Points[i].Param)
+		}
+	}
+	// QAP must be high everywhere on a 0.4%-loss network (Φ=0.5 is
+	// extremely aggressive, so allow it a couple of percent).
+	for _, p := range curve.Points {
+		if p.Result.QAP < 0.96 {
+			t.Errorf("Φ=%v: QAP=%v implausibly low", p.Param, p.Result.QAP)
+		}
+	}
+}
+
+func TestSweepSFDStaysInsideTargetBand(t *testing.T) {
+	// The paper's headline claim (Fig. 6): SFD has no points in the
+	// too-aggressive or too-conservative extremes because feedback pulls
+	// the margin toward the target box.
+	tr := wanTrace(t, "WAN-JPCH", 40_000)
+	targets := core.Targets{MaxTD: 900 * msQ, MaxMR: 0.1, MinQAP: 0.995}
+	curve := Sweep(tr, "SFD", func(sm1 float64) detector.Detector {
+		return core.New(core.Config{
+			WindowSize: 1000, InitialMargin: clock.Duration(sm1 * float64(msQ)),
+			Alpha: 100 * msQ, Beta: 0.5, SlotHeartbeats: 200, Targets: targets,
+		})
+	}, []float64{10, 100, 400, 1500, 3000})
+	// Even with SM₁ = 3 s (far too conservative) the measured TD must be
+	// pulled well below a pure Chen with α = 3 s (whose TD ≈ 3.25 s).
+	for _, p := range curve.Points {
+		if p.Result.TDAvg > 2*clock.Second {
+			t.Errorf("SM1=%v ms: TD=%v — feedback failed to pull margin down",
+				p.Param, p.Result.TDAvg)
+		}
+	}
+}
+
+func TestCurveHelpers(t *testing.T) {
+	c := Curve{Detector: "X", Points: []Point{
+		{Param: 1, Result: Result{TDAvg: 100 * msQ, MR: 0.5, QAP: 0.99}},
+		{Param: 2, Result: Result{TDAvg: 300 * msQ, MR: 0.1, QAP: 0.995}},
+		{Param: 3, Result: Result{TDAvg: 500 * msQ, MR: 0.01, QAP: 0.999}},
+	}}
+	min, max := c.TDRange()
+	if min != 100*msQ || max != 500*msQ {
+		t.Fatalf("TDRange = %v,%v", min, max)
+	}
+	mr, ok := c.BestMRAt(350 * msQ)
+	if !ok || mr != 0.1 {
+		t.Fatalf("BestMRAt = %v,%v", mr, ok)
+	}
+	qap, ok := c.BestQAPAt(350 * msQ)
+	if !ok || qap != 0.995 {
+		t.Fatalf("BestQAPAt = %v,%v", qap, ok)
+	}
+	if _, ok := c.BestMRAt(msQ); ok {
+		t.Fatal("BestMRAt matched below all points")
+	}
+	if c.Table() == "" {
+		t.Fatal("empty table")
+	}
+	// SortByTD on shuffled points.
+	c.Points[0], c.Points[2] = c.Points[2], c.Points[0]
+	c.SortByTD()
+	if c.Points[0].Result.TDAvg != 100*msQ {
+		t.Fatal("SortByTD wrong")
+	}
+	var empty Curve
+	if mn, mx := empty.TDRange(); mn != 0 || mx != 0 {
+		t.Fatal("empty TDRange")
+	}
+}
+
+func TestLinLogSpace(t *testing.T) {
+	lin := LinSpace(0, 10, 5)
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	for i := range want {
+		if math.Abs(lin[i]-want[i]) > 1e-12 {
+			t.Fatalf("LinSpace = %v", lin)
+		}
+	}
+	if got := LinSpace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatal("LinSpace n=1 wrong")
+	}
+	lg := LogSpace(1, 1000, 4)
+	wantLg := []float64{1, 10, 100, 1000}
+	for i := range wantLg {
+		if math.Abs(lg[i]-wantLg[i]) > 1e-9*wantLg[i] {
+			t.Fatalf("LogSpace = %v", lg)
+		}
+	}
+	if got := LogSpace(0, 10, 3); got[0] <= 0 {
+		t.Fatal("LogSpace lo=0 not floored")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Detector: "X", TDAvg: 100 * msQ, MR: 0.1, QAP: 0.99}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func BenchmarkReplayChen(b *testing.B) {
+	tr := wanTrace(b, "WAN-1", 50_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Replay(tr.Stream(), detector.NewChen(1000, 0, 100*msQ))
+	}
+}

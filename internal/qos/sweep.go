@@ -1,0 +1,154 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/detector"
+	"repro/internal/trace"
+)
+
+// Factory builds a fresh detector for one parameter value of a sweep:
+// Chen's α, φ's Φ, SFD's SM₁ — "each point in the graph is corresponding
+// to a parameter in this FD scheme" (§V footnote 9).
+type Factory func(param float64) detector.Detector
+
+// Point is one point of a QoS curve: the parameter value and the QoS it
+// produced.
+type Point struct {
+	Param  float64
+	Result Result
+}
+
+// Curve is a detector's QoS trade-off curve: the set of (TD, accuracy)
+// points reachable by varying its parameter "from a highly aggressive
+// behavior to a very conservative one" (§V).
+type Curve struct {
+	Detector string
+	Points   []Point
+}
+
+// Sweep replays the trace once per parameter value, in parallel across
+// the available cores (each replay is independent — the same logged
+// arrivals feed every detector instance, the paper's fairness condition).
+func Sweep(tr *trace.Trace, name string, factory Factory, params []float64) Curve {
+	c := Curve{Detector: name, Points: make([]Point, len(params))}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i, p := range params {
+		wg.Add(1)
+		go func(i int, p float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			det := factory(p)
+			c.Points[i] = Point{Param: p, Result: Replay(tr.Stream(), det)}
+		}(i, p)
+	}
+	wg.Wait()
+	sort.Slice(c.Points, func(a, b int) bool { return c.Points[a].Param < c.Points[b].Param })
+	return c
+}
+
+// SortByTD orders the curve points by detection time, the x-axis of the
+// paper's figures.
+func (c *Curve) SortByTD() {
+	sort.Slice(c.Points, func(a, b int) bool {
+		return c.Points[a].Result.TDAvg < c.Points[b].Result.TDAvg
+	})
+}
+
+// TDRange returns the span of detection times the curve covers.
+func (c Curve) TDRange() (min, max clock.Duration) {
+	if len(c.Points) == 0 {
+		return 0, 0
+	}
+	min, max = c.Points[0].Result.TDAvg, c.Points[0].Result.TDAvg
+	for _, p := range c.Points[1:] {
+		if p.Result.TDAvg < min {
+			min = p.Result.TDAvg
+		}
+		if p.Result.TDAvg > max {
+			max = p.Result.TDAvg
+		}
+	}
+	return min, max
+}
+
+// BestMRAt returns the lowest mistake rate among points whose detection
+// time does not exceed maxTD; ok is false when no point qualifies. This
+// is how curves are compared at equal detection time ("Chen FD can
+// obtain the lowest MR with the same TD").
+func (c Curve) BestMRAt(maxTD clock.Duration) (float64, bool) {
+	best, found := 0.0, false
+	for _, p := range c.Points {
+		if p.Result.TDAvg <= maxTD {
+			if !found || p.Result.MR < best {
+				best, found = p.Result.MR, true
+			}
+		}
+	}
+	return best, found
+}
+
+// BestQAPAt returns the highest QAP among points with TD ≤ maxTD.
+func (c Curve) BestQAPAt(maxTD clock.Duration) (float64, bool) {
+	best, found := 0.0, false
+	for _, p := range c.Points {
+		if p.Result.TDAvg <= maxTD {
+			if !found || p.Result.QAP > best {
+				best, found = p.Result.QAP, true
+			}
+		}
+	}
+	return best, found
+}
+
+// Table renders the curve as aligned text rows: param, TD, MR, QAP — the
+// series behind one figure line.
+func (c Curve) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", c.Detector)
+	fmt.Fprintf(&b, "%14s %12s %14s %12s %10s\n", "param", "TD[s]", "MR[1/s]", "QAP[%]", "mistakes")
+	for _, p := range c.Points {
+		fmt.Fprintf(&b, "%14.6g %12.4f %14.6g %12.5f %10d\n",
+			p.Param, p.Result.TDAvg.Seconds(), p.Result.MR, p.Result.QAP*100, p.Result.Mistakes)
+	}
+	return b.String()
+}
+
+// LinSpace returns n evenly spaced values over [lo, hi] inclusive.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// LogSpace returns n logarithmically spaced values over [lo, hi]
+// inclusive (lo must be > 0). Parameter sweeps that span orders of
+// magnitude (Chen's α ∈ [0, 10000] ms) look linear on the paper's
+// log-scale MR axis when spaced this way.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	return out
+}

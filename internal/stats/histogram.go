@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [lo, hi) with overflow and
+// underflow buckets. The trace analyzer uses it to characterise delay
+// and inter-arrival distributions (Table II regeneration) and the bench
+// harness uses it to render ASCII distribution sketches.
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	bins    []int64
+	under   int64
+	over    int64
+	total   int64
+	moments Welford
+}
+
+// NewHistogram returns a histogram with n equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), bins: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.moments.Add(x)
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.bins) { // guard against FP edge at hi
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// NumBins returns the number of interior bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() int64 { return h.under }
+func (h *Histogram) Overflow() int64  { return h.over }
+
+// Mean returns the exact running mean of all observations.
+func (h *Histogram) Mean() float64 { return h.moments.Mean() }
+
+// StdDev returns the exact running standard deviation.
+func (h *Histogram) StdDev() float64 { return h.moments.StdDev() }
+
+// Quantile returns an interpolated quantile estimate from the binned
+// counts, for q in [0,1]. Underflow mass is attributed to lo and overflow
+// mass to hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.moments.Min()
+	}
+	if q >= 1 {
+		return h.moments.Max()
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.bins {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// Sketch renders an ASCII sketch of the distribution, width columns wide,
+// one row per bin with a proportional bar. Empty leading/trailing bins are
+// trimmed.
+func (h *Histogram) Sketch(width int) string {
+	if width < 8 {
+		width = 8
+	}
+	first, last := -1, -1
+	var maxC int64
+	for i, c := range h.bins {
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+			if c > maxC {
+				maxC = c
+			}
+		}
+	}
+	if first < 0 {
+		return "(empty)\n"
+	}
+	var b strings.Builder
+	for i := first; i <= last; i++ {
+		barLen := int(float64(h.bins[i]) / float64(maxC) * float64(width))
+		fmt.Fprintf(&b, "%12.6g │%s %d\n", h.lo+float64(i)*h.width,
+			strings.Repeat("█", barLen), h.bins[i])
+	}
+	return b.String()
+}
+
+// Quantiles computes exact batch quantiles of xs (which it sorts in
+// place) at the given fractions using linear interpolation.
+func Quantiles(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoSamples
+	}
+	sort.Float64s(xs)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(xs, q)
+	}
+	return out, nil
+}
+
+func quantileSorted(xs []float64, q float64) float64 {
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 1 {
+		return xs[len(xs)-1]
+	}
+	pos := q * float64(len(xs)-1)
+	i := int(math.Floor(pos))
+	frac := pos - float64(i)
+	if i+1 >= len(xs) {
+		return xs[len(xs)-1]
+	}
+	return xs[i]*(1-frac) + xs[i+1]*frac
+}

@@ -1,0 +1,148 @@
+package stats
+
+import "math"
+
+// Normal distribution functions. The φ accrual detector (Eq. 9–10 of the
+// paper) needs the tail probability P_later(t) = 1 − F(t) of a normal
+// distribution fitted to the inter-arrival window, evaluated far into the
+// tail, and its inverse to translate a threshold Φ back into an effective
+// timeout for replay evaluation. erfc keeps the tail accurate where the
+// naive 1−Φ(x) underflows — the "rounding errors" the paper blames for
+// the φ FD's early curve cutoff.
+
+// NormalCDF returns F(x) for N(mu, sigma²). Sigma must be > 0.
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		// Degenerate distribution: point mass at mu.
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// NormalTail returns P(X > x) = 1 − F(x) for N(mu, sigma²), computed via
+// erfc so that deep-tail values remain accurate.
+func NormalTail(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x < mu {
+			return 1
+		}
+		return 0
+	}
+	return 0.5 * math.Erfc((x-mu)/(sigma*math.Sqrt2))
+}
+
+// NormalQuantile returns the quantile function Φ⁻¹(p) of the standard
+// normal distribution using the Acklam rational approximation refined by
+// one step of Halley's method; absolute error is below 1e-13 across
+// p ∈ (0,1).
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		default:
+			return math.NaN()
+		}
+	}
+
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+
+		plow  = 0.02425
+		phigh = 1 - plow
+	)
+
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	}
+
+	// One Halley refinement using the CDF residual.
+	e := NormalCDF(x, 0, 1) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// Phi returns the accrual suspicion level of Eq. 9:
+// φ(t) = −log10(P_later(t)) under N(mu, sigma²), where t is the elapsed
+// time since the last heartbeat arrival. The result is clamped to
+// PhiMax to keep downstream arithmetic finite once the tail probability
+// underflows float64 entirely (t extremely far past the window mean).
+func Phi(t, mu, sigma float64) float64 {
+	p := NormalTail(t, mu, sigma)
+	if p <= 0 {
+		return PhiMax
+	}
+	phi := -math.Log10(p)
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > PhiMax {
+		phi = PhiMax
+	}
+	return phi
+}
+
+// PhiMax caps the reported suspicion level. float64's erfc underflows to
+// 0 around 3.1e-308 (φ ≈ 307.6); any value above a few hundred carries no
+// additional information.
+const PhiMax = 300.0
+
+// PhiInverse returns the elapsed time t at which the suspicion level
+// reaches threshold under N(mu, sigma²):
+// t = mu + sigma·Φ⁻¹(1 − 10^−threshold).
+// Replay evaluation uses this to convert a Φ threshold into the
+// effective freshness point the φ FD implies.
+func PhiInverse(threshold, mu, sigma float64) float64 {
+	if threshold <= 0 {
+		return mu
+	}
+	p := math.Pow(10, -threshold)
+	// 1−p collapses to 1 below ~1e-16: emulate the original lookup-based
+	// implementation's conservative-range breakdown by solving in the
+	// complementary tail instead (still finite thanks to erfc's range,
+	// mirrored quantile: Φ⁻¹(1−p) = −Φ⁻¹(p)).
+	z := -NormalQuantile(p)
+	return mu + sigma*z
+}

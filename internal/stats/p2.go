@@ -1,0 +1,118 @@
+package stats
+
+// P2Quantile is the Jain & Chlamtac P² streaming quantile estimator: it
+// tracks a single quantile with O(1) memory and O(1) update cost, without
+// storing samples. The cluster monitor uses it to expose tail detection
+// latencies (p95/p99) without retaining per-event history.
+type P2Quantile struct {
+	p       float64
+	q       [5]float64 // marker heights
+	n       [5]int     // marker positions (1-based)
+	np      [5]float64 // desired positions
+	dn      [5]float64 // desired position increments
+	count   int
+	initBuf []float64
+}
+
+// NewP2Quantile returns an estimator for quantile p in (0,1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: P2 quantile must be in (0,1)")
+	}
+	return &P2Quantile{p: p, initBuf: make([]float64, 0, 5)}
+}
+
+// Add incorporates one observation.
+func (e *P2Quantile) Add(x float64) {
+	e.count++
+	if len(e.initBuf) < 5 {
+		// Insertion into the initial sorted buffer.
+		i := len(e.initBuf)
+		e.initBuf = append(e.initBuf, x)
+		for i > 0 && e.initBuf[i-1] > e.initBuf[i] {
+			e.initBuf[i-1], e.initBuf[i] = e.initBuf[i], e.initBuf[i-1]
+			i--
+		}
+		if len(e.initBuf) == 5 {
+			copy(e.q[:], e.initBuf)
+			for i := range e.n {
+				e.n[i] = i + 1
+			}
+			p := e.p
+			e.np = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+			e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+		}
+		return
+	}
+
+	// Find cell k such that q[k] <= x < q[k+1]; adjust extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := range e.np {
+		e.np[i] += e.dn[i]
+	}
+
+	// Adjust interior markers.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - float64(e.n[i])
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			var di int
+			if d >= 0 {
+				di = 1
+			} else {
+				di = -1
+			}
+			qNew := e.parabolic(i, di)
+			if e.q[i-1] < qNew && qNew < e.q[i+1] {
+				e.q[i] = qNew
+			} else {
+				e.q[i] = e.linear(i, di)
+			}
+			e.n[i] += di
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i, d int) float64 {
+	qi, qm, qp := e.q[i], e.q[i-1], e.q[i+1]
+	ni, nm, np := float64(e.n[i]), float64(e.n[i-1]), float64(e.n[i+1])
+	df := float64(d)
+	return qi + df/(np-nm)*((ni-nm+df)*(qp-qi)/(np-ni)+(np-ni-df)*(qi-qm)/(ni-nm))
+}
+
+func (e *P2Quantile) linear(i, d int) float64 {
+	return e.q[i] + float64(d)*(e.q[i+d]-e.q[i])/float64(e.n[i+d]-e.n[i])
+}
+
+// Value returns the current quantile estimate. Before 5 samples it falls
+// back to the exact small-sample quantile.
+func (e *P2Quantile) Value() float64 {
+	if len(e.initBuf) < 5 {
+		if len(e.initBuf) == 0 {
+			return 0
+		}
+		cp := make([]float64, len(e.initBuf))
+		copy(cp, e.initBuf)
+		return quantileSorted(cp, e.p)
+	}
+	return e.q[2]
+}
+
+// Count returns the number of observations.
+func (e *P2Quantile) Count() int { return e.count }

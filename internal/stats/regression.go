@@ -1,0 +1,81 @@
+package stats
+
+// LinearFit holds the result of an ordinary-least-squares fit y = a + b·x.
+// The trace analyzer fits heartbeat arrival times against sequence numbers
+// to quantify clock drift (the paper notes WAN-1's receive mean of
+// 12.83 ms vs send mean 12.825 ms "showing a slight clock drift").
+type LinearFit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+	N         int
+}
+
+// FitLine performs OLS on the paired samples. It returns ErrNoSamples for
+// fewer than two points and a zero-slope fit when x has no variance.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, ErrNoSamples
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinearFit{}, ErrNoSamples
+	}
+	var sx, sy Welford
+	for i := 0; i < n; i++ {
+		sx.Add(xs[i])
+		sy.Add(ys[i])
+	}
+	mx, my := sx.Mean(), sy.Mean()
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	fit := LinearFit{N: n}
+	if sxx == 0 {
+		fit.Intercept = my
+		return fit, nil
+	}
+	fit.Slope = sxy / sxx
+	fit.Intercept = my - fit.Slope*mx
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// Autocorrelation returns the lag-k autocorrelation of xs, used by the
+// trace analyzer to verify that generated burst-loss patterns exhibit the
+// temporal correlation real WAN loss shows (as opposed to Bernoulli
+// losses, which are memoryless).
+func Autocorrelation(xs []float64, lag int) (float64, error) {
+	n := len(xs)
+	if n == 0 || lag < 0 || lag >= n {
+		return 0, ErrNoSamples
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	mu := w.Mean()
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mu
+		den += d * d
+		if i+lag < n {
+			num += d * (xs[i+lag] - mu)
+		}
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return num / den, nil
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SampleGamma draws from a Gamma distribution parameterized by mean and
+// standard deviation (shape (m/s)², scale s²/m) using Marsaglia–Tsang,
+// with the Kundu–Gupta boost for shape < 1. A zero std degenerates to the
+// constant mean. The trace generator and the network simulator share this
+// sampler so a simulated link and a synthetic trace with equal parameters
+// produce statistically identical delay processes.
+func SampleGamma(rng *rand.Rand, mean, std float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if std <= 0 {
+		return mean
+	}
+	shape := (mean / std) * (mean / std)
+	scale := std * std / mean
+	return sampleGammaShape(rng, shape) * scale
+}
+
+func sampleGammaShape(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		// Boost: Gamma(k) = Gamma(k+1) · U^(1/k).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return sampleGammaShape(rng, k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u == 0 {
+			continue
+		}
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// GilbertElliott is the two-state burst-loss channel model shared by the
+// trace generator and the network simulator: Good delivers, Bad drops.
+// Calibrated so the stationary loss fraction is lossRate and the mean
+// sojourn in Bad is meanBurst events.
+type GilbertElliott struct {
+	pGB, pBG float64
+	bad      bool
+}
+
+// NewGilbertElliott calibrates the chain. lossRate ≤ 0 yields a channel
+// that never drops; meanBurst < 1 is treated as 1 (memoryless/Bernoulli).
+func NewGilbertElliott(lossRate, meanBurst float64) *GilbertElliott {
+	g := &GilbertElliott{}
+	if lossRate > 0 && lossRate < 1 {
+		if meanBurst < 1 {
+			meanBurst = 1
+		}
+		g.pBG = 1 / meanBurst
+		g.pGB = lossRate * g.pBG / (1 - lossRate)
+		if g.pGB > 1 {
+			g.pGB = 1
+		}
+	} else if lossRate >= 1 {
+		g.pGB, g.pBG = 1, 0
+	}
+	return g
+}
+
+// Drop advances the chain one event and reports whether it is lost.
+func (g *GilbertElliott) Drop(rng *rand.Rand) bool {
+	if g.pGB == 0 && !g.bad {
+		return false
+	}
+	if g.bad {
+		if rng.Float64() < g.pBG {
+			g.bad = false
+			return false
+		}
+		return true
+	}
+	if rng.Float64() < g.pGB {
+		g.bad = true
+		return true
+	}
+	return false
+}
+
+// InBurst reports whether the channel is currently in the Bad state.
+func (g *GilbertElliott) InBurst() bool { return g.bad }

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampleGammaMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := []struct{ mean, std float64 }{
+		{100, 10},  // shape 100 — near-normal
+		{100, 100}, // shape 1 — exponential
+		{100, 300}, // shape 1/9 — boost path
+		{12.8, 13}, // the WAN-1 send-interval regime
+	}
+	for _, c := range cases {
+		var w Welford
+		for i := 0; i < 200_000; i++ {
+			x := SampleGamma(rng, c.mean, c.std)
+			if x < 0 {
+				t.Fatalf("negative gamma sample %v", x)
+			}
+			w.Add(x)
+		}
+		if math.Abs(w.Mean()-c.mean) > 0.05*c.mean {
+			t.Errorf("mean(%v,%v) = %v", c.mean, c.std, w.Mean())
+		}
+		if math.Abs(w.StdDev()-c.std) > 0.1*c.std {
+			t.Errorf("std(%v,%v) = %v", c.mean, c.std, w.StdDev())
+		}
+	}
+}
+
+func TestSampleGammaDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if SampleGamma(rng, 0, 5) != 0 {
+		t.Fatal("zero mean should sample 0")
+	}
+	if SampleGamma(rng, -3, 5) != 0 {
+		t.Fatal("negative mean should sample 0")
+	}
+	if SampleGamma(rng, 7, 0) != 7 {
+		t.Fatal("zero std should sample the mean")
+	}
+}
+
+func TestGilbertElliottStationaryLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, c := range []struct{ loss, burst float64 }{
+		{0.05, 1}, {0.05, 10}, {0.2, 3}, {0.004, 28.5},
+	} {
+		ge := NewGilbertElliott(c.loss, c.burst)
+		dropped := 0
+		const n = 500_000
+		for i := 0; i < n; i++ {
+			if ge.Drop(rng) {
+				dropped++
+			}
+		}
+		got := float64(dropped) / n
+		if math.Abs(got-c.loss) > 0.25*c.loss+0.001 {
+			t.Errorf("loss(%v,%v) = %v", c.loss, c.burst, got)
+		}
+	}
+}
+
+func TestGilbertElliottBurstLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	ge := NewGilbertElliott(0.1, 8)
+	runs, runLen, losses := 0, 0, 0
+	for i := 0; i < 500_000; i++ {
+		if ge.Drop(rng) {
+			losses++
+			runLen++
+		} else if runLen > 0 {
+			runs++
+			runLen = 0
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no loss runs")
+	}
+	meanBurst := float64(losses) / float64(runs)
+	if meanBurst < 6 || meanBurst > 10 {
+		t.Fatalf("mean burst = %v, want ≈8", meanBurst)
+	}
+}
+
+func TestGilbertElliottEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	never := NewGilbertElliott(0, 5)
+	for i := 0; i < 1000; i++ {
+		if never.Drop(rng) {
+			t.Fatal("lossless channel dropped")
+		}
+	}
+	if never.InBurst() {
+		t.Fatal("lossless channel in burst")
+	}
+	always := NewGilbertElliott(1, 5)
+	drops := 0
+	for i := 0; i < 1000; i++ {
+		if always.Drop(rng) {
+			drops++
+		}
+	}
+	if drops < 999 { // first event may enter the bad state
+		t.Fatalf("total-loss channel dropped only %d/1000", drops)
+	}
+}
+
+func BenchmarkSampleGamma(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SampleGamma(rng, 12.8, 13.0)
+	}
+}

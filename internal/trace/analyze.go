@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+)
+
+// Stats summarizes a heartbeat trace with exactly the columns of the
+// paper's Table II plus the burst-loss detail reported in §V-A for the
+// JP↔CH run. All durations are reported as float64 milliseconds to match
+// the paper's units.
+type Stats struct {
+	Name string
+
+	Total    int64   // heartbeats sent
+	Received int64   // heartbeats received
+	LossRate float64 // fraction lost
+
+	SendMeanMS float64 // mean inter-send interval
+	SendStdMS  float64
+	SendMinMS  float64
+	SendMaxMS  float64
+
+	RecvMeanMS float64 // mean inter-arrival interval
+	RecvStdMS  float64
+
+	DelayMeanMS float64 // mean one-way delay
+	DelayStdMS  float64
+	DelayMinMS  float64
+	DelayMaxMS  float64
+
+	RTTMeanMS float64 // 2× one-way mean, the ping-probe proxy
+	RTTStdMS  float64
+	RTTMinMS  float64
+	RTTMaxMS  float64
+
+	LossBursts   int64 // number of maximal runs of consecutive losses
+	MaxBurstLen  int64
+	MeanBurstLen float64
+
+	DriftSlope float64 // receive-interval trend per heartbeat (clock drift proxy)
+}
+
+// Analyze streams a trace and computes its Stats. It mirrors the
+// measurements the authors report: send intervals from the sender
+// timestamps, arrival intervals from the receiver timestamps of
+// *received* heartbeats only, one-way delay per received heartbeat, and
+// RTT as twice the one-way delay (the paper's ping probe measured RTT of
+// the same path; doubling the one-way delay is the equivalent proxy for a
+// symmetric synthetic path).
+func Analyze(name string, s Stream) Stats {
+	var (
+		sendIv, recvIv, delay, rtt stats.Welford
+		prevSend                   clock.Time
+		prevRecv                   clock.Time
+		havePrevSend, havePrevRecv bool
+
+		total, received int64
+		bursts          int64
+		burstLen        int64
+		maxBurst        int64
+		totalBurstLen   int64
+
+		// drift fit: receive interval vs index, sampled every k records
+		xs, ys []float64
+	)
+
+	idx := 0
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		total++
+		if havePrevSend {
+			sendIv.Add(float64(r.SendTime.Sub(prevSend)) / float64(ms))
+		}
+		prevSend, havePrevSend = r.SendTime, true
+
+		if r.Lost {
+			burstLen++
+			continue
+		}
+		if burstLen > 0 {
+			bursts++
+			totalBurstLen += burstLen
+			if burstLen > maxBurst {
+				maxBurst = burstLen
+			}
+			burstLen = 0
+		}
+		received++
+		d := float64(r.Delay()) / float64(ms)
+		delay.Add(d)
+		rtt.Add(2 * d)
+		if havePrevRecv {
+			iv := float64(r.RecvTime.Sub(prevRecv)) / float64(ms)
+			recvIv.Add(iv)
+			if idx%64 == 0 {
+				xs = append(xs, float64(idx))
+				ys = append(ys, iv)
+			}
+		}
+		prevRecv, havePrevRecv = r.RecvTime, true
+		idx++
+	}
+	if burstLen > 0 {
+		bursts++
+		totalBurstLen += burstLen
+		if burstLen > maxBurst {
+			maxBurst = burstLen
+		}
+	}
+
+	st := Stats{
+		Name:        name,
+		Total:       total,
+		Received:    received,
+		SendMeanMS:  sendIv.Mean(),
+		SendStdMS:   sendIv.StdDev(),
+		SendMinMS:   sendIv.Min(),
+		SendMaxMS:   sendIv.Max(),
+		RecvMeanMS:  recvIv.Mean(),
+		RecvStdMS:   recvIv.StdDev(),
+		DelayMeanMS: delay.Mean(),
+		DelayStdMS:  delay.StdDev(),
+		DelayMinMS:  delay.Min(),
+		DelayMaxMS:  delay.Max(),
+		RTTMeanMS:   rtt.Mean(),
+		RTTStdMS:    rtt.StdDev(),
+		RTTMinMS:    rtt.Min(),
+		RTTMaxMS:    rtt.Max(),
+		LossBursts:  bursts,
+		MaxBurstLen: maxBurst,
+	}
+	if total > 0 {
+		st.LossRate = float64(total-received) / float64(total)
+	}
+	if bursts > 0 {
+		st.MeanBurstLen = float64(totalBurstLen) / float64(bursts)
+	}
+	if fit, err := stats.FitLine(xs, ys); err == nil {
+		st.DriftSlope = fit.Slope
+	}
+	return st
+}
+
+// TableRow renders the Stats in the layout of the paper's Table II:
+// total, loss rate, send avg/stddev, receive avg/stddev, RTT avg.
+func (st Stats) TableRow() string {
+	return fmt.Sprintf("%-9s %10d  %5.2f%%  %8.3f ms %8.3f ms  %8.3f ms %8.3f ms  %8.3f ms",
+		st.Name, st.Total, st.LossRate*100,
+		st.SendMeanMS, st.SendStdMS, st.RecvMeanMS, st.RecvStdMS, st.RTTMeanMS)
+}
+
+// TableHeader returns the column header matching TableRow.
+func TableHeader() string {
+	return fmt.Sprintf("%-9s %10s  %6s  %11s %11s  %11s %11s  %11s",
+		"case", "total", "loss", "send(avg)", "send(std)", "recv(avg)", "recv(std)", "RTT(avg)")
+}

@@ -1,0 +1,393 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/clock"
+)
+
+// Binary trace format
+//
+//	magic   [4]byte "HBTR"
+//	version uint16 (=1)
+//	meta    length-prefixed UTF-8 fields: name, sender, senderHost,
+//	        receiver, receiverHost
+//	interval, rtt int64 (ns)
+//	count  uint64
+//	records: delta-encoded varints — seq is implicit (dense, ascending);
+//	        per record: flags byte (bit0 = lost), uvarint send-time delta,
+//	        and for received records a varint recv−send delay.
+//
+// Delta+varint encoding keeps a 7M-heartbeat trace around 4 bytes per
+// record instead of 25.
+
+var (
+	traceMagic = [4]byte{'H', 'B', 'T', 'R'}
+
+	// ErrBadFormat reports a corrupted or foreign trace file.
+	ErrBadFormat = errors.New("trace: bad file format")
+)
+
+const (
+	traceVersion = 1
+	// streamCount marks a stream-written file whose record count was
+	// unknown up front; records run until the endMarker flags byte.
+	streamCount = ^uint64(0)
+	endMarker   = 0xFF
+)
+
+// Write encodes the trace to w in the binary format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeU := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	writeS := func(s string) error {
+		if err := writeU(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeU(traceVersion); err != nil {
+		return err
+	}
+	for _, s := range []string{t.Meta.Name, t.Meta.Sender, t.Meta.SenderHost, t.Meta.Receiver, t.Meta.ReceiverHost} {
+		if err := writeS(s); err != nil {
+			return err
+		}
+	}
+	if err := writeU(uint64(t.Meta.Interval)); err != nil {
+		return err
+	}
+	if err := writeU(uint64(t.Meta.RTT)); err != nil {
+		return err
+	}
+	if err := writeU(uint64(len(t.Records))); err != nil {
+		return err
+	}
+	var prevSend clock.Time
+	var prevSeq uint64
+	for i, r := range t.Records {
+		if i > 0 && r.Seq <= prevSeq {
+			return fmt.Errorf("trace: non-increasing seq at record %d", i)
+		}
+		var flags byte
+		if r.Lost {
+			flags |= 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		if err := writeU(r.Seq - prevSeq); err != nil { // first record: seq itself
+			return err
+		}
+		if err := writeU(uint64(r.SendTime - prevSend)); err != nil {
+			return err
+		}
+		if !r.Lost {
+			if err := writeU(uint64(r.RecvTime - r.SendTime)); err != nil {
+				return err
+			}
+		}
+		prevSend, prevSeq = r.SendTime, r.Seq
+	}
+	return bw.Flush()
+}
+
+// WriteStream encodes a heartbeat stream to w without materializing it:
+// the header carries a sentinel count and the record list is terminated
+// by an end marker. Read understands both layouts. It returns the number
+// of records written. Full-paper-scale trace files (≈7M heartbeats) are
+// produced this way in constant memory.
+func WriteStream(w io.Writer, meta Meta, s Stream) (int, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return 0, err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeU := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	writeS := func(str string) error {
+		if err := writeU(uint64(len(str))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(str)
+		return err
+	}
+	if err := writeU(traceVersion); err != nil {
+		return 0, err
+	}
+	for _, f := range []string{meta.Name, meta.Sender, meta.SenderHost, meta.Receiver, meta.ReceiverHost} {
+		if err := writeS(f); err != nil {
+			return 0, err
+		}
+	}
+	if err := writeU(uint64(meta.Interval)); err != nil {
+		return 0, err
+	}
+	if err := writeU(uint64(meta.RTT)); err != nil {
+		return 0, err
+	}
+	if err := writeU(streamCount); err != nil {
+		return 0, err
+	}
+	var prevSend clock.Time
+	var prevSeq uint64
+	count := 0
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		if count > 0 && r.Seq <= prevSeq {
+			return count, fmt.Errorf("trace: non-increasing seq at record %d", count)
+		}
+		var flags byte
+		if r.Lost {
+			flags |= 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return count, err
+		}
+		if err := writeU(r.Seq - prevSeq); err != nil {
+			return count, err
+		}
+		if err := writeU(uint64(r.SendTime - prevSend)); err != nil {
+			return count, err
+		}
+		if !r.Lost {
+			if err := writeU(uint64(r.RecvTime - r.SendTime)); err != nil {
+				return count, err
+			}
+		}
+		prevSend, prevSeq = r.SendTime, r.Seq
+		count++
+	}
+	if err := bw.WriteByte(endMarker); err != nil {
+		return count, err
+	}
+	return count, bw.Flush()
+}
+
+// Read decodes a binary trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != traceMagic {
+		return nil, ErrBadFormat
+	}
+	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readS := func() (string, error) {
+		n, err := readU()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", ErrBadFormat
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	ver, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
+	}
+	t := &Trace{}
+	fields := []*string{&t.Meta.Name, &t.Meta.Sender, &t.Meta.SenderHost, &t.Meta.Receiver, &t.Meta.ReceiverHost}
+	for _, f := range fields {
+		if *f, err = readS(); err != nil {
+			return nil, err
+		}
+	}
+	iv, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	t.Meta.Interval = clock.Duration(iv)
+	rtt, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	t.Meta.RTT = clock.Duration(rtt)
+	count, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	streaming := count == streamCount
+	if !streaming && count > 1<<31 {
+		return nil, fmt.Errorf("%w: implausible record count %d", ErrBadFormat, count)
+	}
+	if !streaming {
+		t.Records = make([]Record, 0, count)
+	}
+	var prevSend clock.Time
+	var prevSeq uint64
+	for i := uint64(0); streaming || i < count; i++ {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if streaming && flags == endMarker {
+			break
+		}
+		dSeq, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		dSend, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		rec := Record{Seq: prevSeq + dSeq, SendTime: prevSend + clock.Time(dSend), Lost: flags&1 != 0}
+		if !rec.Lost {
+			delay, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			rec.RecvTime = rec.SendTime + clock.Time(delay)
+		}
+		t.Records = append(t.Records, rec)
+		prevSend, prevSeq = rec.SendTime, rec.Seq
+	}
+	return t, nil
+}
+
+// WriteCSV encodes the trace as CSV with a header row:
+// seq,send_ns,recv_ns,lost — the interchange format for plotting outside
+// this repository. Metadata is emitted as leading comment-style rows
+// ("#key,value") which ReadCSV understands.
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	metaRows := [][]string{
+		{"#name", t.Meta.Name},
+		{"#sender", t.Meta.Sender, t.Meta.SenderHost},
+		{"#receiver", t.Meta.Receiver, t.Meta.ReceiverHost},
+		{"#interval_ns", strconv.FormatInt(int64(t.Meta.Interval), 10)},
+		{"#rtt_ns", strconv.FormatInt(int64(t.Meta.RTT), 10)},
+		{"seq", "send_ns", "recv_ns", "lost"},
+	}
+	for _, row := range metaRows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Records {
+		lost := "0"
+		recv := int64(r.RecvTime)
+		if r.Lost {
+			lost = "1"
+			recv = 0
+		}
+		if err := cw.Write([]string{
+			strconv.FormatUint(r.Seq, 10),
+			strconv.FormatInt(int64(r.SendTime), 10),
+			strconv.FormatInt(recv, 10),
+			lost,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	t := &Trace{}
+	headerSeen := false
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(row) == 0 {
+			continue
+		}
+		if len(row[0]) > 0 && row[0][0] == '#' {
+			switch row[0] {
+			case "#name":
+				if len(row) > 1 {
+					t.Meta.Name = row[1]
+				}
+			case "#sender":
+				if len(row) > 2 {
+					t.Meta.Sender, t.Meta.SenderHost = row[1], row[2]
+				}
+			case "#receiver":
+				if len(row) > 2 {
+					t.Meta.Receiver, t.Meta.ReceiverHost = row[1], row[2]
+				}
+			case "#interval_ns":
+				if len(row) > 1 {
+					v, err := strconv.ParseInt(row[1], 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("%w: interval_ns: %v", ErrBadFormat, err)
+					}
+					t.Meta.Interval = clock.Duration(v)
+				}
+			case "#rtt_ns":
+				if len(row) > 1 {
+					v, err := strconv.ParseInt(row[1], 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("%w: rtt_ns: %v", ErrBadFormat, err)
+					}
+					t.Meta.RTT = clock.Duration(v)
+				}
+			}
+			continue
+		}
+		if row[0] == "seq" {
+			headerSeen = true
+			continue
+		}
+		if len(row) != 4 {
+			return nil, fmt.Errorf("%w: expected 4 fields, got %d", ErrBadFormat, len(row))
+		}
+		seq, err1 := strconv.ParseUint(row[0], 10, 64)
+		send, err2 := strconv.ParseInt(row[1], 10, 64)
+		recv, err3 := strconv.ParseInt(row[2], 10, 64)
+		lost := row[3] == "1"
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%w: numeric parse failure in row %v", ErrBadFormat, row)
+		}
+		rec := Record{Seq: seq, SendTime: clock.Time(send), Lost: lost}
+		if !lost {
+			rec.RecvTime = clock.Time(recv)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if !headerSeen && len(t.Records) == 0 {
+		return nil, ErrBadFormat
+	}
+	return t, nil
+}

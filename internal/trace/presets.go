@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/clock"
+)
+
+// The presets below encode the seven WAN environments of the paper's
+// evaluation (§V): one intercontinental Japan↔Switzerland run (the φ-FD
+// paper's trace, Fig. 6–7) and six PlanetLab pairs (Tables I–II,
+// Fig. 9–10). Every target number is taken from Table II / §V-A; delay
+// jitter is derived from the reported send/receive interval standard
+// deviations (Var[recv interarrival] ≈ Var[send interarrival] +
+// 2·Var[delay] for independent jitter).
+
+const ms = clock.Millisecond
+
+// PaperCounts maps environment name to the heartbeat count of the real
+// experiment, so full-scale regeneration can match the paper exactly.
+var PaperCounts = map[string]int{
+	"WAN-JPCH": 5845713,
+	"WAN-1":    6737054,
+	"WAN-2":    7477304,
+	"WAN-3":    7104446,
+	"WAN-4":    7028178,
+	"WAN-5":    7008170,
+	"WAN-6":    7040560,
+}
+
+// DefaultCount is the scaled-down trace length used when the caller does
+// not ask for full paper scale: large enough for windows of 1000 samples
+// to wash out warm-up effects, small enough to replay in seconds.
+const DefaultCount = 200_000
+
+// Presets returns the generator parameters for every WAN environment,
+// keyed by name. Count is set to DefaultCount; callers wanting the paper
+// scale overwrite it from PaperCounts.
+func Presets() map[string]GenParams {
+	p := map[string]GenParams{
+		// Japan (JAIST) ↔ Switzerland (EPFL), one week, Δt ≈ 103.5 ms,
+		// loss 0.399% in 814 bursts (max 1093 heartbeats ≈ 2 min),
+		// RTT avg 283.338 ms / min 270.201 / max 717.832.
+		"WAN-JPCH": {
+			Meta: Meta{
+				Name: "WAN-JPCH", Sender: "Japan", SenderHost: "jaist.ac.jp",
+				Receiver: "Switzerland", ReceiverHost: "epfl.ch",
+				Interval: clock.Duration(103.501 * float64(ms)), RTT: clock.Duration(283.338 * float64(ms)),
+			},
+			IntervalMean:    clock.Duration(103.501 * float64(ms)),
+			IntervalStd:     clock.Duration(0.189 * float64(ms)),
+			IntervalMin:     clock.Duration(101.674 * float64(ms)),
+			SpikeProb:       2e-5,
+			SpikeMax:        130 * ms,
+			DelayBase:       clock.Duration(135.1 * float64(ms)),
+			DelayJitterMean: clock.Duration(6.6 * float64(ms)),
+			DelayJitterStd:  clock.Duration(9 * float64(ms)),
+			DelayTailProb:   0.004,
+			DelayTailScale:  90 * ms,
+			LossRate:        0.00399,
+			MeanBurst:       28.5, // 23192 losses in 814 bursts
+			OutageProb:      2e-7,
+			OutageMaxLen:    1093,
+		},
+		// WAN-1: Stanford (USA) → NAIST (Japan). Send 12.825±13.069 ms,
+		// recv 12.83±14.892 ms, loss 0%, RTT 193.909 ms.
+		"WAN-1": planetLab("WAN-1",
+			"USA", "planet1.scs.stanford.edu", "Japan", "planetlab-03.naist.ac.jp",
+			12.825, 13.069, 14.892, 0, 1, 193.909),
+		// WAN-2: Fraunhofer (Germany) → Stanford (USA). 5% loss.
+		"WAN-2": planetLab("WAN-2",
+			"Germany", "planetlab-2.fokus.fraunhofer.de", "USA", "planet1.scs.stanford.edu",
+			12.176, 1.219, 19.547, 0.05, 6, 194.959),
+		// WAN-3: NAIST (Japan) → Fraunhofer (Germany). 2% loss.
+		"WAN-3": planetLab("WAN-3",
+			"Japan", "planetlab-03.naist.ac.jp", "Germany", "planetlab-2.fokus.fraunhofer.de",
+			12.21, 1.243, 4.768, 0.02, 4, 189.44),
+		// WAN-4: CUHK (China) → Stanford (USA). 0% loss.
+		"WAN-4": planetLab("WAN-4",
+			"China", "planetlab2.ie.cuhk.edu.hk", "USA", "planet1.scs.stanford.edu",
+			12.337, 9.953, 22.918, 0, 1, 172.863),
+		// WAN-5: CUHK (China) → Fraunhofer (Germany). 4% loss.
+		"WAN-5": planetLab("WAN-5",
+			"China", "planetlab2.ie.cuhk.edu.hk", "Germany", "planetlab-2.fokus.fraunhofer.de",
+			12.367, 15.599, 16.557, 0.04, 5, 362.423),
+		// WAN-6: HKUST (China) → Keio SFC (Japan). 0% loss.
+		"WAN-6": planetLab("WAN-6",
+			"China", "plab1.cs.ust.hk", "Japan", "planetlab1.sfc.wide.ad.jp",
+			12.33, 10.185, 17.56, 0, 1, 78.52),
+	}
+	for name, gp := range p {
+		gp.Count = DefaultCount
+		gp.Seed = seedFor(name)
+		p[name] = gp
+	}
+	return p
+}
+
+// Preset returns one environment's parameters; it reports an error for an
+// unknown name (valid names are listed by PresetNames).
+func Preset(name string) (GenParams, error) {
+	gp, ok := Presets()[name]
+	if !ok {
+		return GenParams{}, fmt.Errorf("trace: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return gp, nil
+}
+
+// PresetNames returns the environment names in stable order: the JP↔CH
+// run first (Fig. 6–7), then WAN-1..6 (Fig. 9–10, Tables I–II).
+func PresetNames() []string {
+	names := make([]string, 0, len(Presets()))
+	for n := range Presets() {
+		names = append(names, n)
+	}
+	sort.Strings(names) // WAN-1..WAN-6, WAN-JPCH
+	// Move WAN-JPCH to the front to match paper presentation order.
+	for i, n := range names {
+		if n == "WAN-JPCH" {
+			copy(names[1:i+1], names[:i])
+			names[0] = n
+			break
+		}
+	}
+	return names
+}
+
+// planetLab builds a PlanetLab-style preset from the Table II numbers:
+// send mean/std (ms), receive interarrival std (ms), loss rate, mean loss
+// burst, RTT (ms). PlanetLab one-way delay is apportioned ~55% of RTT on
+// the forward path with jitter solved from the interarrival variances.
+func planetLab(name, sLoc, sHost, rLoc, rHost string,
+	sendMeanMS, sendStdMS, recvStdMS, loss, meanBurst, rttMS float64) GenParams {
+
+	// Var[recv ia] = Var[send ia] + 2·Var[delay]  ⇒  delayStd.
+	dvar := (recvStdMS*recvStdMS - sendStdMS*sendStdMS) / 2
+	if dvar < 0.01 {
+		dvar = 0.01
+	}
+	delayStd := sqrtMS(dvar)
+	delayJitterMean := delayStd * 1.2 // mild right skew, keeps base below RTT/2
+	base := rttMS/2 - delayJitterMean
+	if base < 1 {
+		base = 1
+	}
+	return GenParams{
+		Meta: Meta{
+			Name: name, Sender: sLoc, SenderHost: sHost,
+			Receiver: rLoc, ReceiverHost: rHost,
+			Interval: clock.Duration(sendMeanMS * float64(ms)),
+			RTT:      clock.Duration(rttMS * float64(ms)),
+		},
+		IntervalMean:    clock.Duration(sendMeanMS * float64(ms)),
+		IntervalStd:     clock.Duration(sendStdMS * float64(ms)),
+		IntervalMin:     clock.Duration(0.5 * float64(ms)),
+		SpikeProb:       1e-4,
+		SpikeMax:        100 * ms,
+		DelayBase:       clock.Duration(base * float64(ms)),
+		DelayJitterMean: clock.Duration(delayJitterMean * float64(ms)),
+		DelayJitterStd:  clock.Duration(delayStd * float64(ms)),
+		DelayTailProb:   0.002,
+		DelayTailScale:  60 * ms,
+		LossRate:        loss,
+		MeanBurst:       meanBurst,
+	}
+}
+
+func sqrtMS(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// seedFor derives a stable per-environment seed so every run of the
+// harness replays byte-identical traces.
+func seedFor(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

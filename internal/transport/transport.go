@@ -1,0 +1,250 @@
+// Package transport provides the datagram endpoints the live heartbeat
+// stack runs on: a real UDP endpoint (stdlib net) matching the paper's
+// "inter-process communication model is based on message exchanges over
+// the UDP communication protocol" (§II-B), and an in-memory hub with the
+// same unreliable-channel semantics for socket-free tests. Deterministic
+// simulation uses internal/netsim instead.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Inbound is a received datagram.
+type Inbound struct {
+	From    string
+	Payload []byte
+}
+
+// Endpoint is an unreliable datagram endpoint: sends may be silently
+// lost, but delivered payloads are intact and unduplicated.
+type Endpoint interface {
+	// Send transmits to the named address. A nil error does not imply
+	// delivery.
+	Send(to string, payload []byte) error
+	// Recv returns the delivery channel. It is closed by Close.
+	Recv() <-chan Inbound
+	// Addr returns this endpoint's address.
+	Addr() string
+	// Close releases resources and closes the Recv channel.
+	Close() error
+}
+
+// ErrClosed reports use of a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// maxDatagram bounds receive buffers; heartbeat messages are tiny, but
+// leave room for piggybacked payloads.
+const maxDatagram = 64 * 1024
+
+// UDP is an Endpoint over a real UDP socket.
+type UDP struct {
+	conn   *net.UDPConn
+	recv   chan Inbound
+	closed chan struct{}
+	once   sync.Once
+
+	mu    sync.Mutex
+	peers map[string]*net.UDPAddr // resolution cache
+}
+
+// ListenUDP opens a UDP endpoint on addr (e.g. "127.0.0.1:0"). The
+// endpoint's Addr is the concrete bound address.
+func ListenUDP(addr string) (*UDP, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	u := &UDP{
+		conn:   conn,
+		recv:   make(chan Inbound, 4096),
+		closed: make(chan struct{}),
+		peers:  make(map[string]*net.UDPAddr),
+	}
+	go u.readLoop()
+	return u, nil
+}
+
+func (u *UDP) readLoop() {
+	defer close(u.recv)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-u.closed:
+				return
+			default:
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		select {
+		case u.recv <- Inbound{From: from.String(), Payload: payload}:
+		default:
+			// Receiver not draining: drop, like a full socket buffer.
+		}
+	}
+}
+
+// Send implements Endpoint.
+func (u *UDP) Send(to string, payload []byte) error {
+	select {
+	case <-u.closed:
+		return ErrClosed
+	default:
+	}
+	u.mu.Lock()
+	ua := u.peers[to]
+	u.mu.Unlock()
+	if ua == nil {
+		resolved, err := net.ResolveUDPAddr("udp", to)
+		if err != nil {
+			return fmt.Errorf("transport: resolve %q: %w", to, err)
+		}
+		u.mu.Lock()
+		u.peers[to] = resolved
+		u.mu.Unlock()
+		ua = resolved
+	}
+	_, err := u.conn.WriteToUDP(payload, ua)
+	return err
+}
+
+// Recv implements Endpoint.
+func (u *UDP) Recv() <-chan Inbound { return u.recv }
+
+// Addr implements Endpoint.
+func (u *UDP) Addr() string { return u.conn.LocalAddr().String() }
+
+// Close implements Endpoint.
+func (u *UDP) Close() error {
+	var err error
+	u.once.Do(func() {
+		close(u.closed)
+		err = u.conn.Close()
+	})
+	return err
+}
+
+// Hub is an in-memory datagram switchboard for tests: real-time (not
+// simulated), optionally lossy and delayed, no sockets.
+type Hub struct {
+	mu        sync.Mutex
+	endpoints map[string]*MemEndpoint
+	lossRate  float64
+	delay     time.Duration
+	rng       *rand.Rand
+}
+
+// NewHub returns an empty hub. lossRate drops datagrams uniformly at
+// random; delay postpones each delivery by a fixed amount.
+func NewHub(lossRate float64, delay time.Duration, seed int64) *Hub {
+	return &Hub{
+		endpoints: make(map[string]*MemEndpoint),
+		lossRate:  lossRate,
+		delay:     delay,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Endpoint registers and returns an endpoint with the given address.
+func (h *Hub) Endpoint(addr string) *MemEndpoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.endpoints[addr]; dup {
+		panic(fmt.Sprintf("transport: duplicate hub endpoint %q", addr))
+	}
+	ep := &MemEndpoint{hub: h, addr: addr, recv: make(chan Inbound, 4096), closed: make(chan struct{})}
+	h.endpoints[addr] = ep
+	return ep
+}
+
+// MemEndpoint is an Endpoint attached to a Hub.
+type MemEndpoint struct {
+	hub    *Hub
+	addr   string
+	recv   chan Inbound
+	closed chan struct{}
+	once   sync.Once
+
+	// closeMu serializes deliveries against Close: recv may only be
+	// closed once no sender can still be inside a send (closing a
+	// channel with concurrent senders is a race).
+	closeMu  sync.RWMutex
+	isClosed bool
+}
+
+// Send implements Endpoint.
+func (m *MemEndpoint) Send(to string, payload []byte) error {
+	select {
+	case <-m.closed:
+		return ErrClosed
+	default:
+	}
+	h := m.hub
+	h.mu.Lock()
+	dst := h.endpoints[to]
+	drop := h.lossRate > 0 && h.rng.Float64() < h.lossRate
+	delay := h.delay
+	h.mu.Unlock()
+	if dst == nil {
+		return fmt.Errorf("transport: unknown hub endpoint %q", to)
+	}
+	if drop {
+		return nil
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	deliver := func() {
+		dst.closeMu.RLock()
+		defer dst.closeMu.RUnlock()
+		if dst.isClosed {
+			return
+		}
+		select {
+		case dst.recv <- Inbound{From: m.addr, Payload: cp}:
+		default:
+		}
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, deliver)
+	} else {
+		deliver()
+	}
+	return nil
+}
+
+// Recv implements Endpoint.
+func (m *MemEndpoint) Recv() <-chan Inbound { return m.recv }
+
+// Addr implements Endpoint.
+func (m *MemEndpoint) Addr() string { return m.addr }
+
+// Close implements Endpoint.
+func (m *MemEndpoint) Close() error {
+	m.once.Do(func() {
+		close(m.closed)
+		m.hub.mu.Lock()
+		delete(m.hub.endpoints, m.addr)
+		m.hub.mu.Unlock()
+		m.closeMu.Lock()
+		m.isClosed = true
+		close(m.recv)
+		m.closeMu.Unlock()
+	})
+	return nil
+}

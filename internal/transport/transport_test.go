@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHubBasicDelivery(t *testing.T) {
+	hub := NewHub(0, 0, 1)
+	a := hub.Endpoint("a")
+	b := hub.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case in := <-b.Recv():
+		if in.From != "a" || string(in.Payload) != "x" {
+			t.Fatalf("got %+v", in)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestHubLoss(t *testing.T) {
+	hub := NewHub(0.5, 0, 42)
+	a := hub.Endpoint("a")
+	b := hub.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	const total = 2000
+	for i := 0; i < total; i++ {
+		a.Send("b", []byte{1})
+	}
+	got := 0
+	for {
+		select {
+		case <-b.Recv():
+			got++
+		default:
+			goto done
+		}
+	}
+done:
+	if got < total/4 || got > 3*total/4 {
+		t.Fatalf("50%% loss delivered %d of %d", got, total)
+	}
+}
+
+func TestHubDelay(t *testing.T) {
+	hub := NewHub(0, 30*time.Millisecond, 1)
+	a := hub.Endpoint("a")
+	b := hub.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	a.Send("b", []byte("x"))
+	select {
+	case <-b.Recv():
+		if el := time.Since(start); el < 25*time.Millisecond {
+			t.Fatalf("delivered after %v, want ≥30ms", el)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestHubPayloadCopied(t *testing.T) {
+	hub := NewHub(0, 0, 1)
+	a := hub.Endpoint("a")
+	b := hub.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	buf := []byte("abc")
+	a.Send("b", buf)
+	buf[0] = 'Z'
+	in := <-b.Recv()
+	if string(in.Payload) != "abc" {
+		t.Fatalf("payload aliased: %q", in.Payload)
+	}
+}
+
+func TestUDPAddrConcrete(t *testing.T) {
+	ep, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if ep.Addr() == "127.0.0.1:0" || ep.Addr() == "" {
+		t.Fatalf("Addr not concrete: %q", ep.Addr())
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Send(b.Addr(), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case in := <-b.Recv():
+		if string(in.Payload) != "ping" {
+			t.Fatalf("payload %q", in.Payload)
+		}
+		// Reply to the observed source address.
+		if err := b.Send(in.From, []byte("pong")); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery a→b")
+	}
+	select {
+	case in := <-a.Recv():
+		if string(in.Payload) != "pong" {
+			t.Fatalf("payload %q", in.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery b→a")
+	}
+}
+
+func TestUDPResolveFailure(t *testing.T) {
+	ep, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if err := ep.Send("not a valid : address : at all", []byte("x")); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestUDPCloseUnblocksRecv(t *testing.T) {
+	ep, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for range ep.Recv() {
+		}
+		close(done)
+	}()
+	ep.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv not closed by Close")
+	}
+}
+
+func TestUDPListenFailure(t *testing.T) {
+	if _, err := ListenUDP("definitely-not-an-address"); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func TestHubConcurrentSenders(t *testing.T) {
+	hub := NewHub(0, 0, 1)
+	dst := hub.Endpoint("dst")
+	defer dst.Close()
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ep := hub.Endpoint(string(rune('a' + w)))
+		wg.Add(1)
+		go func(ep *MemEndpoint) {
+			defer wg.Done()
+			defer ep.Close()
+			for i := 0; i < per; i++ {
+				ep.Send("dst", []byte{byte(i)})
+			}
+		}(ep)
+	}
+	wg.Wait()
+	got := 0
+	for {
+		select {
+		case <-dst.Recv():
+			got++
+		default:
+			if got != workers*per {
+				t.Fatalf("delivered %d, want %d", got, workers*per)
+			}
+			return
+		}
+	}
+}
+
+func TestMemEndpointDoubleClose(t *testing.T) {
+	hub := NewHub(0, 0, 1)
+	a := hub.Endpoint("a")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+}

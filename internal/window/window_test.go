@@ -1,0 +1,282 @@
+package window
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingPushAndOrder(t *testing.T) {
+	r := NewRing[int](3)
+	if r.Cap() != 3 || r.Len() != 0 || r.Full() {
+		t.Fatal("fresh ring state wrong")
+	}
+	for i := 1; i <= 3; i++ {
+		if _, ev := r.Push(i); ev {
+			t.Fatal("eviction before full")
+		}
+	}
+	if !r.Full() {
+		t.Fatal("ring should be full")
+	}
+	old, ev := r.Push(4)
+	if !ev || old != 1 {
+		t.Fatalf("evicted %v,%v, want 1,true", old, ev)
+	}
+	want := []int{2, 3, 4}
+	for i, w := range want {
+		if r.At(i) != w {
+			t.Fatalf("At(%d) = %d, want %d", i, r.At(i), w)
+		}
+	}
+}
+
+func TestRingNewestOldest(t *testing.T) {
+	r := NewRing[string](2)
+	if _, ok := r.Newest(); ok {
+		t.Fatal("empty Newest should be !ok")
+	}
+	if _, ok := r.Oldest(); ok {
+		t.Fatal("empty Oldest should be !ok")
+	}
+	r.Push("a")
+	r.Push("b")
+	r.Push("c")
+	if n, _ := r.Newest(); n != "c" {
+		t.Fatalf("Newest = %q", n)
+	}
+	if o, _ := r.Oldest(); o != "b" {
+		t.Fatalf("Oldest = %q", o)
+	}
+}
+
+func TestRingDoAndSnapshot(t *testing.T) {
+	r := NewRing[int](4)
+	for i := 0; i < 6; i++ {
+		r.Push(i)
+	}
+	var got []int
+	r.Do(func(x int) { got = append(got, x) })
+	snap := r.Snapshot()
+	want := []int{2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] || snap[i] != want[i] {
+			t.Fatalf("Do=%v Snapshot=%v, want %v", got, snap, want)
+		}
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing[int](2)
+	r.Push(1)
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset did not empty ring")
+	}
+	r.Push(9)
+	if v, _ := r.Oldest(); v != 9 {
+		t.Fatal("ring unusable after Reset")
+	}
+}
+
+func TestRingAtPanics(t *testing.T) {
+	r := NewRing[int](2)
+	r.Push(1)
+	for _, i := range []int{-1, 1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%d) did not panic", i)
+				}
+			}()
+			r.At(i)
+		}()
+	}
+}
+
+func TestRingZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewRing[int](0)
+}
+
+func TestRingFIFOProperty(t *testing.T) {
+	// Property: after pushing any sequence into a ring of capacity c, the
+	// ring holds exactly the last min(len, c) items in order.
+	f := func(items []int, capRaw uint8) bool {
+		c := int(capRaw%16) + 1
+		r := NewRing[int](c)
+		for _, x := range items {
+			r.Push(x)
+		}
+		n := len(items)
+		if n > c {
+			n = c
+		}
+		if r.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if r.At(i) != items[len(items)-n+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplesMeanVariance(t *testing.T) {
+	s := NewSamples(4)
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty Samples stats nonzero")
+	}
+	for _, x := range []float64{2, 4, 6, 8} {
+		s.Push(x)
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Variance() != 5 {
+		t.Fatalf("Variance = %v, want 5", s.Variance())
+	}
+	// Evict 2, push 10: window is {4,6,8,10}.
+	s.Push(10)
+	if s.Mean() != 7 {
+		t.Fatalf("Mean after eviction = %v, want 7", s.Mean())
+	}
+	if s.Sum() != 28 {
+		t.Fatalf("Sum = %v, want 28", s.Sum())
+	}
+}
+
+func TestSamplesFullFlag(t *testing.T) {
+	s := NewSamples(2)
+	if s.Full() {
+		t.Fatal("empty window reports full")
+	}
+	s.Push(1)
+	s.Push(2)
+	if !s.Full() {
+		t.Fatal("window should be full")
+	}
+	if s.Cap() != 2 || s.Len() != 2 {
+		t.Fatal("Cap/Len wrong")
+	}
+}
+
+func TestSamplesAccessors(t *testing.T) {
+	s := NewSamples(3)
+	if _, ok := s.Newest(); ok {
+		t.Fatal("empty Newest ok")
+	}
+	if _, ok := s.Oldest(); ok {
+		t.Fatal("empty Oldest ok")
+	}
+	s.Push(1)
+	s.Push(2)
+	if v, _ := s.Newest(); v != 2 {
+		t.Fatal("Newest wrong")
+	}
+	if v, _ := s.Oldest(); v != 1 {
+		t.Fatal("Oldest wrong")
+	}
+	if s.At(0) != 1 || s.At(1) != 2 {
+		t.Fatal("At wrong")
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0] != 1 {
+		t.Fatal("Snapshot wrong")
+	}
+}
+
+func TestSamplesResetAndRecompute(t *testing.T) {
+	s := NewSamples(3)
+	s.Push(5)
+	s.Reset()
+	if s.Len() != 0 || s.Sum() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	for _, x := range []float64{1, 2, 3} {
+		s.Push(x)
+	}
+	before := s.Mean()
+	s.Recompute()
+	if s.Mean() != before {
+		t.Fatal("Recompute changed the mean")
+	}
+}
+
+func TestSamplesMatchesBatchProperty(t *testing.T) {
+	// Property: window stats equal batch stats of the retained suffix,
+	// even after many evictions.
+	f := func(raw []int16, capRaw uint8) bool {
+		c := int(capRaw%32) + 1
+		s := NewSamples(c)
+		for _, v := range raw {
+			s.Push(float64(v))
+		}
+		n := len(raw)
+		if n > c {
+			n = c
+		}
+		if s.Len() != n {
+			return false
+		}
+		if n == 0 {
+			return s.Mean() == 0
+		}
+		var sum float64
+		tail := raw[len(raw)-n:]
+		for _, v := range tail {
+			sum += float64(v)
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, v := range tail {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		wantVar := ss / float64(n)
+		return math.Abs(s.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(s.Variance()-wantVar) < 1e-3*(1+wantVar)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplesVarianceNeverNegative(t *testing.T) {
+	s := NewSamples(8)
+	// Near-identical large values maximize cancellation error.
+	for i := 0; i < 1000; i++ {
+		s.Push(1e12 + float64(i%2)*1e-3)
+	}
+	if s.Variance() < 0 {
+		t.Fatal("variance went negative")
+	}
+	if s.StdDev() < 0 {
+		t.Fatal("stddev went negative")
+	}
+}
+
+func BenchmarkSamplesPush(b *testing.B) {
+	s := NewSamples(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Push(float64(i))
+	}
+}
+
+func BenchmarkRingPush(b *testing.B) {
+	r := NewRing[int64](1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Push(int64(i))
+	}
+}

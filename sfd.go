@@ -1,0 +1,385 @@
+// Package sfd (import path "repro") is the public API of this
+// reproduction of "A Self-tuning Failure Detection Scheme for Cloud
+// Computing Service" (Xiong et al., IEEE IPDPS 2012).
+//
+// It provides:
+//
+//   - The paper's contribution: the SFD self-tuning accrual failure
+//     detector (NewSFD) and the general self-tuning wrapper for any
+//     timeout-based detector (NewSelfTuner).
+//   - The baselines the paper compares against: Chen FD (NewChen),
+//     Bertier FD (NewBertier), the φ accrual FD (NewPhi), and a naive
+//     fixed-timeout detector (NewFixed).
+//   - QoS evaluation by trace replay (Replay, Sweep) with Chen et al.'s
+//     metrics: detection time, mistake rate, query accuracy probability.
+//   - Synthetic WAN heartbeat traces calibrated to the paper's Table II
+//     (TracePreset, NewTraceGenerator), plus binary/CSV codecs.
+//   - A live heartbeat stack over UDP or in-memory transports
+//     (NewHeartbeatSender, NewHeartbeatReceiver, ListenUDP) and a
+//     cloud-monitoring layer (NewMonitor, Quorum) implementing the
+//     paper's "one monitors multiple" deployment.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	det := sfd.NewSFD(sfd.Config{
+//		Targets: sfd.Targets{MaxTD: 900 * time.Millisecond, MaxMR: 0.35, MinQAP: 0.994},
+//	})
+//	det.Observe(seq, sendTime, recvTime) // per heartbeat
+//	if det.Suspect(now) { ... }
+package sfd
+
+import (
+	"io"
+
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/heartbeat"
+	"repro/internal/netsim"
+	"repro/internal/qos"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Time is a monotonic instant in nanoseconds (see internal/clock).
+type Time = clock.Time
+
+// Duration aliases time.Duration.
+type Duration = clock.Duration
+
+// Clock abstracts a monotonic time source (real or simulated).
+type Clock = clock.Clock
+
+// NewRealClock returns a wall-clock-backed Clock.
+func NewRealClock() Clock { return clock.NewReal() }
+
+// NewSimClock returns a deterministic simulated Clock starting at origin.
+func NewSimClock(origin Time) *clock.Sim { return clock.NewSim(origin) }
+
+// Detector is a heartbeat failure detector: it consumes arrivals and
+// exposes a freshness point (the instant suspicion begins).
+type Detector = detector.Detector
+
+// Accrual is a Detector that also outputs a continuous suspicion level.
+type Accrual = detector.Accrual
+
+// DefaultWindowSize is the paper's sliding-window size (WS = 1000).
+const DefaultWindowSize = detector.DefaultWindowSize
+
+// Config configures an SFD instance (see core.Config for field docs).
+type Config = core.Config
+
+// Targets is an application's QoS requirement: max detection time, max
+// mistake rate, min query accuracy probability.
+type Targets = core.Targets
+
+// QoS is the (TD, MR, QAP) tuple of the paper's Eq. 1.
+type QoS = core.QoS
+
+// SFD is the paper's Self-tuning Failure Detector.
+type SFD = core.SFD
+
+// State is the SFD tuning state.
+type State = core.State
+
+// Tuning states.
+const (
+	StateWarmup     = core.StateWarmup
+	StateTuning     = core.StateTuning
+	StateStable     = core.StateStable
+	StateInfeasible = core.StateInfeasible
+)
+
+// NewSFD builds the paper's Self-tuning Failure Detector; zero Config
+// fields take paper-faithful defaults (WS=1000, α=100ms, β=0.5).
+func NewSFD(cfg Config) *SFD { return core.New(cfg) }
+
+// DefaultConfig returns the paper-faithful SFD configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Tunable is a detector whose margin/timeout the general self-tuning
+// method can drive.
+type Tunable = core.Tunable
+
+// TunerOptions configures NewSelfTuner.
+type TunerOptions = core.TunerOptions
+
+// SelfTuner retrofits the paper's feedback loop onto any Tunable.
+type SelfTuner = core.SelfTuner
+
+// NewSelfTuner wraps a Tunable detector with QoS feedback (§IV-A's
+// general method).
+func NewSelfTuner(d Tunable, opts TunerOptions) *SelfTuner { return core.NewSelfTuner(d, opts) }
+
+// TunableChen adapts a Chen FD for NewSelfTuner (tunes α).
+type TunableChen = core.TunableChen
+
+// TunableFixed adapts a Fixed FD for NewSelfTuner (tunes the timeout).
+type TunableFixed = core.TunableFixed
+
+// NewChen builds Chen et al.'s adaptive FD: window estimation plus a
+// constant safety margin alpha. interval 0 estimates Δt from arrivals.
+func NewChen(windowSize int, interval, alpha Duration) *detector.Chen {
+	return detector.NewChen(windowSize, interval, alpha)
+}
+
+// BertierParams are Bertier's estimator constants (β, φ, γ).
+type BertierParams = detector.BertierParams
+
+// NewBertier builds Bertier et al.'s adaptive FD; zero params take the
+// published β=1, φ=4, γ=0.1.
+func NewBertier(windowSize int, interval Duration, p BertierParams) *detector.Bertier {
+	return detector.NewBertier(windowSize, interval, p)
+}
+
+// NewPhi builds the φ accrual FD with the given suspicion threshold Φ.
+func NewPhi(windowSize int, threshold float64, minSigma Duration) *detector.Phi {
+	return detector.NewPhi(windowSize, threshold, minSigma)
+}
+
+// NewFixed builds the naive constant-timeout baseline.
+func NewFixed(timeout Duration, warmup int) *detector.Fixed {
+	return detector.NewFixed(timeout, warmup)
+}
+
+// NewRTO builds the TCP-RTO-style detector (Jacobson/Karels smoothing of
+// inter-arrival times, timeout = srtt + k·rttvar); k ≤ 0 defaults to 4.
+func NewRTO(k float64, warmup int) *detector.RTO {
+	return detector.NewRTO(k, warmup)
+}
+
+// NewPhiExp builds the exponential-tail accrual detector (the
+// Cassandra-style simplification of φ).
+func NewPhiExp(windowSize int, threshold float64) *detector.PhiExp {
+	return detector.NewPhiExp(windowSize, threshold)
+}
+
+// Static configuration procedure (Chen-style provisioning; see
+// internal/detector/configure.go for the derivation).
+type (
+	// NetworkStats is the probabilistic network model Configure consumes.
+	NetworkStats = detector.NetworkStats
+	// Requirements is the QoS an application demands of a detector.
+	Requirements = detector.Requirements
+	// Configuration is a computed (interval, margin) operating point.
+	Configuration = detector.Configuration
+)
+
+// ErrInfeasible reports that no operating point satisfies the
+// requirements — the static analogue of SFD's "can not satisfy" response.
+var ErrInfeasible = detector.ErrInfeasible
+
+// Configure computes a heartbeat interval and safety margin meeting the
+// requirements on a network with the given loss/delay statistics, or
+// ErrInfeasible. Use it to provision Δt and SM₁; SFD's feedback then
+// keeps them matched to the live network.
+func Configure(net NetworkStats, req Requirements) (Configuration, error) {
+	return detector.Configure(net, req)
+}
+
+// Result is the measured QoS of one replay.
+type Result = qos.Result
+
+// CrashOutcome extends Result with actual crash-detection latency.
+type CrashOutcome = qos.CrashOutcome
+
+// Curve is a detector's QoS trade-off curve from a parameter sweep.
+type Curve = qos.Curve
+
+// Replay feeds a heartbeat trace through a detector and measures its QoS
+// exactly as the paper's replay-based evaluation does.
+func Replay(s trace.Stream, det Detector) Result { return qos.Replay(s, det) }
+
+// ReplayWithCrash injects a crash at crashSeq and measures the actual
+// detection latency alongside the pre-crash QoS.
+func ReplayWithCrash(s trace.Stream, det Detector, crashSeq uint64) CrashOutcome {
+	return qos.ReplayWithCrash(s, det, crashSeq)
+}
+
+// SweepFactory builds a detector per parameter value.
+type SweepFactory = qos.Factory
+
+// Sweep traces a detector's QoS curve by replaying the trace once per
+// parameter value.
+func Sweep(tr *trace.Trace, name string, f SweepFactory, params []float64) Curve {
+	return qos.Sweep(tr, name, f, params)
+}
+
+// Trace types and generation.
+type (
+	// Trace is a materialized heartbeat trace.
+	Trace = trace.Trace
+	// TraceRecord is one heartbeat observation.
+	TraceRecord = trace.Record
+	// TraceMeta describes a trace's origin and parameters.
+	TraceMeta = trace.Meta
+	// TraceStream yields records in sequence order.
+	TraceStream = trace.Stream
+	// TraceGenParams parameterizes the synthetic WAN generator.
+	TraceGenParams = trace.GenParams
+	// TraceStats is the Table II statistics row for a trace.
+	TraceStats = trace.Stats
+)
+
+// TracePreset returns the generator parameters of one of the paper's
+// seven WAN environments ("WAN-JPCH", "WAN-1".."WAN-6").
+func TracePreset(name string) (TraceGenParams, error) { return trace.Preset(name) }
+
+// TracePresetNames lists the available environments in paper order.
+func TracePresetNames() []string { return trace.PresetNames() }
+
+// NewTraceGenerator returns a deterministic synthetic heartbeat stream.
+func NewTraceGenerator(p TraceGenParams) TraceStream { return trace.NewGenerator(p) }
+
+// CollectTrace materializes a stream.
+func CollectTrace(meta TraceMeta, s TraceStream) *Trace { return trace.Collect(meta, s) }
+
+// AnalyzeTrace computes a trace's Table II statistics.
+func AnalyzeTrace(name string, s TraceStream) TraceStats { return trace.Analyze(name, s) }
+
+// WriteTrace / ReadTrace encode traces in the compact binary format.
+func WriteTrace(w io.Writer, t *Trace) error { return trace.Write(w, t) }
+
+// ReadTrace decodes a binary trace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// Live heartbeat stack.
+type (
+	// Endpoint is an unreliable datagram endpoint.
+	Endpoint = transport.Endpoint
+	// HeartbeatArrival is one decoded heartbeat delivery.
+	HeartbeatArrival = heartbeat.Arrival
+	// HeartbeatSender emits periodic heartbeats (the paper's process p).
+	HeartbeatSender = heartbeat.Sender
+	// HeartbeatReceiver decodes and filters heartbeats (process q).
+	HeartbeatReceiver = heartbeat.Receiver
+	// Prober estimates RTT with ping/pong, like the paper's parallel
+	// low-frequency ping process.
+	Prober = heartbeat.Prober
+)
+
+// ListenUDP opens a UDP endpoint (e.g. "127.0.0.1:0").
+func ListenUDP(addr string) (*transport.UDP, error) { return transport.ListenUDP(addr) }
+
+// NewHub returns an in-memory datagram switchboard for socket-free use.
+func NewHub(lossRate float64, delay Duration, seed int64) *transport.Hub {
+	return transport.NewHub(lossRate, delay, seed)
+}
+
+// NewHeartbeatSender emits a heartbeat to `to` every interval.
+func NewHeartbeatSender(ep Endpoint, to string, interval Duration, clk Clock) *HeartbeatSender {
+	return heartbeat.NewSender(ep, to, interval, clk)
+}
+
+// NewHeartbeatReceiver drains ep, filters stale heartbeats, answers
+// pings, and feeds arrivals to h.
+func NewHeartbeatReceiver(ep Endpoint, clk Clock, h func(HeartbeatArrival)) *HeartbeatReceiver {
+	return heartbeat.NewReceiver(ep, clk, h)
+}
+
+// NewProber measures RTT against `to` through ep.
+func NewProber(ep Endpoint, to string, clk Clock) *Prober {
+	return heartbeat.NewProber(ep, to, clk)
+}
+
+// Cloud-monitoring layer.
+type (
+	// Monitor watches many peers, one detector each.
+	Monitor = cluster.Monitor
+	// MonitorOptions tunes status thresholds.
+	MonitorOptions = cluster.Options
+	// MonitorReport is a point-in-time view of one peer.
+	MonitorReport = cluster.Report
+	// PeerStatus classifies a monitored server.
+	PeerStatus = cluster.Status
+	// Quorum aggregates several monitors ("multiple monitor multiple").
+	Quorum = cluster.Quorum
+	// DetectorFactory builds a detector per watched peer.
+	DetectorFactory = cluster.Factory
+)
+
+// Peer status values (the paper's active / busy / offline classification).
+const (
+	PeerUnknown   = cluster.StatusUnknown
+	PeerActive    = cluster.StatusActive
+	PeerBusy      = cluster.StatusBusy
+	PeerSuspected = cluster.StatusSuspected
+	PeerOffline   = cluster.StatusOffline
+)
+
+// NewMonitor builds a Monitor; a nil factory defaults to SFD instances.
+func NewMonitor(clk Clock, f DetectorFactory, opts MonitorOptions) *Monitor {
+	return cluster.NewMonitor(clk, f, opts)
+}
+
+// SFDFactory returns a DetectorFactory producing SFDs with the given
+// targets and otherwise default configuration.
+func SFDFactory(targets Targets) DetectorFactory { return cluster.DefaultFactory(targets) }
+
+// Reactor implements the paper's graduated-reaction pattern (§I):
+// applications register actions at ascending suspicion thresholds; each
+// fires once per suspicion episode.
+type Reactor = cluster.Reactor
+
+// ActionFunc reacts to a suspicion threshold crossing.
+type ActionFunc = cluster.ActionFunc
+
+// NewReactor returns an empty graduated-reaction registry.
+func NewReactor() *Reactor { return cluster.NewReactor() }
+
+// FormatSnapshot renders a Monitor snapshot as an aligned status board.
+func FormatSnapshot(reports []MonitorReport) string { return cluster.FormatSnapshot(reports) }
+
+// SummarizeSnapshot counts a snapshot by status and lists the peers
+// needing attention.
+func SummarizeSnapshot(reports []MonitorReport) (map[PeerStatus]int, []string) {
+	return cluster.Summarize(reports)
+}
+
+// Elector implements Ω (eventual leader election) over a Monitor: the
+// leader is the smallest-ranked candidate not currently suspected.
+type Elector = cluster.Elector
+
+// NewElector builds an elector for the candidate set; self is this
+// process's own name and mon must watch the other candidates.
+func NewElector(self string, mon *Monitor, candidates []string) *Elector {
+	return cluster.NewElector(self, mon, candidates)
+}
+
+// Simulation layer (deterministic, no sockets).
+type (
+	// SimCluster is a simulated monitoring deployment.
+	SimCluster = cluster.SimCluster
+	// Consortium is the Fig. 1 multi-cloud scenario.
+	Consortium = cluster.Consortium
+	// ConsortiumConfig parameterizes BuildConsortium.
+	ConsortiumConfig = cluster.ConsortiumConfig
+	// LinkParams describes a simulated network link.
+	LinkParams = netsim.LinkParams
+)
+
+// NewSimCluster creates a simulated deployment with the given default
+// link parameters and seed.
+func NewSimCluster(def LinkParams, seed int64) *SimCluster {
+	return cluster.NewSimCluster(def, seed)
+}
+
+// BuildConsortium constructs the education-cloud consortium of Fig. 1.
+func BuildConsortium(cfg ConsortiumConfig) *Consortium { return cluster.BuildConsortium(cfg) }
+
+// Consensus layer: Chandra–Toueg consensus driven by these failure
+// detectors (the paper's ◇P_ac ⇒ consensus claim, executable).
+type (
+	// ConsensusCluster is a simulated set of consensus processes.
+	ConsensusCluster = consensus.Cluster
+	// ConsensusOptions configures NewConsensus.
+	ConsensusOptions = consensus.Options
+	// ConsensusProcess is one participant.
+	ConsensusProcess = consensus.Process
+)
+
+// NewConsensus builds a simulated consensus cluster whose processes
+// monitor each other with detectors from Options.Factory (default: Chen).
+func NewConsensus(opts ConsensusOptions) *ConsensusCluster { return consensus.New(opts) }
