@@ -325,6 +325,51 @@ func TestPublicSimClusterDirect(t *testing.T) {
 	}
 }
 
+func TestPublicRegistryLifecycle(t *testing.T) {
+	sim := sfd.NewSimClock(0)
+	reg := sfd.NewRegistry(sim, func(string) sfd.Detector {
+		return sfd.NewFixed(300*msA, 1)
+	}, sfd.RegistryOptions{
+		WheelTick:    10 * msA,
+		OfflineAfter: 500 * msA,
+		EvictAfter:   500 * msA,
+	})
+	reg.Start()
+	defer reg.Stop()
+	sub := reg.Subscribe(16)
+	defer sub.Close()
+
+	// Heartbeat every 100 ms for 2 s, then crash.
+	var seq uint64
+	for now := sfd.Time(0); now < sfd.Time(2*time.Second); now = now.Add(100 * msA) {
+		sim.Advance(100 * msA)
+		reg.Observe(sfd.HeartbeatArrival{From: "p", Seq: seq, Send: now, Recv: sim.Now()})
+		seq++
+	}
+	if st, ok := reg.StatusOf("p", sim.Now()); !ok || st != sfd.PeerActive {
+		t.Fatalf("live status = %v (ok=%v)", st, ok)
+	}
+	sim.Advance(3 * time.Second) // silence: suspect → offline → evicted
+	want := []sfd.EventType{sfd.EventSuspect, sfd.EventOffline, sfd.EventEvicted}
+	for _, w := range want {
+		select {
+		case ev := <-sub.C():
+			if ev.Type != w || ev.Peer != "p" {
+				t.Fatalf("event %v, want %v for p", ev, w)
+			}
+		default:
+			t.Fatalf("missing %v event", w)
+		}
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("registry holds %d streams after eviction", reg.Len())
+	}
+	c := reg.Counters()
+	if c.Heartbeats != uint64(seq) || c.Evictions != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
 func TestPublicDefaultConfigAndWindowSize(t *testing.T) {
 	cfg := sfd.DefaultConfig()
 	if cfg.WindowSize != sfd.DefaultWindowSize || sfd.DefaultWindowSize != 1000 {

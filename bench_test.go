@@ -6,6 +6,7 @@
 package sfd_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -191,6 +192,82 @@ func BenchmarkConsensusWithCrash(b *testing.B) {
 		if _, err := c.Agreement(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// registryFleetSizes are the stream counts the fleet-scale registry is
+// benchmarked at (the ISSUE's "tens of thousands of streams" claim).
+var registryFleetSizes = []struct {
+	name string
+	n    int
+}{{"1k", 1_000}, {"10k", 10_000}, {"100k", 100_000}}
+
+// BenchmarkRegistryIngest measures the amortized per-heartbeat cost of
+// Registry.Observe at fleet scale: hash → shard lock → detector update →
+// deadline write. The lazy timer-wheel design keeps the hot path free of
+// wheel operations, so this must stay sub-microsecond at 10k streams.
+func BenchmarkRegistryIngest(b *testing.B) {
+	for _, size := range registryFleetSizes {
+		b.Run(size.name, func(b *testing.B) {
+			reg := sfd.NewRegistry(sfd.NewSimClock(0), func(string) sfd.Detector {
+				return sfd.NewFixed(500*clock.Millisecond, 1)
+			}, sfd.RegistryOptions{Shards: 64})
+			peers := make([]string, size.n)
+			seqs := make([]uint64, size.n)
+			for i := range peers {
+				peers[i] = fmt.Sprintf("srv-%06d", i)
+				reg.Observe(sfd.HeartbeatArrival{From: peers[i], Seq: 0, Send: 0, Recv: 0})
+				seqs[i] = 1
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := i % size.n
+				at := clock.Time(i) * clock.Time(clock.Microsecond)
+				reg.Observe(sfd.HeartbeatArrival{From: peers[p], Seq: seqs[p], Send: at, Recv: at})
+				seqs[p]++
+			}
+		})
+	}
+}
+
+// BenchmarkRegistryTimerWheel measures one wheel tick of fleet time in
+// steady state: per iteration a tenth of the fleet heartbeats (each
+// stream beats every 10 ticks) and Tick advances the wheel, firing and
+// lazily re-arming each stream's entry once per timeout period. No
+// status transitions occur; this is the pure scheduling load.
+func BenchmarkRegistryTimerWheel(b *testing.B) {
+	const tick = 10 * clock.Millisecond
+	const beatEvery = 10
+	for _, size := range registryFleetSizes {
+		b.Run(size.name, func(b *testing.B) {
+			reg := sfd.NewRegistry(sfd.NewSimClock(0), func(string) sfd.Detector {
+				return sfd.NewFixed(15*tick, 1)
+			}, sfd.RegistryOptions{Shards: 64, WheelTick: tick, MaxSilence: -1})
+			peers := make([]string, size.n)
+			seqs := make([]uint64, size.n)
+			for i := range peers {
+				peers[i] = fmt.Sprintf("srv-%06d", i)
+				reg.Observe(sfd.HeartbeatArrival{From: peers[i], Seq: 0, Send: 0, Recv: 0})
+				seqs[i] = 1
+			}
+			now := clock.Time(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now = now.Add(tick)
+				for p := i % beatEvery; p < size.n; p += beatEvery {
+					reg.Observe(sfd.HeartbeatArrival{From: peers[p], Seq: seqs[p], Send: now, Recv: now})
+					seqs[p]++
+				}
+				reg.Tick(now)
+			}
+			b.StopTimer()
+			if c := reg.Counters(); c.Suspects != 0 {
+				b.Fatalf("steady-state bench produced %d suspects", c.Suspects)
+			}
+			b.ReportMetric(float64(size.n), "streams")
+		})
 	}
 }
 

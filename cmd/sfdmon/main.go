@@ -1,24 +1,30 @@
 // sfdmon is a live UDP heartbeat daemon: run it as a sender on the
 // monitored host and as a monitor on the observing host. The monitor
-// drives an SFD (or a baseline detector) per peer and prints a status
-// table — the paper's PlanetLab motivation turned into a tool ("it is
-// impractical to login one by one without any guidance").
+// drives an SFD (or a baseline detector) per peer through the sharded
+// registry, logs failure-bus transitions, evicts peers that stay
+// offline, and prints a status table — the paper's PlanetLab motivation
+// turned into a tool ("it is impractical to login one by one without
+// any guidance").
 //
 // Usage:
 //
 //	# on the monitored host:
 //	sfdmon -mode send -to 10.0.0.2:7946 -interval 100ms
 //
-//	# on the monitoring host:
-//	sfdmon -mode monitor -listen :7946 -refresh 1s
+//	# on the monitoring host (with the HTTP status surface):
+//	sfdmon -mode monitor -listen :7946 -refresh 1s -serve :8080
 //
 //	# loopback demo in one process:
 //	sfdmon -mode demo
+//
+// With -serve, the monitor exposes GET /status (full JSON snapshot),
+// GET /vars (counters + per-shard occupancy), and GET /healthz.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +43,8 @@ func main() {
 		maxTD    = flag.Duration("maxtd", 2*time.Second, "monitor: target max detection time")
 		maxMR    = flag.Float64("maxmr", 0.5, "monitor: target max mistake rate")
 		minQAP   = flag.Float64("minqap", 0.99, "monitor: target min QAP")
+		serve    = flag.String("serve", "", "monitor: HTTP status address (e.g. :8080; empty = disabled)")
+		evict    = flag.Duration("evict", time.Minute, "monitor: drop peers offline this long (<0 = never)")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
 	)
 	flag.Parse()
@@ -45,7 +53,8 @@ func main() {
 	case "send":
 		runSender(*to, *interval, *duration)
 	case "monitor":
-		runMonitor(*listen, *refresh, sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *duration)
+		runMonitor(*listen, *serve, *refresh,
+			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration)
 	case "demo":
 		runDemo()
 	default:
@@ -69,17 +78,45 @@ func runSender(to string, interval, duration time.Duration) {
 	fmt.Printf("sfdmon: sent %d heartbeats\n", snd.Sent())
 }
 
-func runMonitor(listen string, refresh time.Duration, targets sfd.Targets, duration time.Duration) {
+func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration) {
 	ep, err := sfd.ListenUDP(listen)
 	if err != nil {
 		fatal(err)
 	}
 	defer ep.Close()
 	clk := sfd.NewRealClock()
-	mon := sfd.NewMonitor(clk, sfd.SFDFactory(targets), sfd.MonitorOptions{})
-	recv := sfd.NewHeartbeatReceiver(ep, clk, mon.Observe)
+	reg := sfd.NewRegistry(clk, sfd.SFDFactory(targets), sfd.RegistryOptions{
+		EvictAfter: evict,
+	})
+	reg.Start()
+	defer reg.Stop()
+	recv := sfd.NewHeartbeatReceiver(ep, clk, reg.Observe)
 	recv.Start()
 	fmt.Printf("sfdmon: monitoring on %s (targets %v)\n", ep.Addr(), targets)
+
+	// Log every failure-bus transition; eviction also clears the
+	// receiver's stale filter so both tables stay bounded under churn.
+	sub := reg.Subscribe(1024)
+	defer sub.Close()
+	go func() {
+		for ev := range sub.C() {
+			fmt.Printf("event: %s\n", ev)
+			if ev.Type == sfd.EventEvicted {
+				recv.Forget(ev.Peer)
+			}
+		}
+	}()
+
+	if serve != "" {
+		srv := &http.Server{Addr: serve, Handler: reg.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "sfdmon: http: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("sfdmon: serving http://%s/status (also /vars, /healthz)\n", serve)
+	}
 
 	ticker := time.NewTicker(refresh)
 	defer ticker.Stop()
@@ -89,8 +126,15 @@ func runMonitor(listen string, refresh time.Duration, targets sfd.Targets, durat
 		case <-done:
 			return
 		case <-ticker.C:
+			now := clk.Now()
 			fmt.Printf("--- %s ---\n", time.Now().Format(time.RFC3339))
-			fmt.Print(sfd.FormatSnapshot(mon.Snapshot(clk.Now())))
+			fmt.Print(sfd.FormatSnapshot(reg.Snapshot(now)))
+			c := reg.Counters()
+			if d := sub.Dropped(); d > 0 {
+				fmt.Printf("warning: %d bus events dropped by the log subscriber\n", d)
+			}
+			fmt.Printf("counters: hb=%d stale=%d suspects=%d trusts=%d offline=%d evicted=%d streams=%d\n",
+				c.Heartbeats, c.Stale, c.Suspects, c.Trusts, c.Offlines, c.Evictions, c.Streams)
 		}
 	}
 }

@@ -85,6 +85,42 @@ func TestMonitorSuspectsAfterSilence(t *testing.T) {
 	}
 }
 
+func TestMonitorEvictOffline(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(100*msK), Options{OfflineAfter: 5 * clock.Second})
+	lastDead := feedMonitor(m, "dead", 60, 100*msK)
+	feedMonitor(m, "alive", 60, 100*msK)
+
+	// "dead" goes silent; "alive" keeps beating through the silence.
+	deadline := lastDead.Add(8 * clock.Second)
+	for i := 60; clock.Time(i)*clock.Time(100*msK) < deadline; i++ {
+		send := clock.Time(i) * clock.Time(100*msK)
+		m.Observe(heartbeat.Arrival{From: "alive", Seq: uint64(i), Send: send, Recv: send.Add(2 * msK)})
+	}
+
+	// Offline but within the eviction grace: nothing is removed.
+	at := lastDead.Add(6 * clock.Second)
+	if st, _ := m.StatusOf("dead", at); st != StatusOffline {
+		t.Fatalf("status = %v, want offline", st)
+	}
+	if ev := m.EvictOffline(at, 3*clock.Second); len(ev) != 0 {
+		t.Fatalf("evicted %v before grace elapsed", ev)
+	}
+
+	// Past OfflineAfter+grace: only the offline peer goes.
+	at = lastDead.Add(9 * clock.Second)
+	ev := m.EvictOffline(at, 3*clock.Second)
+	if len(ev) != 1 || ev[0] != "dead" {
+		t.Fatalf("evicted %v, want [dead]", ev)
+	}
+	if peers := m.Peers(); len(peers) != 1 || peers[0] != "alive" {
+		t.Fatalf("remaining peers %v, want [alive]", peers)
+	}
+	// Idempotent once the table is clean.
+	if ev := m.EvictOffline(at, 0); len(ev) != 0 {
+		t.Fatalf("second eviction removed %v", ev)
+	}
+}
+
 func TestMonitorBusyBandWithAccrual(t *testing.T) {
 	// SFD's accrual level consumes the margin gradually: between BusyLevel
 	// and SuspectLevel the server reports busy.

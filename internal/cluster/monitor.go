@@ -291,6 +291,31 @@ func (m *Monitor) Snapshot(now clock.Time) []Report {
 	return out
 }
 
+// EvictOffline removes every peer that has been offline for longer than
+// grace beyond the offline threshold (i.e. suspected continuously for at
+// least OfflineAfter+grace) and returns their names, sorted. A crashed
+// process never recovers in the paper's model, so keeping its detector
+// forever only grows the table; long-lived monitors under churn should
+// call this periodically. grace <= 0 evicts as soon as a peer turns
+// offline.
+func (m *Monitor) EvictOffline(now clock.Time, grace clock.Duration) []string {
+	if grace < 0 {
+		grace = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var evicted []string
+	for name, ps := range m.peers {
+		st, _ := m.statusLocked(ps, now)
+		if st == StatusOffline && now.Sub(ps.suspectSince) >= m.opts.OfflineAfter+grace {
+			delete(m.peers, name)
+			evicted = append(evicted, name)
+		}
+	}
+	sort.Strings(evicted)
+	return evicted
+}
+
 // RecordDetectionLatency feeds one confirmed crash-to-detection latency
 // into the monitor's tail estimators (used by the simulation harness).
 func (m *Monitor) RecordDetectionLatency(d clock.Duration) {

@@ -173,6 +173,44 @@ func TestReceiverFiltersStale(t *testing.T) {
 	}
 }
 
+// TestReceiverForget: dropping a peer's stale-filter state bounds the
+// table under churn and re-admits the peer from any sequence number.
+func TestReceiverForget(t *testing.T) {
+	hub := transport.NewHub(0, 0, 1)
+	sEP := hub.Endpoint("p")
+	rEP := hub.Endpoint("q")
+	defer sEP.Close()
+	defer rEP.Close()
+
+	var mu sync.Mutex
+	var seqs []uint64
+	recv := NewReceiver(rEP, nil, func(a Arrival) { mu.Lock(); seqs = append(seqs, a.Seq); mu.Unlock() })
+	recv.Start()
+
+	send := func(seq uint64) {
+		m := Message{Kind: KindHeartbeat, Seq: seq, Time: 0}
+		sEP.Send("q", m.Marshal())
+	}
+	send(10)
+	time.Sleep(20 * time.Millisecond)
+	if recv.Tracked() != 1 {
+		t.Fatalf("Tracked() = %d, want 1", recv.Tracked())
+	}
+	// Without Forget, seq 3 would be stale-dropped (3 <= 10). After
+	// Forget the peer restarts from scratch and 3 is accepted.
+	recv.Forget("p")
+	if recv.Tracked() != 0 {
+		t.Fatalf("Tracked() after Forget = %d, want 0", recv.Tracked())
+	}
+	send(3)
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) != 2 || seqs[0] != 10 || seqs[1] != 3 {
+		t.Fatalf("accepted %v, want [10 3]", seqs)
+	}
+}
+
 func TestReceiverIgnoresForeignDatagrams(t *testing.T) {
 	hub := transport.NewHub(0, 0, 1)
 	sEP := hub.Endpoint("p")

@@ -94,6 +94,25 @@ func (r *Receiver) handle(in transport.Inbound) {
 // Wait blocks until the receive loop exits (endpoint closed).
 func (r *Receiver) Wait() { <-r.done }
 
+// Forget drops the stale-filter state for a sender. Call it when a peer
+// is evicted from the monitoring table; otherwise lastSeq grows one
+// entry per address ever heard from, unbounded under churn. A sender
+// that reappears after Forget is accepted from whatever sequence number
+// it resumes at.
+func (r *Receiver) Forget(peer string) {
+	r.mu.Lock()
+	delete(r.lastSeq, peer)
+	r.mu.Unlock()
+}
+
+// Tracked returns how many senders currently have stale-filter state —
+// the bound Forget maintains.
+func (r *Receiver) Tracked() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.lastSeq)
+}
+
 // Counters returns the number of accepted and stale heartbeats.
 func (r *Receiver) Counters() (received, stale uint64) {
 	r.mu.Lock()

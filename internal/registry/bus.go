@@ -1,0 +1,120 @@
+package registry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Bus is the failure-event fan-out: transitions detected by the registry
+// are published to every subscriber over a bounded channel. Publishing
+// NEVER blocks — a subscriber that falls behind has its oldest queued
+// events replaced by newer ones (drop-oldest backpressure), with the
+// drops counted per subscriber. This keeps the single timer-wheel
+// goroutine isolated from slow consumers, the property Dobre et al.'s
+// notification-driven architecture depends on.
+type Bus struct {
+	mu   sync.RWMutex
+	subs map[*Subscription]struct{}
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[*Subscription]struct{})}
+}
+
+// Subscribe registers a subscriber with the given channel capacity
+// (minimum 1; buf <= 0 takes 64). Close the subscription to detach.
+func (b *Bus) Subscribe(buf int) *Subscription {
+	if buf <= 0 {
+		buf = 64
+	}
+	s := &Subscription{bus: b, ch: make(chan Event, buf)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Publish delivers e to every subscriber without blocking.
+func (b *Bus) Publish(e Event) {
+	b.published.Add(1)
+	b.mu.RLock()
+	for s := range b.subs {
+		s.offer(e)
+	}
+	b.mu.RUnlock()
+}
+
+// Stats returns the total published events and total drops across all
+// subscribers (including subscribers that have since closed).
+func (b *Bus) Stats() (published, dropped uint64) {
+	return b.published.Load(), b.dropped.Load()
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Bus) Subscribers() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs)
+}
+
+// Subscription is one bounded-channel consumer of the event bus.
+type Subscription struct {
+	bus *Bus
+	ch  chan Event
+
+	mu      sync.Mutex // serializes offers against Close
+	closed  bool
+	dropped atomic.Uint64
+}
+
+// C returns the event channel. It is closed by Close.
+func (s *Subscription) C() <-chan Event { return s.ch }
+
+// Dropped returns how many events were discarded because this subscriber
+// fell behind.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription from the bus and closes the channel.
+// It is safe to call concurrently with Publish and more than once.
+func (s *Subscription) Close() {
+	s.bus.mu.Lock()
+	delete(s.bus.subs, s)
+	s.bus.mu.Unlock()
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+	s.mu.Unlock()
+}
+
+// offer enqueues e, evicting the oldest queued event when full. Offers
+// are serialized by s.mu (publishers from the wheel goroutine and from
+// heartbeat ingest paths may race), so the loop below terminates: only
+// the consumer can remove events besides us, and it only makes room.
+func (s *Subscription) offer(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for {
+		select {
+		case s.ch <- e:
+			return
+		default:
+		}
+		// Full: drop the oldest (the consumer may race us for it; either
+		// way a slot frees up and the next send attempt succeeds).
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+			s.bus.dropped.Add(1)
+		default:
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package registry
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// TestBusDropOldestBackpressure: a subscriber that never drains keeps
+// only the newest `buf` events, the drop counter accounts for the rest,
+// and Publish never blocks.
+func TestBusDropOldestBackpressure(t *testing.T) {
+	b := NewBus()
+	const buf, total = 4, 100
+	sub := b.Subscribe(buf)
+
+	for i := 0; i < total; i++ {
+		b.Publish(Event{Type: EventSuspect, At: clock.Time(i)})
+	}
+
+	if got, want := sub.Dropped(), uint64(total-buf); got != want {
+		t.Fatalf("sub.Dropped() = %d, want %d", got, want)
+	}
+	if _, drop := b.Stats(); drop != uint64(total-buf) {
+		t.Fatalf("bus drop counter = %d, want %d", drop, total-buf)
+	}
+	// Drop-oldest: the queue holds exactly the newest buf events in order.
+	for i := 0; i < buf; i++ {
+		ev := <-sub.C()
+		if want := clock.Time(total - buf + i); ev.At != want {
+			t.Fatalf("queued event %d has At=%v, want %v (oldest must be dropped first)", i, ev.At, want)
+		}
+	}
+	select {
+	case ev := <-sub.C():
+		t.Fatalf("unexpected extra event %v", ev)
+	default:
+	}
+}
+
+// TestBusSlowSubscriberDoesNotBlockOthers: one stalled subscriber must
+// not prevent a healthy one from seeing every event.
+func TestBusSlowSubscriberDoesNotBlockOthers(t *testing.T) {
+	b := NewBus()
+	stalled := b.Subscribe(1)
+	healthy := b.Subscribe(64)
+
+	for i := 0; i < 32; i++ {
+		b.Publish(Event{At: clock.Time(i)})
+	}
+	if stalled.Dropped() != 31 {
+		t.Fatalf("stalled.Dropped() = %d, want 31", stalled.Dropped())
+	}
+	for i := 0; i < 32; i++ {
+		if ev := <-healthy.C(); ev.At != clock.Time(i) {
+			t.Fatalf("healthy subscriber missed events: got At=%v want %v", ev.At, i)
+		}
+	}
+	if healthy.Dropped() != 0 {
+		t.Fatalf("healthy.Dropped() = %d, want 0", healthy.Dropped())
+	}
+}
+
+// TestBusUnsubscribeDuringPublish closes subscriptions concurrently with
+// a publisher storm; must not panic, deadlock, or race (run with -race).
+func TestBusUnsubscribeDuringPublish(t *testing.T) {
+	b := NewBus()
+	var pubWg, subWg sync.WaitGroup
+
+	stop := make(chan struct{})
+	pubWg.Add(1)
+	go func() {
+		defer pubWg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				b.Publish(Event{At: clock.Time(i)})
+			}
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		sub := b.Subscribe(2)
+		subWg.Add(1)
+		go func() {
+			defer subWg.Done()
+			<-sub.C() // consume a little, then detach mid-storm
+			sub.Close()
+			sub.Close() // double-close must be safe
+		}()
+	}
+	subWg.Wait()
+	close(stop)
+	pubWg.Wait()
+
+	if n := b.Subscribers(); n != 0 {
+		t.Fatalf("%d subscribers left after close", n)
+	}
+}
+
+// TestBusPublishAfterCloseIsNoop: events offered to a closed
+// subscription are discarded without panicking on the closed channel.
+func TestBusPublishAfterCloseIsNoop(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(1)
+	sub.Close()
+	b.Publish(Event{Type: EventOffline})
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("closed subscription delivered an event")
+	}
+}

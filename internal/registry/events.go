@@ -1,0 +1,73 @@
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// EventType discriminates failure-bus notifications.
+type EventType uint8
+
+const (
+	// EventSuspect: a stream crossed from trusted to suspected (its
+	// freshness point expired, or it exceeded the silence safety net).
+	EventSuspect EventType = iota + 1
+	// EventTrust: a suspected (or offline) stream resumed heartbeating —
+	// the suspicion was a mistake, or a wrongly-declared-offline server
+	// came back (the paper's model: a crashed process never recovers, so
+	// a recovery proves the suspicion wrong).
+	EventTrust
+	// EventOffline: a stream stayed suspected past the offline grace
+	// period and is now treated as crashed.
+	EventOffline
+	// EventEvicted: an offline stream outlived the eviction grace period
+	// and was removed from the registry (bounded-table guarantee).
+	EventEvicted
+	// EventCannotSatisfy: the stream's self-tuning detector reports that
+	// the requested QoS targets are infeasible on this network path —
+	// Algorithm 1's "this SFD can not satisfy the QoS" response, pushed
+	// instead of polled.
+	EventCannotSatisfy
+)
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case EventSuspect:
+		return "suspect"
+	case EventTrust:
+		return "trust"
+	case EventOffline:
+		return "offline"
+	case EventEvicted:
+		return "evicted"
+	case EventCannotSatisfy:
+		return "cannot-satisfy"
+	default:
+		return fmt.Sprintf("EventType(%d)", uint8(t))
+	}
+}
+
+// Event is one failure-detection transition published on the bus.
+type Event struct {
+	Type EventType
+	Peer string
+	// At is the instant the transition was detected (wheel fire time or
+	// heartbeat arrival time).
+	At clock.Time
+	// Suspicion is the accrual suspicion level at the transition, when
+	// the stream's detector exposes one (0 otherwise).
+	Suspicion float64
+	// Detail carries auxiliary text, e.g. the self-tuner's infeasibility
+	// response for EventCannotSatisfy.
+	Detail string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%s %s at %v: %s", e.Peer, e.Type, e.At, e.Detail)
+	}
+	return fmt.Sprintf("%s %s at %v (suspicion %.3f)", e.Peer, e.Type, e.At, e.Suspicion)
+}

@@ -1,0 +1,89 @@
+package registry
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/clock"
+)
+
+// Handler returns the registry's HTTP surface, mounted by
+// `sfdmon -mode monitor -serve :8080`:
+//
+//	GET /status   full JSON snapshot: counters plus one row per stream
+//	GET /vars     expvar-style counters and per-shard occupancy only
+//	GET /healthz  liveness probe (200 "ok")
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", r.serveStatus)
+	mux.HandleFunc("/vars", r.serveVars)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+type streamJSON struct {
+	Peer        string  `json:"peer"`
+	Status      string  `json:"status"`
+	Suspicion   float64 `json:"suspicion"`
+	LastSeq     uint64  `json:"last_seq"`
+	LastArrival int64   `json:"last_arrival_ns"`
+	Freshness   int64   `json:"freshness_point_ns"`
+	Detector    string  `json:"detector"`
+}
+
+type statusJSON struct {
+	Now      int64        `json:"now_ns"`
+	Counters Counters     `json:"counters"`
+	Shards   []int        `json:"shard_occupancy"`
+	Streams  []streamJSON `json:"streams"`
+}
+
+func (r *Registry) serveStatus(w http.ResponseWriter, _ *http.Request) {
+	now := r.clk.Now()
+	reports := r.Snapshot(now)
+	out := statusJSON{
+		Now:      int64(now),
+		Counters: r.Counters(),
+		Shards:   r.ShardOccupancy(),
+		Streams:  make([]streamJSON, 0, len(reports)),
+	}
+	for _, rep := range reports {
+		out.Streams = append(out.Streams, streamJSON{
+			Peer:        rep.Peer,
+			Status:      rep.Status.String(),
+			Suspicion:   rep.SuspicionLevel,
+			LastSeq:     rep.LastSeq,
+			LastArrival: int64(rep.LastArrival),
+			Freshness:   int64(rep.FreshnessPoint),
+			Detector:    rep.Detector,
+		})
+	}
+	writeJSON(w, out)
+}
+
+type varsJSON struct {
+	Now      int64    `json:"now_ns"`
+	Uptime   float64  `json:"uptime_s"`
+	Counters Counters `json:"counters"`
+	Shards   []int    `json:"shard_occupancy"`
+}
+
+func (r *Registry) serveVars(w http.ResponseWriter, _ *http.Request) {
+	now := r.clk.Now()
+	writeJSON(w, varsJSON{
+		Now:      int64(now),
+		Uptime:   now.Sub(clock.Time(0)).Seconds(),
+		Counters: r.Counters(),
+		Shards:   r.ShardOccupancy(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,92 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// TestWheelFiresAcrossLevels schedules entries whose delays land on
+// every level of the hierarchy and checks each fires at its deadline
+// rounded up to the tick, never early.
+func TestWheelFiresAcrossLevels(t *testing.T) {
+	const tick = clock.Millisecond
+	w := newTimerWheel(tick, 0)
+
+	delays := []clock.Duration{
+		500 * clock.Microsecond, // sub-tick: rounds up to tick 1
+		3 * clock.Millisecond,
+		63 * clock.Millisecond,  // last level-0 slot
+		64 * clock.Millisecond,  // first level-1 entry
+		100 * clock.Millisecond, // level 1
+		4095 * clock.Millisecond,
+		4096 * clock.Millisecond, // level 2
+		300 * clock.Second,       // level 3
+	}
+	fired := make(map[uint64]clock.Time)
+	for i, d := range delays {
+		w.schedule(clock.Time(d), "p", uint64(i))
+	}
+	if got := w.len(); got != len(delays) {
+		t.Fatalf("len = %d, want %d", got, len(delays))
+	}
+
+	end := clock.Time(301 * clock.Second)
+	step := 7 * clock.Millisecond // deliberately unaligned with the tick
+	for now := clock.Time(0); now <= end; now = now.Add(step) {
+		for _, x := range w.advance(now, nil) {
+			if _, dup := fired[x.gen]; dup {
+				t.Fatalf("entry %d fired twice", x.gen)
+			}
+			fired[x.gen] = now
+		}
+	}
+
+	for i, d := range delays {
+		at, ok := fired[uint64(i)]
+		if !ok {
+			t.Fatalf("entry %d (delay %v) never fired", i, d)
+		}
+		if at.Before(clock.Time(d)) {
+			t.Errorf("entry %d fired at %v, before its deadline %v", i, at, d)
+		}
+		// May fire up to one tick late (rounding) plus one step late
+		// (advance granularity of this test loop).
+		if slack := at.Sub(clock.Time(d)); slack > tick+step {
+			t.Errorf("entry %d fired %v after its deadline", i, slack)
+		}
+	}
+	if got := w.len(); got != 0 {
+		t.Fatalf("len after drain = %d, want 0", got)
+	}
+}
+
+// TestWheelDueEntriesLandOnNextTick verifies scheduling at or before the
+// current instant still fires (on the next tick) rather than being lost.
+func TestWheelDueEntriesLandOnNextTick(t *testing.T) {
+	const tick = 10 * clock.Millisecond
+	w := newTimerWheel(tick, 0)
+	w.advance(clock.Time(clock.Second), nil) // cur = 100 ticks
+
+	w.schedule(clock.Time(0), "past", 1)
+	w.schedule(clock.Time(clock.Second), "now", 2)
+
+	exp := w.advance(clock.Time(clock.Second).Add(tick), nil)
+	if len(exp) != 2 {
+		t.Fatalf("expired %d entries, want 2", len(exp))
+	}
+}
+
+// TestWheelFarFutureClamped verifies deadlines beyond the wheel span do
+// not wrap into the near future.
+func TestWheelFarFutureClamped(t *testing.T) {
+	const tick = clock.Millisecond
+	w := newTimerWheel(tick, 0)
+	const span = int64(1) << (wheelLevels * wheelBits)
+	far := clock.Time(clock.Duration(2*span) * tick)
+	w.schedule(far, "far", 1)
+	// Advancing well past "soon" must not fire the entry.
+	if exp := w.advance(clock.Time(clock.Second), nil); len(exp) != 0 {
+		t.Fatalf("far-future entry fired after 1s: %v", exp)
+	}
+}

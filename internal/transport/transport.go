@@ -147,7 +147,11 @@ type Hub struct {
 	endpoints map[string]*MemEndpoint
 	lossRate  float64
 	delay     time.Duration
-	rng       *rand.Rand
+	// rng drives loss decisions. *rand.Rand is not safe for concurrent
+	// use; every access MUST hold mu (Send draws under mu — see the
+	// concurrency stress test). Do not read it lock-free for "cheap"
+	// randomness.
+	rng *rand.Rand
 }
 
 // NewHub returns an empty hub. lossRate drops datagrams uniformly at

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -197,6 +198,55 @@ func TestHubConcurrentSenders(t *testing.T) {
 			return
 		}
 	}
+}
+
+// TestHubStressSendEndpointClose hammers one Hub from many goroutines
+// mixing lossy Sends (which draw from the shared rng under hub.mu),
+// Endpoint registration, and mid-flight Closes. It exists to run under
+// `go test -race`: the hub's rng is a plain *rand.Rand guarded only by
+// hub.mu, and this is the test that proves no path touches it unlocked.
+func TestHubStressSendEndpointClose(t *testing.T) {
+	hub := NewHub(0.3, 0, 42) // lossy: every Send exercises the rng
+	dst := hub.Endpoint("dst")
+	defer dst.Close()
+
+	// One drainer keeps dst's buffer from filling.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range dst.Recv() {
+		}
+	}()
+
+	const workers, rounds = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Fresh endpoint per round: registration, sends to the
+				// shared destination and to a vanishing peer, then close
+				// — all racing with the other 15 workers.
+				ep := hub.Endpoint(fmt.Sprintf("w%d-r%d", w, r))
+				for i := 0; i < 5; i++ {
+					_ = ep.Send("dst", []byte{byte(w), byte(r), byte(i)})
+					_ = ep.Send(fmt.Sprintf("w%d-r%d", (w+1)%workers, r), []byte{0})
+				}
+				if err := ep.Close(); err != nil {
+					t.Errorf("close: %v", err)
+					return
+				}
+				if err := ep.Send("dst", nil); err != ErrClosed {
+					t.Errorf("send after close: %v, want ErrClosed", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	dst.Close()
+	<-drained
 }
 
 func TestMemEndpointDoubleClose(t *testing.T) {

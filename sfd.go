@@ -18,6 +18,9 @@
 //     (NewHeartbeatSender, NewHeartbeatReceiver, ListenUDP) and a
 //     cloud-monitoring layer (NewMonitor, Quorum) implementing the
 //     paper's "one monitors multiple" deployment.
+//   - A fleet-scale monitoring registry (NewRegistry): lock-striped
+//     shards, a hierarchical timer wheel firing suspect transitions,
+//     and a bounded drop-oldest failure-event bus (Subscribe).
 //
 // Quick start (see examples/quickstart for the runnable version):
 //
@@ -39,6 +42,7 @@ import (
 	"repro/internal/heartbeat"
 	"repro/internal/netsim"
 	"repro/internal/qos"
+	"repro/internal/registry"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -346,6 +350,48 @@ type Elector = cluster.Elector
 // process's own name and mon must watch the other candidates.
 func NewElector(self string, mon *Monitor, candidates []string) *Elector {
 	return cluster.NewElector(self, mon, candidates)
+}
+
+// Fleet-scale monitoring: the sharded registry, its timer wheel, and
+// the failure-event bus (see internal/registry).
+type (
+	// Registry is a sharded, timer-wheel-scheduled monitoring table for
+	// tens of thousands of heartbeat streams.
+	Registry = registry.Registry
+	// RegistryOptions tunes sharding, wheel granularity, thresholds, and
+	// eviction policy.
+	RegistryOptions = registry.Options
+	// RegistryCounters is the registry's aggregate counter snapshot.
+	RegistryCounters = registry.Counters
+	// StreamStats is the per-stream ingest/mistake accounting.
+	StreamStats = registry.StreamStats
+	// Event is one failure-detection state transition on the event bus.
+	Event = registry.Event
+	// EventType classifies an Event.
+	EventType = registry.EventType
+	// Subscription is one subscriber's bounded, drop-oldest event queue.
+	Subscription = registry.Subscription
+)
+
+// Failure-event kinds published on the registry bus.
+const (
+	EventSuspect       = registry.EventSuspect
+	EventTrust         = registry.EventTrust
+	EventOffline       = registry.EventOffline
+	EventEvicted       = registry.EventEvicted
+	EventCannotSatisfy = registry.EventCannotSatisfy
+)
+
+// NewRegistry builds a fleet-scale monitoring registry. nil clk means
+// the real clock; nil f defaults every stream to an SFD instance. Call
+// Start to arm the timer wheel, Observe per heartbeat arrival, and
+// Subscribe to consume transition events.
+func NewRegistry(clk Clock, f DetectorFactory, opts RegistryOptions) *Registry {
+	var rf registry.Factory
+	if f != nil {
+		rf = registry.Factory(f)
+	}
+	return registry.New(clk, rf, opts)
 }
 
 // Simulation layer (deterministic, no sockets).
