@@ -1,0 +1,136 @@
+// benchjson converts `go test -bench` text output into a stable JSON
+// document, so CI can archive benchmark numbers as an artifact and
+// regressions can be diffed across runs.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson -o BENCH_ci.json
+//
+// The input is the standard bench format: per-package headers (goos,
+// goarch, pkg, cpu) followed by result lines of the shape
+//
+//	BenchmarkName-8   124   9583 ns/op   120 B/op   3 allocs/op
+//
+// Every value/unit pair after the iteration count lands in the
+// benchmark's "metrics" map (ns/op, B/op, allocs/op, MB/s, and any
+// custom ReportMetric units alike).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "", "output file (default stdout)")
+		indent = flag.Bool("indent", true, "pretty-print the JSON")
+	)
+	flag.Parse()
+
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	if *indent {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` output. Unrecognized lines (PASS, ok,
+// test logs) are skipped: bench output is interleaved with whatever the
+// packages print.
+func parse(r io.Reader) (Report, error) {
+	var rep Report
+	rep.Benchmarks = []Benchmark{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseResult(line); ok {
+				b.Package = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseResult decodes one "BenchmarkX-N iters v unit v unit ..." line.
+func parseResult(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Metrics: map[string]float64{}}
+	// A trailing -N on the name is GOMAXPROCS, by bench convention.
+	if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false // e.g. "BenchmarkX	--- FAIL"
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}

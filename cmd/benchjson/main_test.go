@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/registry
+cpu: AMD EPYC 7B13
+BenchmarkRegistryIngest-8   	24426998	        48.51 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRegistryIngest10k-8	  123456	      9583 ns/op
+PASS
+ok  	repro/internal/registry	2.034s
+pkg: repro/internal/trace
+BenchmarkTable2_TraceStats 	       1	 501234567 ns/op	        12.50 beats/s
+some stray log line the package printed
+ok  	repro/internal/trace	0.6s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkRegistryIngest" || b.Procs != 8 || b.Package != "repro/internal/registry" {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if b.Iterations != 24426998 || b.Metrics["ns/op"] != 48.51 || b.Metrics["allocs/op"] != 0 {
+		t.Fatalf("first benchmark numbers: %+v", b)
+	}
+
+	// No -N suffix, custom metric, later pkg header.
+	b = rep.Benchmarks[2]
+	if b.Name != "BenchmarkTable2_TraceStats" || b.Procs != 0 || b.Package != "repro/internal/trace" {
+		t.Fatalf("third benchmark: %+v", b)
+	}
+	if b.Metrics["beats/s"] != 12.5 {
+		t.Fatalf("custom metric lost: %+v", b.Metrics)
+	}
+}
+
+func TestParseSkipsFailuresAndGarbage(t *testing.T) {
+	in := `Benchmark
+BenchmarkBroken-4	--- FAIL
+Benchmarked something unrelated
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("garbage parsed as results: %+v", rep.Benchmarks)
+	}
+}

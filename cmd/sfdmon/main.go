@@ -17,8 +17,14 @@
 //	# loopback demo in one process:
 //	sfdmon -mode demo
 //
+//	# multi-monitor deployment: every monitor also gossips suspicion
+//	# digests with its peers and publishes corroborated Global* verdicts:
+//	sfdmon -mode monitor -listen :7946 -serve :8080 \
+//	    -gossip -gossip-peers 10.0.0.3:7946,10.0.0.4:7946 -gossip-quorum 2
+//
 // With -serve, the monitor exposes GET /status (full JSON snapshot),
-// GET /vars (counters + per-shard occupancy), and GET /healthz.
+// GET /vars (counters + per-shard occupancy), GET /healthz, and — with
+// -gossip — GET /gossip (verdicts, peer weights, opinion table).
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +53,13 @@ func main() {
 		serve    = flag.String("serve", "", "monitor: HTTP status address (e.g. :8080; empty = disabled)")
 		evict    = flag.Duration("evict", time.Minute, "monitor: drop peers offline this long (<0 = never)")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
+
+		gossipOn       = flag.Bool("gossip", false, "monitor: exchange suspicion digests with peer monitors")
+		gossipPeers    = flag.String("gossip-peers", "", "monitor: comma-separated peer monitor addresses")
+		gossipID       = flag.String("gossip-id", "", "monitor: gossip identity (default: the bound address)")
+		gossipInterval = flag.Duration("gossip-interval", 250*time.Millisecond, "monitor: anti-entropy round period")
+		gossipQuorum   = flag.Int("gossip-quorum", 2, "monitor: concurring monitors needed for a global verdict")
+		gossipSeed     = flag.Int64("gossip-seed", 0, "monitor: peer-selection seed (0 = default)")
 	)
 	flag.Parse()
 
@@ -53,8 +67,22 @@ func main() {
 	case "send":
 		runSender(*to, *interval, *duration)
 	case "monitor":
+		var gc *gossipConfig
+		if *gossipOn {
+			gc = &gossipConfig{
+				peers:    splitPeers(*gossipPeers),
+				id:       *gossipID,
+				interval: *gossipInterval,
+				quorum:   *gossipQuorum,
+				seed:     *gossipSeed,
+			}
+			if len(gc.peers) == 0 {
+				fmt.Fprintln(os.Stderr, "sfdmon: -gossip requires -gossip-peers")
+				os.Exit(2)
+			}
+		}
 		runMonitor(*listen, *serve, *refresh,
-			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration)
+			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration, gc)
 	case "demo":
 		runDemo()
 	default:
@@ -78,7 +106,26 @@ func runSender(to string, interval, duration time.Duration) {
 	fmt.Printf("sfdmon: sent %d heartbeats\n", snd.Sent())
 }
 
-func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration) {
+// gossipConfig carries the -gossip* flags into runMonitor.
+type gossipConfig struct {
+	peers    []string
+	id       string
+	interval time.Duration
+	quorum   int
+	seed     int64
+}
+
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration, gc *gossipConfig) {
 	ep, err := sfd.ListenUDP(listen)
 	if err != nil {
 		fatal(err)
@@ -91,8 +138,27 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 	reg.Start()
 	defer reg.Stop()
 	recv := sfd.NewHeartbeatReceiver(ep, clk, reg.Observe)
+
+	// Gossip shares the heartbeat socket: digests (magic "SG") fall
+	// through the receiver's heartbeat decoder into the gossiper.
+	var gsp *sfd.Gossiper
+	if gc != nil {
+		gsp = sfd.NewGossiper(ep, clk, reg, gc.peers, sfd.GossipOptions{
+			ID:       gc.id,
+			Interval: gc.interval,
+			Quorum:   gc.quorum,
+			Seed:     gc.seed,
+		})
+		recv.SetForeign(func(in sfd.Inbound) { gsp.HandleDatagram(in.Payload) })
+		gsp.Start()
+		defer gsp.Stop()
+	}
 	recv.Start()
 	fmt.Printf("sfdmon: monitoring on %s (targets %v)\n", ep.Addr(), targets)
+	if gsp != nil {
+		fmt.Printf("sfdmon: gossiping as %s with %v (quorum %d, every %v)\n",
+			gsp.ID(), gsp.Peers(), gc.quorum, gsp.Options().Interval)
+	}
 
 	// Log every failure-bus transition; eviction also clears the
 	// receiver's stale filter so both tables stay bounded under churn.
@@ -108,14 +174,21 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 	}()
 
 	if serve != "" {
-		srv := &http.Server{Addr: serve, Handler: reg.Handler()}
+		mux := http.NewServeMux()
+		mux.Handle("/", reg.Handler())
+		surfaces := "/status (also /vars, /healthz"
+		if gsp != nil {
+			mux.Handle("/gossip", gsp.Handler())
+			surfaces += ", /gossip"
+		}
+		srv := &http.Server{Addr: serve, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "sfdmon: http: %v\n", err)
 			}
 		}()
 		defer srv.Close()
-		fmt.Printf("sfdmon: serving http://%s/status (also /vars, /healthz)\n", serve)
+		fmt.Printf("sfdmon: serving http://%s%s)\n", serve, surfaces)
 	}
 
 	ticker := time.NewTicker(refresh)

@@ -117,6 +117,9 @@ type Report struct {
 	LastArrival    clock.Time
 	FreshnessPoint clock.Time
 	Detector       string
+	// Incarnation is the server's current incarnation (0 until a v2
+	// sender announces one).
+	Incarnation uint64
 }
 
 // Monitor watches many peers, one detector each. It is safe for
@@ -139,6 +142,7 @@ type peerState struct {
 	lastSeq      uint64
 	lastArrival  clock.Time
 	seen         bool
+	inc          uint64
 	suspectSince clock.Time
 	suspected    bool
 }
@@ -203,9 +207,15 @@ func (m *Monitor) Observe(a heartbeat.Arrival) {
 		ps = &peerState{det: m.factory(a.From)}
 		m.peers[a.From] = ps
 	}
-	if ps.seen && a.Seq <= ps.lastSeq {
-		return // stale
+	if ps.seen && (a.Inc < ps.inc || (a.Inc == ps.inc && a.Seq <= ps.lastSeq)) {
+		return // stale, or from a dead incarnation
 	}
+	if ps.seen && a.Inc > ps.inc {
+		// A restarted server: its arrival process shares no history with
+		// the old incarnation, so the detector starts over.
+		ps.det = m.factory(a.From)
+	}
+	ps.inc = a.Inc
 	ps.det.Observe(a.Seq, a.Send, a.Recv)
 	ps.lastSeq, ps.lastArrival, ps.seen = a.Seq, a.Recv, true
 }
@@ -285,6 +295,7 @@ func (m *Monitor) Snapshot(now clock.Time) []Report {
 			LastArrival:    ps.lastArrival,
 			FreshnessPoint: ps.det.FreshnessPoint(),
 			Detector:       ps.det.Name(),
+			Incarnation:    ps.inc,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })

@@ -1,0 +1,255 @@
+// Package gossip is the dissemination layer between monitors: the
+// paper's Fig. 1 deployment is "multiple monitor multiple" — several
+// monitors across clouds watch overlapping server sets — and this
+// package turns each monitor's local suspicions into fleet-wide
+// verdicts. Monitors periodically exchange compact, versioned suspicion
+// digests (anti-entropy over the same unreliable datagram substrate the
+// heartbeats use), and a stream is only *globally* declared offline when
+// enough monitors concur, each weighted by its recent accuracy — the
+// quorum-corroboration idea of Dobre et al.'s robust FD architecture
+// combined with the Impact FD's weighted group-level trust. Incarnation
+// numbers (SWIM-style) let a recovered process refute stale suspicion of
+// its previous life.
+package gossip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/clock"
+)
+
+// State is a monitor's opinion about one subject stream, ordered by
+// severity so precedence comparisons are numeric.
+type State uint8
+
+const (
+	// StateTrusted: the monitor currently trusts the subject (also used
+	// to refute another monitor's suspicion at the same incarnation).
+	StateTrusted State = iota
+	// StateSuspect: the subject's freshness point expired locally.
+	StateSuspect
+	// StateOffline: the subject stayed suspected past the local offline
+	// grace period.
+	StateOffline
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateTrusted:
+		return "trusted"
+	case StateSuspect:
+		return "suspect"
+	case StateOffline:
+		return "offline"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Opinion is one monitor's view of one subject at one incarnation.
+type Opinion struct {
+	Subject string
+	State   State
+	// Inc is the subject incarnation this opinion refers to. An opinion
+	// about incarnation i says nothing about incarnation i+1: a
+	// restarted process refutes old suspicion simply by existing.
+	Inc uint64
+	// Level is the local accrual suspicion evidence behind the opinion
+	// (the TD/φ output at transition time; 0 for trusted).
+	Level float64
+}
+
+// Digest is one anti-entropy exchange unit: the sending monitor's
+// identity, its self-assessed accuracy weight, a per-monitor sequence
+// number that versions its opinions, and the opinions themselves.
+type Digest struct {
+	Monitor string
+	// Weight is the sender's self-reported accuracy in [0,1], derived
+	// from its recent mistake rate (1 = no recent wrong suspicions).
+	// Receivers clamp it into [WeightFloor, 1] before use.
+	Weight float64
+	// Seq increases with every digest a monitor sends; receivers keep
+	// only the newest opinion per (subject, monitor), so reordered UDP
+	// deliveries cannot resurrect a retracted suspicion.
+	Seq     uint64
+	Entries []Opinion
+}
+
+// Wire format v1:
+//
+//	magic 'S','G'  version(1)  idLen(u16) id  weight(f64) seq(u64)
+//	count(u16) then per entry: subjLen(u16) subject state(u8) inc(u64)
+//	level(f64)
+//
+// All integers big-endian. Bounded: id and subjects ≤ maxNameLen bytes,
+// count ≤ MaxDigestEntries.
+const (
+	digestVersion    = 1
+	maxNameLen       = 512
+	// MaxDigestEntries bounds one datagram's entry count; larger opinion
+	// sets are chunked across digests by the sender.
+	MaxDigestEntries = 1024
+)
+
+var digestMagic = [2]byte{'S', 'G'}
+
+// ErrBadDigest reports an undecodable gossip datagram.
+var ErrBadDigest = errors.New("gossip: bad digest")
+
+// Marshal encodes the digest. It panics if the monitor id, a subject, or
+// the entry count exceeds the wire bounds — a programming error, since
+// the gossiper chunks before encoding.
+func (d Digest) Marshal() []byte {
+	if len(d.Monitor) > maxNameLen {
+		panic(fmt.Sprintf("gossip: monitor id %d bytes exceeds %d", len(d.Monitor), maxNameLen))
+	}
+	if len(d.Entries) > MaxDigestEntries {
+		panic(fmt.Sprintf("gossip: %d entries exceeds %d", len(d.Entries), MaxDigestEntries))
+	}
+	size := 3 + 2 + len(d.Monitor) + 8 + 8 + 2
+	for _, e := range d.Entries {
+		if len(e.Subject) > maxNameLen {
+			panic(fmt.Sprintf("gossip: subject %d bytes exceeds %d", len(e.Subject), maxNameLen))
+		}
+		size += 2 + len(e.Subject) + 1 + 8 + 8
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, digestMagic[0], digestMagic[1], digestVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.Monitor)))
+	buf = append(buf, d.Monitor...)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.Weight))
+	buf = binary.BigEndian.AppendUint64(buf, d.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.Entries)))
+	for _, e := range d.Entries {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Subject)))
+		buf = append(buf, e.Subject...)
+		buf = append(buf, byte(e.State))
+		buf = binary.BigEndian.AppendUint64(buf, e.Inc)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(e.Level))
+	}
+	return buf
+}
+
+// UnmarshalDigest decodes a gossip datagram. Any malformed input returns
+// ErrBadDigest; no input may panic (the port is open to the world, same
+// contract as the heartbeat codec).
+func UnmarshalDigest(b []byte) (Digest, error) {
+	r := reader{buf: b}
+	magic0, _ := r.u8()
+	magic1, _ := r.u8()
+	ver, ok := r.u8()
+	if !ok || magic0 != digestMagic[0] || magic1 != digestMagic[1] {
+		return Digest{}, fmt.Errorf("%w: bad magic", ErrBadDigest)
+	}
+	if ver != digestVersion {
+		return Digest{}, fmt.Errorf("%w: version %d", ErrBadDigest, ver)
+	}
+	id, ok := r.str()
+	if !ok {
+		return Digest{}, fmt.Errorf("%w: truncated monitor id", ErrBadDigest)
+	}
+	wbits, ok1 := r.u64()
+	seq, ok2 := r.u64()
+	count, ok3 := r.u16()
+	if !ok1 || !ok2 || !ok3 {
+		return Digest{}, fmt.Errorf("%w: truncated header", ErrBadDigest)
+	}
+	if int(count) > MaxDigestEntries {
+		return Digest{}, fmt.Errorf("%w: %d entries", ErrBadDigest, count)
+	}
+	d := Digest{Monitor: id, Weight: math.Float64frombits(wbits), Seq: seq}
+	if count > 0 {
+		d.Entries = make([]Opinion, 0, count)
+	}
+	for i := 0; i < int(count); i++ {
+		subj, ok := r.str()
+		if !ok {
+			return Digest{}, fmt.Errorf("%w: truncated entry %d", ErrBadDigest, i)
+		}
+		st, ok1 := r.u8()
+		inc, ok2 := r.u64()
+		lbits, ok3 := r.u64()
+		if !ok1 || !ok2 || !ok3 || State(st) > StateOffline {
+			return Digest{}, fmt.Errorf("%w: malformed entry %d", ErrBadDigest, i)
+		}
+		d.Entries = append(d.Entries, Opinion{
+			Subject: subj,
+			State:   State(st),
+			Inc:     inc,
+			Level:   math.Float64frombits(lbits),
+		})
+	}
+	if len(r.buf) != r.off {
+		return Digest{}, fmt.Errorf("%w: %d trailing bytes", ErrBadDigest, len(r.buf)-r.off)
+	}
+	return d, nil
+}
+
+// reader is a bounds-checked cursor over a datagram.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) u8() (byte, bool) {
+	if r.off+1 > len(r.buf) {
+		return 0, false
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, true
+}
+
+func (r *reader) u16() (uint16, bool) {
+	if r.off+2 > len(r.buf) {
+		return 0, false
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, true
+}
+
+func (r *reader) u64() (uint64, bool) {
+	if r.off+8 > len(r.buf) {
+		return 0, false
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, true
+}
+
+func (r *reader) str() (string, bool) {
+	n, ok := r.u16()
+	if !ok || int(n) > maxNameLen || r.off+int(n) > len(r.buf) {
+		return "", false
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, true
+}
+
+// clampWeight forces a received (or computed) weight into [floor, 1],
+// treating NaN and ±Inf as the floor — a hostile digest cannot poison
+// the quorum arithmetic.
+func clampWeight(w, floor float64) float64 {
+	if math.IsNaN(w) || math.IsInf(w, 0) || w < floor {
+		return floor
+	}
+	if w > 1 {
+		return 1
+	}
+	return w
+}
+
+// remoteOpinion is a received opinion plus the bookkeeping the receiver
+// needs: the digest sequence that carried it (versioning) and the
+// receive instant (TTL expiry when the reporting monitor goes quiet).
+type remoteOpinion struct {
+	Opinion
+	seq uint64     // digest sequence that carried it
+	at  clock.Time // receive instant (for TTL expiry)
+}

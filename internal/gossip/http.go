@@ -1,0 +1,83 @@
+package gossip
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// Handler returns the gossiper's HTTP surface, mounted at /gossip by
+// `sfdmon -mode monitor -gossip ... -serve :8080`: one JSON document
+// with this monitor's identity, weight, peers, open verdicts, and the
+// remote opinion table.
+func (g *Gossiper) Handler() http.Handler {
+	return http.HandlerFunc(g.serveGossip)
+}
+
+type opinionJSON struct {
+	Monitor string  `json:"monitor"`
+	State   string  `json:"state"`
+	Inc     uint64  `json:"incarnation"`
+	Level   float64 `json:"level"`
+}
+
+type verdictJSON struct {
+	Subject  string        `json:"subject"`
+	State    string        `json:"state"`
+	Opinions []opinionJSON `json:"opinions,omitempty"`
+}
+
+type gossipJSON struct {
+	ID          string             `json:"id"`
+	Weight      float64            `json:"weight"`
+	MistakeRate float64            `json:"mistake_rate"`
+	Quorum      int                `json:"quorum"`
+	MinMass     float64            `json:"min_mass"`
+	Peers       []string           `json:"peers"`
+	PeerWeights map[string]float64 `json:"peer_weights"`
+	Counters    Counters           `json:"counters"`
+	Verdicts    []verdictJSON      `json:"verdicts"`
+}
+
+func (g *Gossiper) serveGossip(w http.ResponseWriter, _ *http.Request) {
+	g.mu.Lock()
+	out := gossipJSON{
+		ID:          g.id,
+		Weight:      g.weightLocked(),
+		MistakeRate: g.mistakeRate,
+		Quorum:      g.opts.Quorum,
+		MinMass:     g.opts.MinMass,
+		Peers:       append([]string(nil), g.peers...),
+		PeerWeights: make(map[string]float64, len(g.weights)),
+	}
+	for mon, wt := range g.weights {
+		out.PeerWeights[mon] = wt
+	}
+	subjects := make([]string, 0, len(g.verdict))
+	for s := range g.verdict {
+		subjects = append(subjects, s)
+	}
+	sort.Strings(subjects)
+	for _, s := range subjects {
+		v := verdictJSON{Subject: s, State: g.verdict[s].String()}
+		mons := make([]string, 0, len(g.remote[s]))
+		for mon := range g.remote[s] {
+			mons = append(mons, mon)
+		}
+		sort.Strings(mons)
+		for _, mon := range mons {
+			op := g.remote[s][mon]
+			v.Opinions = append(v.Opinions, opinionJSON{
+				Monitor: mon, State: op.State.String(), Inc: op.Inc, Level: op.Level,
+			})
+		}
+		out.Verdicts = append(out.Verdicts, v)
+	}
+	g.mu.Unlock()
+	out.Counters = g.Counters()
+
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}

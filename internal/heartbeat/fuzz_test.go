@@ -1,0 +1,41 @@
+package heartbeat
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the wire codec against hostile datagrams: a
+// monitor's UDP port is open to the world, so no byte sequence may panic
+// the decoder, and anything it accepts must re-encode losslessly (v1
+// inputs normalize to the current version with incarnation 0).
+func FuzzUnmarshal(f *testing.F) {
+	f.Add((Message{Kind: KindHeartbeat, Seq: 7, Time: 42, Inc: 3}).Marshal())
+	f.Add((Message{Kind: KindPing, Seq: 1 << 40, Time: 1<<62 - 1}).Marshal())
+	f.Add((Message{Kind: KindPong, Seq: 1<<64 - 1, Inc: 1<<64 - 1}).Marshal())
+	// A v1 (20-byte) heartbeat: still accepted, decodes with Inc 0.
+	v1 := []byte{'H', 'B', 1, byte(KindHeartbeat),
+		0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 1, 0}
+	f.Add(v1)
+	f.Add([]byte{})
+	f.Add([]byte("HB"))
+	f.Add(bytes.Repeat([]byte{0xff}, 28))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unmarshal(b)
+		if err != nil {
+			return // rejected garbage is fine; panicking is not
+		}
+		if m.Kind != KindHeartbeat && m.Kind != KindPing && m.Kind != KindPong {
+			t.Fatalf("accepted message with invalid kind %d", m.Kind)
+		}
+		out := m.Marshal()
+		m2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-decode of accepted message failed: %v", err)
+		}
+		if m2 != m {
+			t.Fatalf("lossy round trip: %+v → %+v", m, m2)
+		}
+	})
+}

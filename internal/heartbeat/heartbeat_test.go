@@ -211,6 +211,102 @@ func TestReceiverForget(t *testing.T) {
 	}
 }
 
+// TestReceiverIncarnationEcho: a restarted sender bumps its incarnation
+// and restarts sequence numbering from 0; the receiver must accept the
+// new life immediately and reject stragglers from the dead one.
+func TestReceiverIncarnationEcho(t *testing.T) {
+	hub := transport.NewHub(0, 0, 1)
+	sEP := hub.Endpoint("p")
+	rEP := hub.Endpoint("q")
+	defer sEP.Close()
+	defer rEP.Close()
+
+	var mu sync.Mutex
+	var got []Arrival
+	recv := NewReceiver(rEP, nil, func(a Arrival) { mu.Lock(); got = append(got, a); mu.Unlock() })
+	recv.Start()
+
+	send := func(inc, seq uint64) {
+		m := Message{Kind: KindHeartbeat, Seq: seq, Inc: inc}
+		sEP.Send("q", m.Marshal())
+	}
+	send(0, 10)
+	send(1, 0)  // restart: lower seq, higher incarnation → accepted
+	send(0, 11) // straggler from the dead incarnation → dropped
+	send(1, 1)
+	time.Sleep(30 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []struct{ inc, seq uint64 }{{0, 10}, {1, 0}, {1, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("accepted %d arrivals, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].Inc != w.inc || got[i].Seq != w.seq {
+			t.Fatalf("arrival %d = inc %d seq %d, want inc %d seq %d",
+				i, got[i].Inc, got[i].Seq, w.inc, w.seq)
+		}
+	}
+	if _, stale := recv.Counters(); stale != 1 {
+		t.Fatalf("stale = %d, want 1", stale)
+	}
+}
+
+// TestReceiverForgetConcurrent races Forget/Tracked against a stream of
+// deliveries — the churn pattern of a monitor evicting peers while their
+// last datagrams are still in flight (run under -race; mirrors the
+// transport Hub stress test).
+func TestReceiverForgetConcurrent(t *testing.T) {
+	hub := transport.NewHub(0, 0, 1)
+	rEP := hub.Endpoint("q")
+	defer rEP.Close()
+
+	peers := []string{"a", "b", "c", "d"}
+	eps := make([]*transport.MemEndpoint, len(peers))
+	for i, p := range peers {
+		eps[i] = hub.Endpoint(p)
+		defer eps[i].Close()
+	}
+
+	recv := NewReceiver(rEP, nil, func(Arrival) {})
+	recv.Start()
+
+	const rounds = 500
+	var wg sync.WaitGroup
+	for i := range peers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for seq := uint64(0); seq < rounds; seq++ {
+				m := Message{Kind: KindHeartbeat, Seq: seq}
+				eps[i].Send("q", m.Marshal())
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < rounds; n++ {
+			recv.Forget(peers[n%len(peers)])
+			recv.Tracked()
+			recv.Counters()
+		}
+	}()
+	wg.Wait()
+	time.Sleep(20 * time.Millisecond) // let queued deliveries drain
+
+	if got := recv.Tracked(); got > len(peers) {
+		t.Fatalf("Tracked() = %d, want ≤ %d", got, len(peers))
+	}
+	for _, p := range peers {
+		recv.Forget(p)
+	}
+	if got := recv.Tracked(); got != 0 {
+		t.Fatalf("Tracked() after forgetting everyone = %d, want 0", got)
+	}
+}
+
 func TestReceiverIgnoresForeignDatagrams(t *testing.T) {
 	hub := transport.NewHub(0, 0, 1)
 	sEP := hub.Endpoint("p")

@@ -27,10 +27,13 @@ const (
 	KindPong Kind = 3
 )
 
-// wire format: magic(2) version(1) kind(1) seq(8) time(8) = 20 bytes.
+// wire format v2: magic(2) version(1) kind(1) seq(8) time(8) inc(8) = 28
+// bytes. v1 (20 bytes, no incarnation) is still accepted on receive so a
+// mixed-version fleet keeps working; v1 senders report incarnation 0.
 const (
-	msgSize    = 20
-	msgVersion = 1
+	msgSizeV1  = 20
+	msgSize    = 28
+	msgVersion = 2
 )
 
 var msgMagic = [2]byte{'H', 'B'}
@@ -46,9 +49,14 @@ type Message struct {
 	// echo the ping's timestamp so the prober can compute RTT from its
 	// own clock alone.
 	Time clock.Time
+	// Inc is the sender's incarnation number (SWIM-style): a process that
+	// restarts after a crash bumps it, which both resets the receiver's
+	// per-incarnation sequence filter and lets the gossip layer refute
+	// stale suspicion of the previous incarnation.
+	Inc uint64
 }
 
-// Marshal encodes the message into a fresh 20-byte buffer.
+// Marshal encodes the message into a fresh 28-byte v2 buffer.
 func (m Message) Marshal() []byte {
 	buf := make([]byte, msgSize)
 	buf[0], buf[1] = msgMagic[0], msgMagic[1]
@@ -56,27 +64,35 @@ func (m Message) Marshal() []byte {
 	buf[3] = byte(m.Kind)
 	binary.BigEndian.PutUint64(buf[4:], m.Seq)
 	binary.BigEndian.PutUint64(buf[12:], uint64(m.Time))
+	binary.BigEndian.PutUint64(buf[20:], m.Inc)
 	return buf
 }
 
-// Unmarshal decodes a datagram.
+// Unmarshal decodes a datagram (v1 or v2).
 func Unmarshal(b []byte) (Message, error) {
-	if len(b) != msgSize {
+	if len(b) != msgSize && len(b) != msgSizeV1 {
 		return Message{}, fmt.Errorf("%w: length %d", ErrBadMessage, len(b))
 	}
 	if b[0] != msgMagic[0] || b[1] != msgMagic[1] {
 		return Message{}, fmt.Errorf("%w: bad magic", ErrBadMessage)
 	}
-	if b[2] != msgVersion {
-		return Message{}, fmt.Errorf("%w: version %d", ErrBadMessage, b[2])
+	switch {
+	case b[2] == 1 && len(b) == msgSizeV1:
+	case b[2] == msgVersion && len(b) == msgSize:
+	default:
+		return Message{}, fmt.Errorf("%w: version %d with length %d", ErrBadMessage, b[2], len(b))
 	}
 	k := Kind(b[3])
 	if k != KindHeartbeat && k != KindPing && k != KindPong {
 		return Message{}, fmt.Errorf("%w: kind %d", ErrBadMessage, b[3])
 	}
-	return Message{
+	m := Message{
 		Kind: k,
 		Seq:  binary.BigEndian.Uint64(b[4:]),
 		Time: clock.Time(binary.BigEndian.Uint64(b[12:])),
-	}, nil
+	}
+	if len(b) == msgSize {
+		m.Inc = binary.BigEndian.Uint64(b[20:])
+	}
+	return m, nil
 }

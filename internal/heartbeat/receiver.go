@@ -15,6 +15,9 @@ type Arrival struct {
 	Seq  uint64
 	Send clock.Time // sender clock (from the payload)
 	Recv clock.Time // receiver clock (local arrival)
+	// Inc is the sender's incarnation (0 for v1 senders). Sequence
+	// numbers restart from 0 within each incarnation.
+	Inc uint64
 }
 
 // Handler consumes arrivals; it is invoked from the receiver goroutine,
@@ -30,11 +33,19 @@ type Receiver struct {
 	handler Handler
 
 	mu       sync.Mutex
-	lastSeq  map[string]uint64
+	last     map[string]incSeq
 	received uint64
 	stale    uint64
+	foreign  func(transport.Inbound)
 
 	done chan struct{}
+}
+
+// incSeq is the per-sender stale-filter state: the highest (incarnation,
+// sequence) pair accepted so far, ordered lexicographically.
+type incSeq struct {
+	inc uint64
+	seq uint64
 }
 
 // NewReceiver wraps the endpoint. The handler may be nil (pings are still
@@ -45,9 +56,19 @@ func NewReceiver(ep transport.Endpoint, clk clock.Clock, h Handler) *Receiver {
 	}
 	return &Receiver{
 		ep: ep, clk: clk, handler: h,
-		lastSeq: make(map[string]uint64),
-		done:    make(chan struct{}),
+		last: make(map[string]incSeq),
+		done: make(chan struct{}),
 	}
+}
+
+// SetForeign installs a handler for datagrams that are not heartbeat
+// messages (wrong magic/version), letting another protocol — e.g. the
+// gossip dissemination layer — share this endpoint's socket. Call it
+// before Start.
+func (r *Receiver) SetForeign(h func(transport.Inbound)) {
+	r.mu.Lock()
+	r.foreign = h
+	r.mu.Unlock()
 }
 
 // Start launches the receive loop; it exits when the endpoint closes.
@@ -63,7 +84,13 @@ func (r *Receiver) Start() {
 func (r *Receiver) handle(in transport.Inbound) {
 	msg, err := Unmarshal(in.Payload)
 	if err != nil {
-		return // foreign datagram: ignore
+		r.mu.Lock()
+		f := r.foreign
+		r.mu.Unlock()
+		if f != nil {
+			f(in)
+		}
+		return // foreign datagram: not ours
 	}
 	switch msg.Kind {
 	case KindPing:
@@ -72,18 +99,20 @@ func (r *Receiver) handle(in transport.Inbound) {
 	case KindHeartbeat:
 		recv := r.clk.Now()
 		r.mu.Lock()
-		last, seen := r.lastSeq[in.From]
-		if seen && msg.Seq <= last {
+		last, seen := r.last[in.From]
+		// A higher incarnation always supersedes; within one incarnation
+		// the detector needs strictly increasing sequence numbers.
+		if seen && (msg.Inc < last.inc || (msg.Inc == last.inc && msg.Seq <= last.seq)) {
 			r.stale++
 			r.mu.Unlock()
-			return // duplicate or reordered: the detector needs increasing seq
+			return // duplicate, reordered, or from a dead incarnation
 		}
-		r.lastSeq[in.From] = msg.Seq
+		r.last[in.From] = incSeq{inc: msg.Inc, seq: msg.Seq}
 		r.received++
 		h := r.handler
 		r.mu.Unlock()
 		if h != nil {
-			h(Arrival{From: in.From, Seq: msg.Seq, Send: msg.Time, Recv: recv})
+			h(Arrival{From: in.From, Seq: msg.Seq, Send: msg.Time, Recv: recv, Inc: msg.Inc})
 		}
 	case KindPong:
 		// Pongs are consumed by Prober instances sharing the endpoint;
@@ -95,13 +124,13 @@ func (r *Receiver) handle(in transport.Inbound) {
 func (r *Receiver) Wait() { <-r.done }
 
 // Forget drops the stale-filter state for a sender. Call it when a peer
-// is evicted from the monitoring table; otherwise lastSeq grows one
-// entry per address ever heard from, unbounded under churn. A sender
+// is evicted from the monitoring table; otherwise the filter table grows
+// one entry per address ever heard from, unbounded under churn. A sender
 // that reappears after Forget is accepted from whatever sequence number
 // it resumes at.
 func (r *Receiver) Forget(peer string) {
 	r.mu.Lock()
-	delete(r.lastSeq, peer)
+	delete(r.last, peer)
 	r.mu.Unlock()
 }
 
@@ -110,7 +139,7 @@ func (r *Receiver) Forget(peer string) {
 func (r *Receiver) Tracked() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.lastSeq)
+	return len(r.last)
 }
 
 // Counters returns the number of accepted and stale heartbeats.

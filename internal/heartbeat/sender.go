@@ -19,6 +19,7 @@ type Sender struct {
 	clk      clock.Clock
 
 	seq     uint64 // next sequence number (atomic)
+	inc     atomic.Uint64
 	crashed atomic.Bool
 	stop    chan struct{}
 	done    chan struct{}
@@ -66,9 +67,18 @@ func (s *Sender) Start() {
 
 func (s *Sender) emit() {
 	seq := atomic.AddUint64(&s.seq, 1) - 1
-	msg := Message{Kind: KindHeartbeat, Seq: seq, Time: s.clk.Now()}
+	msg := Message{Kind: KindHeartbeat, Seq: seq, Time: s.clk.Now(), Inc: s.inc.Load()}
 	_ = s.ep.Send(s.to, msg.Marshal()) // unreliable channel: best effort
 }
+
+// SetIncarnation sets the incarnation number carried in every heartbeat.
+// A process restarting after a crash sets a value greater than its
+// previous life's, which resets receiver sequence filters and refutes any
+// suspicion of the dead incarnation still circulating in gossip.
+func (s *Sender) SetIncarnation(inc uint64) { s.inc.Store(inc) }
+
+// Incarnation returns the current incarnation number.
+func (s *Sender) Incarnation() uint64 { return s.inc.Load() }
 
 // Crash simulates a process crash: heartbeats stop abruptly with no
 // farewell message, exactly like Fig. 2's fourth case ("after p sends out

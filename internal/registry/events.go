@@ -29,6 +29,18 @@ const (
 	// Algorithm 1's "this SFD can not satisfy the QoS" response, pushed
 	// instead of polled.
 	EventCannotSatisfy
+	// EventGlobalSuspect: the gossip layer's quorum rule found enough
+	// monitors concurring that the peer is suspected — a fleet-wide
+	// suspicion, not just this monitor's local one.
+	EventGlobalSuspect
+	// EventGlobalOffline: ≥K monitors (weighted by their recent accuracy)
+	// independently declared the peer offline at its latest incarnation —
+	// the corroborated verdict safe to act on.
+	EventGlobalOffline
+	// EventGlobalTrust: a previously gossip-suspected peer is trusted
+	// again fleet-wide — the quorum dissolved, or a bumped incarnation
+	// refuted the old suspicion.
+	EventGlobalTrust
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +56,12 @@ func (t EventType) String() string {
 		return "evicted"
 	case EventCannotSatisfy:
 		return "cannot-satisfy"
+	case EventGlobalSuspect:
+		return "global-suspect"
+	case EventGlobalOffline:
+		return "global-offline"
+	case EventGlobalTrust:
+		return "global-trust"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(t))
 	}
@@ -59,8 +77,15 @@ type Event struct {
 	// Suspicion is the accrual suspicion level at the transition, when
 	// the stream's detector exposes one (0 otherwise).
 	Suspicion float64
+	// Incarnation is the peer incarnation the transition refers to;
+	// Global* verdicts apply only to this incarnation.
+	Incarnation uint64
+	// Source identifies the monitor that produced a Global* verdict
+	// (empty for this monitor's own local transitions).
+	Source string
 	// Detail carries auxiliary text, e.g. the self-tuner's infeasibility
-	// response for EventCannotSatisfy.
+	// response for EventCannotSatisfy or the quorum tally behind a
+	// Global* verdict.
 	Detail string
 }
 

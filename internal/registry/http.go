@@ -32,6 +32,7 @@ type streamJSON struct {
 	LastArrival int64   `json:"last_arrival_ns"`
 	Freshness   int64   `json:"freshness_point_ns"`
 	Detector    string  `json:"detector"`
+	Incarnation uint64  `json:"incarnation"`
 }
 
 type statusJSON struct {
@@ -59,6 +60,7 @@ func (r *Registry) serveStatus(w http.ResponseWriter, _ *http.Request) {
 			LastArrival: int64(rep.LastArrival),
 			Freshness:   int64(rep.FreshnessPoint),
 			Detector:    rep.Detector,
+			Incarnation: rep.Incarnation,
 		})
 	}
 	writeJSON(w, out)

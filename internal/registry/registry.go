@@ -137,6 +137,9 @@ type Registry struct {
 	wheel     *timerWheel
 	bus       *Bus
 
+	// gen issues globally unique wheel-entry generations (see stream.gen).
+	gen atomic.Uint64
+
 	heartbeats    atomic.Uint64
 	stale         atomic.Uint64
 	registered    atomic.Uint64
@@ -313,12 +316,18 @@ func (r *Registry) Observe(a heartbeat.Arrival) {
 	if !ok {
 		st = r.newStreamLocked(sh, a.From)
 	}
-	if st.seen && a.Seq <= st.lastSeq {
+	if st.seen && (a.Inc < st.inc || (a.Inc == st.inc && a.Seq <= st.lastSeq)) {
 		st.stats.Stale++
 		sh.mu.Unlock()
 		r.stale.Add(1)
 		return
 	}
+	if st.seen && a.Inc > st.inc {
+		// A restarted process: its arrival statistics share nothing with
+		// the dead incarnation, so start the detector over.
+		st.det = r.factory(a.From)
+	}
+	st.inc = a.Inc
 
 	if st.phase != phaseTrusted {
 		// Recovery: the suspicion (or offline verdict) was a mistake.
@@ -327,7 +336,7 @@ func (r *Registry) Observe(a heartbeat.Arrival) {
 			st.stats.MistakeTime += a.Recv.Sub(st.suspectSince)
 		}
 		st.phase = phaseTrusted
-		evs[nev] = Event{Type: EventTrust, Peer: a.From, At: a.Recv}
+		evs[nev] = Event{Type: EventTrust, Peer: a.From, At: a.Recv, Incarnation: a.Inc}
 		nev++
 	}
 
@@ -372,8 +381,11 @@ func (r *Registry) Observe(a heartbeat.Arrival) {
 
 // rearmLocked schedules a fresh wheel entry for st at instant at,
 // invalidating any previous entry. The stream's shard lock must be held.
+// The generation comes from the registry-wide counter so entries left
+// behind by a deregistered stream can never match a later stream that
+// reuses the same address.
 func (r *Registry) rearmLocked(st *stream, at clock.Time) {
-	st.gen++
+	st.gen = r.gen.Add(1)
 	st.entryAt = at
 	st.deadline = at
 	r.wheel.schedule(at, st.peer, st.gen)
@@ -408,11 +420,11 @@ func (r *Registry) expire(now clock.Time, x expiry) {
 		if fp := st.det.FreshnessPoint(); fp > 0 && fp.Before(now) {
 			st.suspectSince = fp
 		}
-		ev = Event{Type: EventSuspect, Peer: st.peer, At: now, Suspicion: r.level(st, now)}
+		ev = Event{Type: EventSuspect, Peer: st.peer, At: now, Suspicion: r.level(st, now), Incarnation: st.inc}
 		r.rearmLocked(st, st.suspectSince.Add(r.opts.OfflineAfter))
 	case phaseSuspected:
 		st.phase = phaseOffline
-		ev = Event{Type: EventOffline, Peer: st.peer, At: now, Suspicion: r.level(st, now)}
+		ev = Event{Type: EventOffline, Peer: st.peer, At: now, Suspicion: r.level(st, now), Incarnation: st.inc}
 		if r.opts.EvictAfter > 0 {
 			r.rearmLocked(st, now.Add(r.opts.EvictAfter))
 		} else {
@@ -420,7 +432,7 @@ func (r *Registry) expire(now clock.Time, x expiry) {
 		}
 	case phaseOffline:
 		delete(sh.streams, st.peer)
-		ev = Event{Type: EventEvicted, Peer: st.peer, At: now}
+		ev = Event{Type: EventEvicted, Peer: st.peer, At: now, Incarnation: st.inc}
 	}
 	sh.mu.Unlock()
 	r.publish(ev)
@@ -451,6 +463,33 @@ func (r *Registry) publish(ev Event) {
 		r.cannotSatisfy.Add(1)
 	}
 	r.bus.Publish(ev)
+}
+
+// SuspicionOf returns the peer's current accrual suspicion level at
+// instant now; ok is false for unknown peers.
+func (r *Registry) SuspicionOf(peer string, now clock.Time) (float64, bool) {
+	sh := r.shardFor(peer)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.streams[peer]
+	if st == nil {
+		return 0, false
+	}
+	return r.level(st, now), true
+}
+
+// IncarnationOf returns the peer's current incarnation number; ok is
+// false for unknown peers. The gossip layer uses it to stamp local
+// opinions so a restarted process can refute suspicion of its old life.
+func (r *Registry) IncarnationOf(peer string) (uint64, bool) {
+	sh := r.shardFor(peer)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.streams[peer]
+	if st == nil {
+		return 0, false
+	}
+	return st.inc, true
 }
 
 // StatusOf classifies one stream at instant now using the cluster
@@ -510,6 +549,7 @@ func (r *Registry) Snapshot(now clock.Time) []cluster.Report {
 				LastArrival:    st.lastArrival,
 				FreshnessPoint: st.det.FreshnessPoint(),
 				Detector:       st.det.Name(),
+				Incarnation:    st.inc,
 			})
 		}
 		sh.mu.Unlock()

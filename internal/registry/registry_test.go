@@ -241,6 +241,137 @@ func TestRegistryStaleArrivalsDropped(t *testing.T) {
 
 // TestRegistryShardOccupancyUniform: FNV striping should spread peers
 // across all shards.
+// TestRegistryReregisterNoStaleFire: register→deregister→register on the
+// same address must never let a wheel entry from the first life fire a
+// transition against the second. Generations are registry-global, so the
+// old entry can never alias the new stream; the re-registered peer's
+// first suspect event fires at ITS deadline, not the old stream's.
+func TestRegistryReregisterNoStaleFire(t *testing.T) {
+	sim := clock.NewSim(0)
+	r := New(sim, chenFactory(100*ms, 200*ms), Options{
+		WheelTick:  10 * ms,
+		MaxSilence: 100 * ms,
+	})
+	r.Start()
+	defer r.Stop()
+	sub := r.Subscribe(256)
+
+	r.Register("p") // arms the silence net: entry due at t=100ms
+	sim.Advance(50 * ms)
+	if !r.Deregister("p") {
+		t.Fatal("Deregister returned false for a registered peer")
+	}
+	r.Register("p") // second life: silence entry due at t=150ms
+
+	// Cross the first life's deadline: nothing may fire (the old entry's
+	// generation can no longer match any live stream).
+	sim.Advance(60 * ms) // t=110ms
+	if evs := drain(sub); len(evs) != 0 {
+		t.Fatalf("stale wheel entry fired against re-registered peer: %v", evs)
+	}
+	// The second life's own deadline still works.
+	sim.Advance(50 * ms) // t=160ms
+	evs := drain(sub)
+	if len(evs) != 1 || evs[0].Type != EventSuspect {
+		t.Fatalf("expected exactly the second life's suspect event, got %v", evs)
+	}
+	if evs[0].At < clock.Time(150*ms) {
+		t.Fatalf("suspect fired at %v, before the second life's deadline 150ms", evs[0].At)
+	}
+}
+
+// TestRegistryReregisterChurnRace hammers register→deregister→register
+// (plus heartbeats that re-arm the wheel) from several goroutines under
+// the real clock — the -race churn scenario; generation uniqueness keeps
+// the wheel, the shards, and the event stream consistent.
+func TestRegistryReregisterChurnRace(t *testing.T) {
+	r := New(nil, chenFactory(clock.Millisecond, clock.Millisecond), Options{
+		WheelTick:    clock.Millisecond,
+		MaxSilence:   2 * clock.Millisecond,
+		OfflineAfter: 2 * clock.Millisecond,
+		EvictAfter:   2 * clock.Millisecond,
+	})
+	r.Start()
+	defer r.Stop()
+	sub := r.Subscribe(4096)
+	defer sub.Close()
+	go func() {
+		for range sub.C() { // keep the bus draining
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			peer := fmt.Sprintf("churn-%d", g)
+			clk := clock.NewReal()
+			for i := 0; i < 300; i++ {
+				r.Register(peer)
+				r.Observe(heartbeat.Arrival{From: peer, Seq: uint64(i), Recv: clk.Now()})
+				r.Deregister(peer)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 4; g++ {
+		r.Deregister(fmt.Sprintf("churn-%d", g))
+	}
+	if n := r.Len(); n != 0 {
+		t.Fatalf("streams left after churn: %d", n)
+	}
+}
+
+// TestRegistryIncarnationRestart: a bumped incarnation supersedes the old
+// life even with a lower sequence number, recovers a suspected stream,
+// and restarts the detector.
+func TestRegistryIncarnationRestart(t *testing.T) {
+	sim := clock.NewSim(0)
+	r := New(sim, chenFactory(100*ms, 200*ms), Options{
+		WheelTick:    10 * ms,
+		OfflineAfter: 500 * ms,
+	})
+	r.Start()
+	defer r.Stop()
+	sub := r.Subscribe(256)
+
+	feed := func(inc, seq uint64) {
+		r.Observe(heartbeat.Arrival{From: "p", Seq: seq, Send: sim.Now(), Recv: sim.Now(), Inc: inc})
+	}
+	for i := 0; i < 10; i++ {
+		feed(0, uint64(i))
+		sim.Advance(100 * ms)
+	}
+	// Crash: silence until the stream is suspected.
+	sim.Advance(600 * ms)
+	found := false
+	for _, ev := range drain(sub) {
+		if ev.Type == EventSuspect {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("stream not suspected after going silent")
+	}
+
+	// Old-incarnation straggler must NOT recover the stream.
+	feed(0, 3)
+	if evs := drain(sub); len(evs) != 0 {
+		t.Fatalf("dead-incarnation straggler produced events: %v", evs)
+	}
+
+	// The restarted process (inc 1, seq from 0) recovers it.
+	feed(1, 0)
+	evs := drain(sub)
+	if len(evs) != 1 || evs[0].Type != EventTrust || evs[0].Incarnation != 1 {
+		t.Fatalf("restart events = %v, want one trust at incarnation 1", evs)
+	}
+	if inc, ok := r.IncarnationOf("p"); !ok || inc != 1 {
+		t.Fatalf("IncarnationOf = %d,%v want 1,true", inc, ok)
+	}
+}
+
 func TestRegistryShardOccupancy(t *testing.T) {
 	r := New(clock.NewSim(0), chenFactory(100*ms, 100*ms), Options{Shards: 8})
 	for i := 0; i < 4096; i++ {

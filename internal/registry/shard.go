@@ -38,6 +38,10 @@ type stream struct {
 	lastSeq     uint64
 	lastArrival clock.Time
 	seen        bool
+	// inc is the peer's current incarnation. Sequence numbers restart
+	// within each incarnation; a bump replaces the detector, since the
+	// new life's arrival process shares no history with the old one.
+	inc uint64
 
 	phase        phase
 	suspectSince clock.Time
@@ -47,8 +51,13 @@ type stream struct {
 	// silence safety net, offline deadline, or eviction deadline). The
 	// wheel may lag behind it; a fired entry re-arms at the current value.
 	deadline clock.Time
-	// gen invalidates stale wheel entries; entryAt is the fire instant of
-	// the newest entry scheduled for this stream (0 = none live).
+	// gen invalidates stale wheel entries. Generations are drawn from a
+	// single registry-wide counter, never per stream: if they restarted
+	// at zero for each stream object, a register→deregister→register on
+	// the same address could leave an old stream's pending wheel entry
+	// aliasing the new stream's generation and firing a stale
+	// transition against it. entryAt is the fire instant of the newest
+	// entry scheduled for this stream (0 = none live).
 	gen     uint64
 	entryAt clock.Time
 

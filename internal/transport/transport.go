@@ -140,6 +140,18 @@ func (u *UDP) Close() error {
 	return err
 }
 
+// Pump drains an endpoint into a handler until the endpoint closes —
+// the receive-loop glue for consumers that are not heartbeat Receivers
+// (e.g. a gossip daemon sharing or owning a socket). It blocks; run it
+// on its own goroutine:
+//
+//	go transport.Pump(ep, func(in transport.Inbound) { g.HandleDatagram(in.Payload) })
+func Pump(ep Endpoint, h func(Inbound)) {
+	for in := range ep.Recv() {
+		h(in)
+	}
+}
+
 // Hub is an in-memory datagram switchboard for tests: real-time (not
 // simulated), optionally lossy and delayed, no sockets.
 type Hub struct {

@@ -21,6 +21,10 @@
 //   - A fleet-scale monitoring registry (NewRegistry): lock-striped
 //     shards, a hierarchical timer wheel firing suspect transitions,
 //     and a bounded drop-oldest failure-event bus (Subscribe).
+//   - A gossip dissemination layer between monitors (NewGossiper):
+//     anti-entropy suspicion digests, accuracy-weighted quorum
+//     corroboration, and SWIM-style incarnation refutation, publishing
+//     GlobalSuspect / GlobalOffline / GlobalTrust verdicts on the bus.
 //
 // Quick start (see examples/quickstart for the runnable version):
 //
@@ -39,6 +43,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/gossip"
 	"repro/internal/heartbeat"
 	"repro/internal/netsim"
 	"repro/internal/qos"
@@ -373,13 +378,18 @@ type (
 	Subscription = registry.Subscription
 )
 
-// Failure-event kinds published on the registry bus.
+// Failure-event kinds published on the registry bus. The Global* kinds
+// are corroborated verdicts from the gossip layer (Source names the
+// publishing monitor); the rest are this monitor's local transitions.
 const (
 	EventSuspect       = registry.EventSuspect
 	EventTrust         = registry.EventTrust
 	EventOffline       = registry.EventOffline
 	EventEvicted       = registry.EventEvicted
 	EventCannotSatisfy = registry.EventCannotSatisfy
+	EventGlobalSuspect = registry.EventGlobalSuspect
+	EventGlobalOffline = registry.EventGlobalOffline
+	EventGlobalTrust   = registry.EventGlobalTrust
 )
 
 // NewRegistry builds a fleet-scale monitoring registry. nil clk means
@@ -393,6 +403,51 @@ func NewRegistry(clk Clock, f DetectorFactory, opts RegistryOptions) *Registry {
 	}
 	return registry.New(clk, rf, opts)
 }
+
+// Gossip dissemination layer: multi-monitor suspicion exchange with
+// accuracy-weighted quorum corroboration (see internal/gossip).
+type (
+	// Gossiper is one monitor's membership in the dissemination fabric.
+	Gossiper = gossip.Gossiper
+	// GossipOptions tunes round interval, fanout, quorum, weighting, and
+	// opinion TTL.
+	GossipOptions = gossip.Options
+	// GossipEndpoint is the send-only datagram surface a Gossiper needs;
+	// transport endpoints and netsim nodes both satisfy it.
+	GossipEndpoint = gossip.Endpoint
+	// GossipState is a monitor's per-subject opinion (trusted / suspect /
+	// offline).
+	GossipState = gossip.State
+	// GossipOpinion is one monitor's view of one subject incarnation.
+	GossipOpinion = gossip.Opinion
+	// GossipDigest is the versioned anti-entropy exchange unit.
+	GossipDigest = gossip.Digest
+	// GossipCounters is the gossiper's counter snapshot.
+	GossipCounters = gossip.Counters
+)
+
+// Gossip opinion states, ordered by severity.
+const (
+	GossipTrusted = gossip.StateTrusted
+	GossipSuspect = gossip.StateSuspect
+	GossipOffline = gossip.StateOffline
+)
+
+// NewGossiper attaches a dissemination-layer member to reg, gossiping
+// over ep with the given peer monitor addresses. Feed received non-
+// heartbeat datagrams to HandleDatagram (HeartbeatReceiver.SetForeign
+// does this when the socket is shared) and call Start. Corroborated
+// verdicts surface as EventGlobal* events on reg's bus.
+func NewGossiper(ep GossipEndpoint, clk Clock, reg *Registry, peers []string, opts GossipOptions) *Gossiper {
+	return gossip.New(ep, clk, reg, peers, opts)
+}
+
+// Inbound is one received datagram (transport layer).
+type Inbound = transport.Inbound
+
+// Pump drains an endpoint into a handler until the endpoint closes; run
+// it on its own goroutine to feed a Gossiper that owns a whole socket.
+func Pump(ep Endpoint, h func(Inbound)) { transport.Pump(ep, h) }
 
 // Simulation layer (deterministic, no sockets).
 type (
