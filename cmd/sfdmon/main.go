@@ -23,14 +23,18 @@
 //	    -gossip -gossip-peers 10.0.0.3:7946,10.0.0.4:7946 -gossip-quorum 2
 //
 // With -serve, the monitor exposes GET /status (full JSON snapshot),
-// GET /vars (counters + per-shard occupancy), GET /healthz, and — with
-// -gossip — GET /gossip (verdicts, peer weights, opinion table).
+// GET /vars (counters + per-shard occupancy), GET /metrics (Prometheus
+// text exposition: receiver, registry, gossip, and per-stream detector
+// QoS), GET /healthz, and — with -gossip — GET /gossip (verdicts, peer
+// weights, opinion table). -pprof additionally mounts the Go profiler
+// under /debug/pprof/ on the same listener.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -51,6 +55,7 @@ func main() {
 		maxMR    = flag.Float64("maxmr", 0.5, "monitor: target max mistake rate")
 		minQAP   = flag.Float64("minqap", 0.99, "monitor: target min QAP")
 		serve    = flag.String("serve", "", "monitor: HTTP status address (e.g. :8080; empty = disabled)")
+		pprofOn  = flag.Bool("pprof", false, "monitor: mount /debug/pprof/ on the -serve listener")
 		evict    = flag.Duration("evict", time.Minute, "monitor: drop peers offline this long (<0 = never)")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
 
@@ -82,7 +87,7 @@ func main() {
 			}
 		}
 		runMonitor(*listen, *serve, *refresh,
-			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration, gc)
+			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration, gc, *pprofOn)
 	case "demo":
 		runDemo()
 	default:
@@ -125,7 +130,7 @@ func splitPeers(s string) []string {
 	return out
 }
 
-func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration, gc *gossipConfig) {
+func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration, gc *gossipConfig, pprofOn bool) {
 	ep, err := sfd.ListenUDP(listen)
 	if err != nil {
 		fatal(err)
@@ -154,6 +159,14 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 		defer gsp.Stop()
 	}
 	recv.Start()
+
+	// One /metrics page for the whole pipeline: the receiver and gossiper
+	// register their instruments into the registry's set.
+	recv.InstrumentMetrics(reg.Metrics())
+	if gsp != nil {
+		gsp.InstrumentMetrics(reg.Metrics())
+	}
+
 	fmt.Printf("sfdmon: monitoring on %s (targets %v)\n", ep.Addr(), targets)
 	if gsp != nil {
 		fmt.Printf("sfdmon: gossiping as %s with %v (quorum %d, every %v)\n",
@@ -176,10 +189,18 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 	if serve != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/", reg.Handler())
-		surfaces := "/status (also /vars, /healthz"
+		surfaces := "/status (also /vars, /metrics, /healthz"
 		if gsp != nil {
 			mux.Handle("/gossip", gsp.Handler())
 			surfaces += ", /gossip"
+		}
+		if pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			surfaces += ", /debug/pprof"
 		}
 		srv := &http.Server{Addr: serve, Handler: mux}
 		go func() {

@@ -101,7 +101,7 @@ func TestSlotEvaluator(t *testing.T) {
 	s.begin(0)
 	s.addTD(200 * msC)
 	s.addTD(400 * msC)
-	s.addMistake(100 * msC)
+	s.addMistake(0, clock.Time(100*msC))
 	q, ok := s.measure(clock.Time(10 * clock.Second))
 	if !ok {
 		t.Fatal("slot with samples not ok")
@@ -120,8 +120,8 @@ func TestSlotEvaluator(t *testing.T) {
 func TestSlotEvaluatorClamps(t *testing.T) {
 	var s slotEvaluator
 	s.begin(0)
-	s.addTD(-5 * msC)  // clamped to 0
-	s.addMistake(-msC) // clamped to 0
+	s.addTD(-5 * msC)                // clamped to 0
+	s.addMistake(clock.Time(msC), 0) // to before from: clamped to 0
 	q, ok := s.measure(clock.Time(clock.Second))
 	if !ok || q.TD != 0 || q.MR != 1 || q.QAP != 1 {
 		t.Fatalf("clamped slot = %+v ok=%v", q, ok)

@@ -100,7 +100,7 @@ func NewSelfTuner(d Tunable, opts TunerOptions) *SelfTuner {
 // Observe implements detector.Detector.
 func (st *SelfTuner) Observe(seq uint64, send, recv clock.Time) {
 	if fp := st.inner.FreshnessPoint(); fp != 0 && recv.After(fp) {
-		st.slot.addMistake(recv.Sub(fp))
+		st.slot.addMistake(fp, recv)
 	}
 	st.inner.Observe(seq, send, recv)
 	if !st.slot.started {

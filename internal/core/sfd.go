@@ -195,7 +195,7 @@ func (s *SFD) Observe(seq uint64, send, recv clock.Time) {
 	// A heartbeat arriving after the freshness point expired proves the
 	// suspicion that began at fp was a mistake.
 	if s.fp != 0 && recv.After(s.fp) {
-		s.slot.addMistake(recv.Sub(s.fp))
+		s.slot.addMistake(s.fp, recv)
 	}
 
 	// §IV-C gap filling: lost heartbeats leave no delay sample; fill the
@@ -205,7 +205,7 @@ func (s *SFD) Observe(seq uint64, send, recv clock.Time) {
 		gap := int(seq - s.lastSeq - 1)
 		s.gapAvg.Add(float64(gap))
 		if s.cfg.FillGaps {
-			s.fillGap(seq, gap)
+			s.fillGap(seq, gap, recv)
 		}
 	} else if s.haveSeq {
 		s.gapAvg.Add(0)
@@ -237,8 +237,12 @@ func (s *SFD) Observe(seq uint64, send, recv clock.Time) {
 }
 
 // fillGap injects synthetic arrivals for up to MaxGapFill lost heartbeats
-// preceding the arrival of seq.
-func (s *SFD) fillGap(seq uint64, gap int) {
+// preceding the arrival of seq at recv. Synthetic arrivals are clamped to
+// recv: the compounded delay d_j = Δt·n_ag + d_{j−1} plus the per-position
+// send offset can exceed the real arrival after a long burst, and the
+// estimator must never see a sample later than an event that has already
+// happened (it would inflate EA for a full window length).
+func (s *SFD) fillGap(seq uint64, gap int, recv clock.Time) {
 	dt := s.est.Interval()
 	if dt <= 0 {
 		dt = s.cfg.Interval
@@ -261,7 +265,11 @@ func (s *SFD) fillGap(seq uint64, gap int) {
 		j := s.lastSeq + uint64(off)
 		d = d + clock.Duration(float64(dt)*nag)
 		synthSend := s.lastSend.Add(clock.Duration(off) * dt)
-		s.est.Observe(j, synthSend.Add(d))
+		arr := synthSend.Add(d)
+		if arr.After(recv) {
+			arr = recv
+		}
+		s.est.Observe(j, arr)
 	}
 }
 
@@ -418,6 +426,15 @@ func (s *SFD) Response() string {
 
 // History returns the adjustment log (one entry per evaluated slot).
 func (s *SFD) History() []Adjustment { return s.history }
+
+// LastAdjustment returns the most recent slot evaluation, if any — the
+// measured QoS and verdict the metrics layer exposes per stream.
+func (s *SFD) LastAdjustment() (Adjustment, bool) {
+	if len(s.history) == 0 {
+		return Adjustment{}, false
+	}
+	return s.history[len(s.history)-1], true
+}
 
 // Config returns the effective configuration after defaulting.
 func (s *SFD) Config() Config { return s.cfg }

@@ -38,8 +38,16 @@ func (s *slotEvaluator) addTD(td clock.Duration) {
 	s.tdCount++
 }
 
-// addMistake records one wrong suspicion with its duration.
-func (s *slotEvaluator) addMistake(dur clock.Duration) {
+// addMistake records one wrong suspicion lasting [from, to). Only the
+// portion inside the current slot is charged: a suspicion that began
+// before the slot opened was already the previous slot's mistake up to
+// the boundary, and charging its full duration here could exceed the
+// slot span and floor QAP at 0.
+func (s *slotEvaluator) addMistake(from, to clock.Time) {
+	if s.started && from.Before(s.start) {
+		from = s.start
+	}
+	dur := to.Sub(from)
 	if dur < 0 {
 		dur = 0
 	}
@@ -59,10 +67,12 @@ func (s *slotEvaluator) measure(end clock.Time) (QoS, bool) {
 		TD: clock.Duration(s.tdSum / float64(s.tdCount)),
 		MR: float64(s.mistakes) / span.Seconds(),
 	}
-	qap := 1 - float64(s.mistakeDur)/float64(span)
-	if qap < 0 {
-		qap = 0
+	// Overlapping mistakes can still overrun the span; clamp so QAP
+	// stays in [0, 1] instead of going negative.
+	md := s.mistakeDur
+	if md > span {
+		md = span
 	}
-	q.QAP = qap
+	q.QAP = 1 - float64(md)/float64(span)
 	return q, true
 }

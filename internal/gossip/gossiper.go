@@ -136,6 +136,7 @@ type Gossiper struct {
 	globalSuspects  atomic.Uint64
 	globalOfflines  atomic.Uint64
 	globalTrusts    atomic.Uint64
+	opinionsExpired atomic.Uint64
 
 	started atomic.Bool
 	stopped atomic.Bool
@@ -303,6 +304,7 @@ func (g *Gossiper) expireLocked(now clock.Time) {
 		for mon, op := range byMon {
 			if now.Sub(op.at) > g.opts.OpinionTTL {
 				delete(byMon, mon)
+				g.opinionsExpired.Add(1)
 			}
 		}
 		if len(byMon) == 0 {

@@ -1,0 +1,127 @@
+package heartbeat
+
+// Regression tests for the Prober pong-filter fix: each sent ping seq is
+// accepted exactly once; duplicated, unsent, and stale pongs are dropped
+// instead of double-counting Samples() and skewing the RTT EWMA.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/transport"
+)
+
+// pongFor builds the datagram a responder would send back for seq.
+func pongFor(seq uint64, at clock.Time) transport.Inbound {
+	msg := Message{Kind: KindPong, Seq: seq, Time: at}
+	return transport.Inbound{From: "target", Payload: msg.Marshal()}
+}
+
+func TestProberIgnoresDuplicatePong(t *testing.T) {
+	hub := transport.NewHub(0, 0, 1)
+	ep := hub.Endpoint("prober")
+	defer ep.Close()
+	clk := clock.NewSim(0)
+	prb := NewProber(ep, "target", clk)
+
+	prb.sendPing() // seq 0 at t=0
+	clk.Advance(20 * clock.Millisecond)
+	pong := pongFor(0, 0)
+	prb.consume(pong)
+	if prb.Samples() != 1 {
+		t.Fatalf("Samples after first pong = %d, want 1", prb.Samples())
+	}
+	rtt1, _ := prb.RTT()
+
+	// The network duplicates the pong: it must not count again, and the
+	// EWMA must not fold the same exchange in twice.
+	clk.Advance(30 * clock.Millisecond)
+	prb.consume(pong)
+	if prb.Samples() != 1 {
+		t.Fatalf("Samples after duplicated pong = %d, want 1 (double-counted)", prb.Samples())
+	}
+	if rtt2, _ := prb.RTT(); rtt2 != rtt1 {
+		t.Fatalf("RTT changed by duplicated pong: %v → %v", rtt1, rtt2)
+	}
+	if prb.Ignored() != 1 {
+		t.Fatalf("Ignored = %d, want 1", prb.Ignored())
+	}
+}
+
+func TestProberIgnoresUnsentSeq(t *testing.T) {
+	hub := transport.NewHub(0, 0, 1)
+	ep := hub.Endpoint("prober")
+	defer ep.Close()
+	clk := clock.NewSim(0)
+	prb := NewProber(ep, "target", clk)
+
+	prb.sendPing() // seq 0
+	clk.Advance(clock.Millisecond)
+	// A pong for a seq never pinged (forged or misrouted) is dropped.
+	prb.consume(pongFor(99, 0))
+	if prb.Samples() != 0 {
+		t.Fatalf("Samples after unsent-seq pong = %d, want 0", prb.Samples())
+	}
+	if prb.Ignored() != 1 {
+		t.Fatalf("Ignored = %d, want 1", prb.Ignored())
+	}
+}
+
+func TestProberExpiresStaleOutstanding(t *testing.T) {
+	hub := transport.NewHub(0, 0, 1)
+	ep := hub.Endpoint("prober")
+	defer ep.Close()
+	clk := clock.NewSim(0)
+	prb := NewProber(ep, "target", clk)
+
+	// proberWindow+1 pings with every pong lost: seq 0 ages out of the
+	// outstanding table, so its extremely late pong no longer counts and
+	// the table stays bounded.
+	for i := 0; i <= proberWindow; i++ {
+		prb.sendPing()
+		clk.Advance(clock.Millisecond)
+	}
+	prb.mu.Lock()
+	pendingLen := len(prb.pending)
+	prb.mu.Unlock()
+	if pendingLen > proberWindow {
+		t.Fatalf("pending table = %d entries, want ≤ %d", pendingLen, proberWindow)
+	}
+	prb.consume(pongFor(0, 0))
+	if prb.Samples() != 0 {
+		t.Fatalf("Samples after stale pong = %d, want 0", prb.Samples())
+	}
+}
+
+// TestProberLiveDuplicatedNetwork runs the full loop over a duplicating
+// hub-free path: the responder answers each ping once, but we inject a
+// duplicate of every pong; sample count must equal accepted pings.
+func TestProberLiveOncePerSeq(t *testing.T) {
+	const delay = 2 * time.Millisecond
+	hub := transport.NewHub(0, delay, 1)
+	pEP := hub.Endpoint("prober")
+	qEP := hub.Endpoint("target")
+	defer pEP.Close()
+	defer qEP.Close()
+
+	recv := NewReceiver(qEP, nil, nil)
+	recv.Start()
+	prb := NewProber(pEP, "target", nil)
+	prb.Start(5 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for prb.Samples() < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	prb.Stop()
+	if got := prb.Samples(); got < 3 {
+		t.Fatalf("Samples = %d, want ≥ 3", got)
+	}
+	if got, sent := uint64(prb.Samples()), func() uint64 {
+		prb.mu.Lock()
+		defer prb.mu.Unlock()
+		return prb.nextSeq
+	}(); got > sent {
+		t.Fatalf("Samples %d exceeds pings sent %d", got, sent)
+	}
+}

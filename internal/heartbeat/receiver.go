@@ -2,9 +2,11 @@ package heartbeat
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
@@ -32,11 +34,21 @@ type Receiver struct {
 	clk     clock.Clock
 	handler Handler
 
-	mu       sync.Mutex
-	last     map[string]incSeq
-	received uint64
-	stale    uint64
-	foreign  func(transport.Inbound)
+	mu      sync.Mutex
+	last    map[string]incSeq
+	foreign func(transport.Inbound)
+
+	// Datagram counters live outside the mutex: the ingest path bumps
+	// them with single atomic adds, and the metrics layer samples them at
+	// scrape time without touching the stale-filter lock.
+	received    atomic.Uint64
+	stale       atomic.Uint64
+	foreignSeen atomic.Uint64
+	pings       atomic.Uint64
+	// decodeSec, when instrumented, observes per-datagram decode+dispatch
+	// latency in seconds. Stored atomically so InstrumentMetrics is safe
+	// even after Start.
+	decodeSec atomic.Pointer[metrics.Histogram]
 
 	done chan struct{}
 }
@@ -82,8 +94,14 @@ func (r *Receiver) Start() {
 }
 
 func (r *Receiver) handle(in transport.Inbound) {
+	var start clock.Time
+	hist := r.decodeSec.Load()
+	if hist != nil {
+		start = r.clk.Now()
+	}
 	msg, err := Unmarshal(in.Payload)
 	if err != nil {
+		r.foreignSeen.Add(1)
 		r.mu.Lock()
 		f := r.foreign
 		r.mu.Unlock()
@@ -94,6 +112,7 @@ func (r *Receiver) handle(in transport.Inbound) {
 	}
 	switch msg.Kind {
 	case KindPing:
+		r.pings.Add(1)
 		pong := Message{Kind: KindPong, Seq: msg.Seq, Time: msg.Time}
 		_ = r.ep.Send(in.From, pong.Marshal())
 	case KindHeartbeat:
@@ -103,20 +122,23 @@ func (r *Receiver) handle(in transport.Inbound) {
 		// A higher incarnation always supersedes; within one incarnation
 		// the detector needs strictly increasing sequence numbers.
 		if seen && (msg.Inc < last.inc || (msg.Inc == last.inc && msg.Seq <= last.seq)) {
-			r.stale++
 			r.mu.Unlock()
+			r.stale.Add(1)
 			return // duplicate, reordered, or from a dead incarnation
 		}
 		r.last[in.From] = incSeq{inc: msg.Inc, seq: msg.Seq}
-		r.received++
 		h := r.handler
 		r.mu.Unlock()
+		r.received.Add(1)
 		if h != nil {
 			h(Arrival{From: in.From, Seq: msg.Seq, Send: msg.Time, Recv: recv, Inc: msg.Inc})
 		}
 	case KindPong:
 		// Pongs are consumed by Prober instances sharing the endpoint;
 		// a bare Receiver ignores them.
+	}
+	if hist != nil {
+		hist.Observe(r.clk.Now().Sub(start).Seconds())
 	}
 }
 
@@ -144,10 +166,38 @@ func (r *Receiver) Tracked() int {
 
 // Counters returns the number of accepted and stale heartbeats.
 func (r *Receiver) Counters() (received, stale uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.received, r.stale
+	return r.received.Load(), r.stale.Load()
 }
+
+// InstrumentMetrics registers this receiver's instruments in set:
+// accepted/stale/foreign datagram counters, pings answered, the current
+// stale-filter size, and a decode+dispatch latency histogram observed on
+// every datagram. The ingest path stays allocation-free — counters are
+// the same atomics the receiver already maintains, sampled at scrape
+// time, and the histogram update is two atomic adds plus a CAS.
+func (r *Receiver) InstrumentMetrics(set *metrics.Set) {
+	set.CounterFunc("sfd_receiver_accepted_total",
+		"Heartbeats accepted by the stale filter and handed to the detector pipeline.",
+		r.received.Load)
+	set.CounterFunc("sfd_receiver_stale_total",
+		"Heartbeats dropped as duplicate, reordered, or from a dead incarnation.",
+		r.stale.Load)
+	set.CounterFunc("sfd_receiver_foreign_total",
+		"Datagrams that were not heartbeat protocol (handed to the foreign handler, e.g. gossip).",
+		r.foreignSeen.Load)
+	set.CounterFunc("sfd_receiver_pings_total",
+		"Ping requests answered with pongs.",
+		r.pings.Load)
+	set.GaugeFunc("sfd_receiver_tracked_streams",
+		"Senders with live stale-filter state (bounded by Forget on eviction).",
+		func() float64 { return float64(r.Tracked()) })
+	r.decodeSec.Store(set.Histogram("sfd_receiver_decode_seconds",
+		"Per-datagram decode and dispatch latency.", nil))
+}
+
+// proberWindow bounds the outstanding-ping table: a seq this far behind
+// the newest ping is considered lost and its (very late) pong ignored.
+const proberWindow = 64
 
 // Prober measures RTT with ping/pong exchanges over its own endpoint —
 // the paper's parallel low-frequency ping process.
@@ -160,6 +210,13 @@ type Prober struct {
 	rtt      *stats.EWMA
 	rttStats stats.Welford
 	nextSeq  uint64
+	// pending holds the send time of each outstanding ping seq. A pong is
+	// accepted exactly once per sent seq: duplicates and pongs for unsent
+	// or stale seqs are dropped — otherwise a duplicated datagram double-
+	// counts Samples() and folds the same RTT into the EWMA twice,
+	// skewing the estimate toward whichever exchange the network repeats.
+	pending map[uint64]clock.Time
+	ignored uint64
 
 	stop chan struct{}
 	done chan struct{}
@@ -173,9 +230,10 @@ func NewProber(ep transport.Endpoint, to string, clk clock.Clock) *Prober {
 	}
 	return &Prober{
 		ep: ep, to: to, clk: clk,
-		rtt:  stats.NewEWMA(0.2),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		rtt:     stats.NewEWMA(0.2),
+		pending: make(map[uint64]clock.Time),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 }
 
@@ -207,11 +265,20 @@ func (p *Prober) Start(interval time.Duration) {
 }
 
 func (p *Prober) sendPing() {
+	now := p.clk.Now()
 	p.mu.Lock()
 	seq := p.nextSeq
 	p.nextSeq++
+	p.pending[seq] = now
+	// Expire pings so old their pong window has passed; the table stays
+	// bounded even when every pong is lost.
+	for s := range p.pending {
+		if s+proberWindow <= seq {
+			delete(p.pending, s)
+		}
+	}
 	p.mu.Unlock()
-	msg := Message{Kind: KindPing, Seq: seq, Time: p.clk.Now()}
+	msg := Message{Kind: KindPing, Seq: seq, Time: now}
 	_ = p.ep.Send(p.to, msg.Marshal())
 }
 
@@ -220,14 +287,23 @@ func (p *Prober) consume(in transport.Inbound) {
 	if err != nil || msg.Kind != KindPong {
 		return
 	}
-	rtt := p.clk.Now().Sub(msg.Time)
+	now := p.clk.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sent, outstanding := p.pending[msg.Seq]
+	if !outstanding {
+		p.ignored++ // duplicate, unsent, or stale seq
+		return
+	}
+	delete(p.pending, msg.Seq)
+	// RTT from our recorded send time, not the echoed timestamp: a peer
+	// cannot skew the estimate by rewriting the payload.
+	rtt := now.Sub(sent)
 	if rtt < 0 {
 		return
 	}
-	p.mu.Lock()
 	p.rtt.Add(float64(rtt))
 	p.rttStats.Add(float64(rtt))
-	p.mu.Unlock()
 }
 
 // RTT returns the smoothed round-trip estimate; ok is false before the
@@ -241,12 +317,21 @@ func (p *Prober) RTT() (clock.Duration, bool) {
 	return clock.Duration(p.rtt.Value()), true
 }
 
-// Samples returns how many pongs have been received — nonzero proves the
-// network is connected, the probe's second purpose in the paper.
+// Samples returns how many pongs have been accepted — nonzero proves the
+// network is connected, the probe's second purpose in the paper. Each
+// sent ping contributes at most one sample.
 func (p *Prober) Samples() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.rttStats.N()
+}
+
+// Ignored returns how many pongs were dropped as duplicates or as
+// answers to unsent/stale pings.
+func (p *Prober) Ignored() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ignored
 }
 
 // Stop terminates the probe loop.

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the whole set in the Prometheus text format
+// (version 0.0.4). Output is byte-stable for identical instrument state:
+// families are sorted by name, series within a family by full series
+// name, and histogram buckets stay in ascending-bound order.
+func (s *Set) WritePrometheus(w io.Writer) error {
+	s.mu.Lock()
+	pts := append([]point(nil), s.static...)
+	samplers := append(make([]func(*Emitter), 0, len(s.samplers)), s.samplers...)
+	s.mu.Unlock()
+
+	var em Emitter
+	for _, fn := range samplers {
+		fn(&em)
+	}
+	pts = append(pts, em.points...)
+
+	type series struct {
+		name  string
+		lines []string
+	}
+	type family struct {
+		typ, help string
+		series    []series
+	}
+	fams := make(map[string]*family)
+	order := make([]string, 0, len(pts))
+	for _, p := range pts {
+		famName := p.name
+		if i := strings.IndexByte(famName, '{'); i >= 0 {
+			famName = famName[:i]
+		}
+		f := fams[famName]
+		if f == nil {
+			f = &family{typ: p.kind, help: p.help}
+			fams[famName] = f
+			order = append(order, famName)
+		}
+		if f.help == "" {
+			f.help = p.help
+		}
+		f.series = append(f.series, series{name: p.name, lines: renderPoint(famName, p)})
+	}
+	sort.Strings(order)
+
+	for _, famName := range order {
+		f := fams[famName]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", famName, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", famName, f.typ); err != nil {
+			return err
+		}
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].name < f.series[j].name })
+		for _, sr := range f.series {
+			for _, line := range sr.lines {
+				if _, err := io.WriteString(w, line); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// renderPoint produces the text lines of one instrument or sample.
+// Histograms expand into their cumulative _bucket/_sum/_count lines with
+// the le label merged into any labels already on the series name.
+func renderPoint(famName string, p point) []string {
+	switch {
+	case p.counter != nil:
+		return []string{p.name + " " + strconv.FormatUint(p.counter.Value(), 10) + "\n"}
+	case p.cfn != nil:
+		return []string{p.name + " " + strconv.FormatUint(p.cfn(), 10) + "\n"}
+	case p.gauge != nil:
+		return []string{p.name + " " + formatFloat(p.gauge.Value()) + "\n"}
+	case p.gfn != nil:
+		return []string{p.name + " " + formatFloat(p.gfn()) + "\n"}
+	case p.hist != nil:
+		return renderHistogram(famName, p)
+	default:
+		return []string{p.name + " " + formatFloat(p.value) + "\n"}
+	}
+}
+
+func renderHistogram(famName string, p point) []string {
+	h := p.hist
+	labels := "" // label body without braces, e.g. `peer="x"`
+	if i := strings.IndexByte(p.name, '{'); i >= 0 {
+		labels = strings.TrimSuffix(p.name[i+1:], "}")
+	}
+	withLE := func(le string) string {
+		if labels == "" {
+			return famName + `_bucket{le="` + le + `"}`
+		}
+		return famName + "_bucket{" + labels + `,le="` + le + `"}`
+	}
+	suffixed := func(sfx string) string {
+		if labels == "" {
+			return famName + sfx
+		}
+		return famName + sfx + "{" + labels + "}"
+	}
+	out := make([]string, 0, len(h.upper)+3)
+	cum := uint64(0)
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		out = append(out, withLE(formatFloat(ub))+" "+strconv.FormatUint(cum, 10)+"\n")
+	}
+	cum += h.counts[len(h.upper)].Load()
+	out = append(out, withLE("+Inf")+" "+strconv.FormatUint(cum, 10)+"\n")
+	out = append(out, suffixed("_sum")+" "+formatFloat(h.Sum())+"\n")
+	out = append(out, suffixed("_count")+" "+strconv.FormatUint(h.Count(), 10)+"\n")
+	return out
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the set at its mount point
+// (conventionally /metrics).
+func (s *Set) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WritePrometheus(w)
+	})
+}

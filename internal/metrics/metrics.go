@@ -1,0 +1,236 @@
+// Package metrics is a small, dependency-free instrumentation layer for
+// the monitoring pipeline: atomic counters, gauges, and fixed-bucket
+// latency histograms registered by name in a Set, exposed in the
+// Prometheus text format. The paper's thesis is that a failure detector
+// must be judged by its *measured* output QoS (Fig. 3: TD, MR, QAP);
+// this package is how a live deployment watches those numbers — and the
+// hot-path cost of producing them — continuously, the way Dobre et al.
+// and Cotroneo et al. treat metric exposition as a first-class part of a
+// large-scale detection architecture.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path updates (Counter.Add, Gauge.Set, Histogram.Observe) are
+//     single atomic operations: no locks, no allocation, safe from any
+//     goroutine. Proven by BenchmarkRegistryIngest staying at
+//     0 allocs/op with the registry fully instrumented.
+//  2. Scrapes may allocate freely; they sort every series so the
+//     exposition is byte-stable for identical state (golden-testable).
+//  3. Dynamic label sets (per-stream QoS gauges for a churning fleet)
+//     are produced at scrape time by sampler callbacks, so the ingest
+//     path never touches a map or a label string.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Observations and
+// bucket bounds are in seconds for latency histograms (the Prometheus
+// convention), but any unit works as long as producer and reader agree.
+type Histogram struct {
+	upper  []float64 // ascending bucket upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefLatencyBuckets spans 1 µs – 1 s in a 1-2.5-5 progression: wide
+// enough for a UDP decode (~µs) and a full scrape (~ms) alike.
+var DefLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1,
+}
+
+func newHistogram(upper []float64) *Histogram {
+	u := append([]float64(nil), upper...)
+	sort.Float64s(u)
+	return &Histogram{upper: u, counts: make([]atomic.Uint64, len(u)+1)}
+}
+
+// Observe records one value: one atomic add on the matching bucket, one
+// on the total count, and a CAS loop folding v into the sum. No locks,
+// no allocation.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Emitter receives scrape-time samples from sampler callbacks (see
+// Set.Sampled). Emitted names may carry labels built with Name.
+type Emitter struct{ points []point }
+
+// Gauge emits one gauge sample.
+func (e *Emitter) Gauge(name string, v float64) {
+	e.points = append(e.points, point{name: name, kind: kindGauge, value: v})
+}
+
+// Counter emits one monotonic counter sample (a reading of a counter the
+// emitting subsystem maintains itself).
+func (e *Emitter) Counter(name string, v float64) {
+	e.points = append(e.points, point{name: name, kind: kindCounter, value: v})
+}
+
+const (
+	kindCounter = "counter"
+	kindGauge   = "gauge"
+	kindHist    = "histogram"
+)
+
+// point is one registered instrument or emitted sample.
+type point struct {
+	name string // full series name, labels included
+	kind string
+	help string
+
+	value   float64 // sampled / gauge-func value
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cfn     func() uint64
+	gfn     func() float64
+}
+
+// Set is a named collection of instruments plus sampler callbacks,
+// exposed together as one Prometheus text page. Registration is
+// synchronized; the instruments themselves are lock-free.
+type Set struct {
+	mu       sync.Mutex
+	static   []point
+	samplers []func(*Emitter)
+	seen     map[string]bool
+}
+
+// NewSet returns an empty instrument set.
+func NewSet() *Set { return &Set{seen: make(map[string]bool)} }
+
+func (s *Set) register(p point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[p.name] {
+		panic("metrics: duplicate registration of " + p.name)
+	}
+	s.seen[p.name] = true
+	s.static = append(s.static, p)
+}
+
+// Counter registers and returns a new counter. name may carry labels
+// (use Name); help may be empty.
+func (s *Set) Counter(name, help string) *Counter {
+	c := &Counter{}
+	s.register(point{name: name, kind: kindCounter, help: help, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for subsystems that already maintain their own atomic counters.
+func (s *Set) CounterFunc(name, help string, fn func() uint64) {
+	s.register(point{name: name, kind: kindCounter, help: help, cfn: fn})
+}
+
+// Gauge registers and returns a new settable gauge.
+func (s *Set) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	s.register(point{name: name, kind: kindGauge, help: help, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time.
+func (s *Set) GaugeFunc(name, help string, fn func() float64) {
+	s.register(point{name: name, kind: kindGauge, help: help, gfn: fn})
+}
+
+// Histogram registers and returns a fixed-bucket histogram; nil buckets
+// take DefLatencyBuckets.
+func (s *Set) Histogram(name, help string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	h := newHistogram(buckets)
+	s.register(point{name: name, kind: kindHist, help: help, hist: h})
+	return h
+}
+
+// Sampled registers a callback invoked on every scrape to emit samples
+// with dynamic label sets (e.g. one QoS gauge per live stream). The
+// callback runs under the scrape, never on the ingest path.
+func (s *Set) Sampled(fn func(*Emitter)) {
+	s.mu.Lock()
+	s.samplers = append(s.samplers, fn)
+	s.mu.Unlock()
+}
+
+// Name composes a series name from a family and label key/value pairs,
+// escaping values per the Prometheus text format:
+//
+//	Name("sfd_stream_qap", "peer", `10.0.0.7:7946`)
+//	  → sfd_stream_qap{peer="10.0.0.7:7946"}
+func Name(family string, labels ...string) string {
+	if len(labels) == 0 {
+		return family
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

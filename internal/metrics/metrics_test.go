@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	g := s.Gauge("g", "")
+	g.Set(-2.5)
+	if g.Value() != -2.5 {
+		t.Fatalf("gauge = %v, want -2.5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	s := NewSet()
+	h := s.Histogram("h_seconds", "", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 2.565; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Cumulative buckets: ≤0.01 holds two (0.005 and the boundary 0.01).
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.01"} 2`,
+		`h_seconds_bucket{le="0.1"} 3`,
+		`h_seconds_bucket{le="1"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_sum 2.565`,
+		`h_seconds_count 5`,
+		`# TYPE h_seconds histogram`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNameEscaping(t *testing.T) {
+	got := Name("m", "peer", "a\\b\"c\nd")
+	want := `m{peer="a\\b\"c\nd"}`
+	if got != want {
+		t.Fatalf("Name = %s, want %s", got, want)
+	}
+	if Name("bare") != "bare" {
+		t.Fatal("bare name altered")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	s := NewSet()
+	s.Counter("dup", "")
+	s.Counter("dup", "")
+}
+
+// TestExpositionGolden locks the full text format: stable ordering across
+// families and series, label escaping, counter/gauge rendering, histogram
+// bucket format, and sampled series interleaved with static ones.
+func TestExpositionGolden(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("zz_last_total", "registered last, sorted first by name rules")
+	c.Add(7)
+	s.CounterFunc("aa_first_total", "a counter func", func() uint64 { return 3 })
+	g := s.Gauge(Name("mid_gauge", "peer", `pe"er\1`), "labeled gauge")
+	g.Set(1.5)
+	h := s.Histogram(Name("lat_seconds", "path", "ingest"), "labeled histogram", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	s.Sampled(func(e *Emitter) {
+		e.Gauge(Name("mid_gauge", "peer", "b"), 2)
+		e.Counter("sampled_total", 9)
+	})
+
+	want := `# HELP aa_first_total a counter func
+# TYPE aa_first_total counter
+aa_first_total 3
+# HELP lat_seconds labeled histogram
+# TYPE lat_seconds histogram
+lat_seconds_bucket{path="ingest",le="0.001"} 1
+lat_seconds_bucket{path="ingest",le="0.01"} 2
+lat_seconds_bucket{path="ingest",le="+Inf"} 2
+lat_seconds_sum{path="ingest"} 0.0055
+lat_seconds_count{path="ingest"} 2
+# HELP mid_gauge labeled gauge
+# TYPE mid_gauge gauge
+mid_gauge{peer="b"} 2
+mid_gauge{peer="pe\"er\\1"} 1.5
+# TYPE sampled_total counter
+sampled_total 9
+# HELP zz_last_total registered last, sorted first by name rules
+# TYPE zz_last_total counter
+zz_last_total 7
+`
+	for i := 0; i < 3; i++ { // stable across repeated scrapes
+		var b strings.Builder
+		if err := s.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != want {
+			t.Fatalf("scrape %d mismatch:\n got:\n%s\nwant:\n%s", i, b.String(), want)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	s := NewSet()
+	s.Counter("x_total", "").Inc()
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "x_total 1\n") {
+		t.Fatalf("body = %q", rr.Body.String())
+	}
+}
+
+// TestConcurrentScrapeStress hammers counters, gauges, and a histogram
+// from writer goroutines (standing in for the receiver and registry
+// ingest paths) while scraper goroutines render the set — the -race
+// coverage the ISSUE asks for.
+func TestConcurrentScrapeStress(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("stress_total", "")
+	g := s.Gauge("stress_gauge", "")
+	h := s.Histogram("stress_seconds", "", nil)
+	s.Sampled(func(e *Emitter) { e.Gauge("stress_sampled", float64(c.Value())) })
+
+	const writers, scrapers, iters = 4, 2, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%100) * 1e-4)
+			}
+		}(w)
+	}
+	for r := 0; r < scrapers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				var b strings.Builder
+				if err := s.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != writers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), writers*iters)
+	}
+	if h.Count() != writers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), writers*iters)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	s := NewSet()
+	c := s.Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	s := NewSet()
+	h := s.Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}

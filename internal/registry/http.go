@@ -12,11 +12,13 @@ import (
 //
 //	GET /status   full JSON snapshot: counters plus one row per stream
 //	GET /vars     expvar-style counters and per-shard occupancy only
+//	GET /metrics  Prometheus text exposition (see Metrics)
 //	GET /healthz  liveness probe (200 "ok")
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", r.serveStatus)
 	mux.HandleFunc("/vars", r.serveVars)
+	mux.Handle("/metrics", r.Metrics().Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))

@@ -1,0 +1,120 @@
+package registry
+
+import (
+	"strconv"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// tuned is implemented by self-tuning detectors (core.SFD) whose QoS
+// feedback loop the metrics layer exposes per stream: the current safety
+// margin, the tuning state, and the last slot's measured TD/MR/QAP — the
+// live form of the paper's Fig. 3 evaluation.
+type tuned interface {
+	Margin() clock.Duration
+	State() core.State
+	LastAdjustment() (core.Adjustment, bool)
+}
+
+// Metrics returns the registry's instrument set, building it on first
+// call. The set holds CounterFunc/GaugeFunc views over the atomics the
+// registry already maintains — instrumentation adds nothing to the ingest
+// path — plus scrape-time samplers for per-shard occupancy and per-stream
+// detector QoS. Embedders (sfdmon) register receiver and gossip
+// instruments into the same set so one /metrics page covers the pipeline.
+func (r *Registry) Metrics() *metrics.Set {
+	r.metricsOnce.Do(func() {
+		set := metrics.NewSet()
+		set.CounterFunc("sfd_registry_heartbeats_total",
+			"Heartbeat arrivals accepted by the registry.", r.heartbeats.Load)
+		set.CounterFunc("sfd_registry_stale_total",
+			"Arrivals dropped as duplicate, reordered, or from a dead incarnation.", r.stale.Load)
+		set.CounterFunc("sfd_registry_registered_total",
+			"Streams ever registered (explicitly or by first heartbeat).", r.registered.Load)
+		set.CounterFunc("sfd_registry_suspects_total",
+			"Trust to suspect transitions fired by the timer wheel.", r.suspects.Load)
+		set.CounterFunc("sfd_registry_trusts_total",
+			"Suspect to trust recoveries (a heartbeat disproved the suspicion).", r.trusts.Load)
+		set.CounterFunc("sfd_registry_offlines_total",
+			"Suspect to offline transitions.", r.offlines.Load)
+		set.CounterFunc("sfd_registry_evictions_total",
+			"Offline streams removed from the table.", r.evictions.Load)
+		set.CounterFunc("sfd_registry_cannot_satisfy_total",
+			"Self-tuner infeasibility reports (Algorithm 1 line 14).", r.cannotSatisfy.Load)
+		set.CounterFunc("sfd_registry_wheel_rearms_total",
+			"Timer-wheel entries scheduled (first arms plus deadline moves).", r.rearms.Load)
+		set.CounterFunc("sfd_registry_bus_published_total",
+			"Events published on the failure-event bus.",
+			func() uint64 { pub, _ := r.bus.Stats(); return pub })
+		set.CounterFunc("sfd_registry_bus_dropped_total",
+			"Events dropped across subscribers by drop-oldest backpressure.",
+			func() uint64 { _, drop := r.bus.Stats(); return drop })
+		set.GaugeFunc("sfd_registry_streams",
+			"Streams currently registered.",
+			func() float64 { return float64(r.Len()) })
+		set.GaugeFunc("sfd_registry_wheel_entries",
+			"Live timer-wheel entries, including lazily-invalidated ones.",
+			func() float64 { return float64(r.wheel.len()) })
+		set.GaugeFunc("sfd_registry_bus_subscribers",
+			"Current failure-event bus subscribers.",
+			func() float64 { return float64(r.bus.Subscribers()) })
+		set.Sampled(r.sampleShards)
+		if r.opts.MetricsMaxStreams > 0 {
+			set.Sampled(r.sampleStreams)
+		}
+		r.metricsSet = set
+	})
+	return r.metricsSet
+}
+
+// sampleShards emits one occupancy gauge per lock stripe — the load
+// balance FNV hashing should keep near-uniform.
+func (r *Registry) sampleShards(em *metrics.Emitter) {
+	for i, sh := range r.shards {
+		em.Gauge(metrics.Name("sfd_registry_shard_streams", "shard", strconv.Itoa(i)),
+			float64(sh.len()))
+	}
+}
+
+// sampleStreams emits per-stream detector gauges for up to
+// Options.MetricsMaxStreams streams: the accrual suspicion level and the
+// lifecycle phase for every detector, plus margin / tuning state / last
+// measured slot QoS for self-tuning ones. Streams beyond the cap are
+// counted in sfd_registry_metrics_streams_skipped rather than silently
+// dropped.
+func (r *Registry) sampleStreams(em *metrics.Emitter) {
+	now := r.clk.Now()
+	budget := r.opts.MetricsMaxStreams
+	skipped := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for peer, st := range sh.streams {
+			if budget <= 0 {
+				skipped++
+				continue
+			}
+			budget--
+			em.Gauge(metrics.Name("sfd_stream_suspicion", "peer", peer), r.level(st, now))
+			em.Gauge(metrics.Name("sfd_stream_phase", "peer", peer), float64(st.phase))
+			td, ok := st.det.(tuned)
+			if !ok {
+				continue
+			}
+			em.Gauge(metrics.Name("sfd_stream_margin_seconds", "peer", peer),
+				td.Margin().Seconds())
+			em.Gauge(metrics.Name("sfd_stream_state", "peer", peer), float64(td.State()))
+			if adj, ok := td.LastAdjustment(); ok {
+				em.Gauge(metrics.Name("sfd_stream_td_seconds", "peer", peer),
+					adj.Measured.TD.Seconds())
+				em.Gauge(metrics.Name("sfd_stream_mr_per_s", "peer", peer), adj.Measured.MR)
+				em.Gauge(metrics.Name("sfd_stream_qap", "peer", peer), adj.Measured.QAP)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if skipped > 0 {
+		em.Gauge("sfd_registry_metrics_streams_skipped", float64(skipped))
+	}
+}

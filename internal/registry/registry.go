@@ -17,6 +17,7 @@ package registry
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/clock"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/heartbeat"
+	"repro/internal/metrics"
 )
 
 // Factory builds a fresh detector for a newly registered stream.
@@ -55,6 +57,11 @@ type Options struct {
 	// removed from the registry — the bound that keeps the table finite
 	// under peer churn. Default 1 minute; negative disables eviction.
 	EvictAfter clock.Duration
+	// MetricsMaxStreams caps how many streams the /metrics page exposes
+	// per-stream QoS gauges for — a huge fleet would otherwise make every
+	// scrape enumerate every stream. Default 256; negative disables the
+	// per-stream sampler entirely (aggregate series remain).
+	MetricsMaxStreams int
 }
 
 func (o *Options) normalize() {
@@ -90,6 +97,12 @@ func (o *Options) normalize() {
 		o.EvictAfter = 60 * clock.Second
 	case o.EvictAfter < 0:
 		o.EvictAfter = 0
+	}
+	switch {
+	case o.MetricsMaxStreams == 0:
+		o.MetricsMaxStreams = 256
+	case o.MetricsMaxStreams < 0:
+		o.MetricsMaxStreams = 0
 	}
 }
 
@@ -148,6 +161,12 @@ type Registry struct {
 	offlines      atomic.Uint64
 	evictions     atomic.Uint64
 	cannotSatisfy atomic.Uint64
+	rearms        atomic.Uint64
+
+	// metricsSet is built lazily on the first Metrics() call so embedders
+	// that never scrape pay nothing for it.
+	metricsOnce sync.Once
+	metricsSet  *metrics.Set
 
 	started atomic.Bool
 	stopped atomic.Bool
@@ -385,6 +404,7 @@ func (r *Registry) Observe(a heartbeat.Arrival) {
 // behind by a deregistered stream can never match a later stream that
 // reuses the same address.
 func (r *Registry) rearmLocked(st *stream, at clock.Time) {
+	r.rearms.Add(1)
 	st.gen = r.gen.Add(1)
 	st.entryAt = at
 	st.deadline = at

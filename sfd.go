@@ -45,6 +45,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/gossip"
 	"repro/internal/heartbeat"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/qos"
 	"repro/internal/registry"
@@ -441,6 +442,34 @@ const (
 func NewGossiper(ep GossipEndpoint, clk Clock, reg *Registry, peers []string, opts GossipOptions) *Gossiper {
 	return gossip.New(ep, clk, reg, peers, opts)
 }
+
+// Instrumentation layer: dependency-free atomic counters, gauges, and
+// fixed-bucket histograms with Prometheus text exposition (see
+// internal/metrics). Registry.Metrics() returns the registry's set;
+// HeartbeatReceiver.InstrumentMetrics and Gossiper.InstrumentMetrics
+// register their instruments into it so one /metrics page covers the
+// whole pipeline.
+type (
+	// MetricsSet is a named instrument collection exposed together as one
+	// Prometheus text page (Handler / WritePrometheus).
+	MetricsSet = metrics.Set
+	// MetricsCounter is a lock-free monotonic counter.
+	MetricsCounter = metrics.Counter
+	// MetricsGauge is an atomically settable float64 gauge.
+	MetricsGauge = metrics.Gauge
+	// MetricsHistogram is a fixed-bucket cumulative histogram whose
+	// Observe is lock- and allocation-free.
+	MetricsHistogram = metrics.Histogram
+	// MetricsEmitter receives scrape-time samples from Sampled callbacks.
+	MetricsEmitter = metrics.Emitter
+)
+
+// NewMetricsSet returns an empty instrument set for application metrics.
+func NewMetricsSet() *MetricsSet { return metrics.NewSet() }
+
+// MetricName composes a series name from a family and label key/value
+// pairs, escaping label values per the Prometheus text format.
+func MetricName(family string, labels ...string) string { return metrics.Name(family, labels...) }
 
 // Inbound is one received datagram (transport layer).
 type Inbound = transport.Inbound
