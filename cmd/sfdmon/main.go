@@ -22,12 +22,19 @@
 //	sfdmon -mode monitor -listen :7946 -serve :8080 \
 //	    -gossip -gossip-peers 10.0.0.3:7946,10.0.0.4:7946 -gossip-quorum 2
 //
+//	# chaos drill: replay a scripted impairment timeline against the
+//	# live inbound stream (JSON file or inline DSL; see internal/chaos):
+//	sfdmon -mode monitor -listen :7946 -serve :8080 \
+//	    -chaos '2s+10s:loss(rate=0.4,burst=6);15s+5s:partition(dir=in)'
+//
 // With -serve, the monitor exposes GET /status (full JSON snapshot),
 // GET /vars (counters + per-shard occupancy), GET /metrics (Prometheus
-// text exposition: receiver, registry, gossip, and per-stream detector
-// QoS), GET /healthz, and — with -gossip — GET /gossip (verdicts, peer
-// weights, opinion table). -pprof additionally mounts the Go profiler
-// under /debug/pprof/ on the same listener.
+// text exposition: receiver, registry, gossip, chaos, and per-stream
+// detector QoS), GET /healthz, with -gossip GET /gossip (verdicts, peer
+// weights, opinion table), and with -chaos GET /chaos (scenario,
+// injection counters, active impairments; ?log=1 for the injection
+// log). -pprof additionally mounts the Go profiler under /debug/pprof/
+// on the same listener.
 package main
 
 import (
@@ -65,12 +72,25 @@ func main() {
 		gossipInterval = flag.Duration("gossip-interval", 250*time.Millisecond, "monitor: anti-entropy round period")
 		gossipQuorum   = flag.Int("gossip-quorum", 2, "monitor: concurring monitors needed for a global verdict")
 		gossipSeed     = flag.Int64("gossip-seed", 0, "monitor: peer-selection seed (0 = default)")
+
+		chaosSpec = flag.String("chaos", "", "scenario to inject: a JSON file path or the flag DSL (see internal/chaos)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "override the scenario's injection seed (0 = keep)")
 	)
 	flag.Parse()
 
+	var chaosSc *sfd.ChaosScenario
+	if *chaosSpec != "" {
+		sc, err := loadScenario(*chaosSpec, *chaosSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfdmon: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		chaosSc = &sc
+	}
+
 	switch *mode {
 	case "send":
-		runSender(*to, *interval, *duration)
+		runSender(*to, *interval, *duration, chaosSc)
 	case "monitor":
 		var gc *gossipConfig
 		if *gossipOn {
@@ -87,7 +107,7 @@ func main() {
 			}
 		}
 		runMonitor(*listen, *serve, *refresh,
-			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration, gc, *pprofOn)
+			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration, gc, *pprofOn, chaosSc)
 	case "demo":
 		runDemo()
 	default:
@@ -96,19 +116,68 @@ func main() {
 	}
 }
 
-func runSender(to string, interval, duration time.Duration) {
-	ep, err := sfd.ListenUDP(":0")
+// loadScenario resolves the -chaos flag: a readable file is parsed as
+// JSON, anything else as the compact DSL. A nonzero seed flag overrides
+// the scenario's own.
+func loadScenario(spec string, seed int64) (sfd.ChaosScenario, error) {
+	var sc sfd.ChaosScenario
+	if b, err := os.ReadFile(spec); err == nil {
+		sc, err = sfd.ParseChaosScenario(b)
+		if err != nil {
+			return sc, fmt.Errorf("%s: %w", spec, err)
+		}
+	} else {
+		var derr error
+		sc, derr = sfd.ParseChaosDSL(spec)
+		if derr != nil {
+			return sc, fmt.Errorf("neither a readable file (%v) nor a valid scenario DSL (%v)", err, derr)
+		}
+	}
+	if seed != 0 {
+		sc.Seed = seed
+	}
+	return sc, nil
+}
+
+func runSender(to string, interval, duration time.Duration, chaosSc *sfd.ChaosScenario) {
+	udp, err := sfd.ListenUDP(":0")
 	if err != nil {
 		fatal(err)
 	}
-	defer ep.Close()
+	defer udp.Close()
+	var ep sfd.Endpoint = udp
 	clk := sfd.NewRealClock()
-	snd := sfd.NewHeartbeatSender(ep, to, interval, clk)
+	hbClk := clk
+
+	// A send-side scenario impairs outbound heartbeats at the source and
+	// lets skew steps drag the sender's timestamp clock.
+	var ctl *sfd.ChaosController
+	if chaosSc != nil {
+		ctl = sfd.NewChaosController(clk, chaosSc.Seed)
+		skewed := sfd.NewSkewedClock(clk)
+		ctl.AttachClock(skewed)
+		hbClk = skewed
+		cep := sfd.WrapChaos(ep, ctl)
+		cep.Start()
+		ep = cep
+		if err := ctl.Play(*chaosSc); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sfdmon: chaos scenario %q armed (seed %d, %d steps)\n",
+			chaosSc.Name, ctl.Seed(), len(chaosSc.Steps))
+	}
+
+	snd := sfd.NewHeartbeatSender(ep, to, interval, hbClk)
 	snd.Start()
-	fmt.Printf("sfdmon: heartbeating to %s every %v (from %s)\n", to, interval, ep.Addr())
+	fmt.Printf("sfdmon: heartbeating to %s every %v (from %s)\n", to, interval, udp.Addr())
 	waitForExit(duration)
 	snd.Stop()
 	fmt.Printf("sfdmon: sent %d heartbeats\n", snd.Sent())
+	if ctl != nil {
+		c := ctl.Counters()
+		fmt.Printf("sfdmon: chaos injected loss=%d partition=%d delayed=%d reordered=%d duplicated=%d truncated=%d\n",
+			c.LossDrops, c.PartDrops, c.Delayed, c.Reordered, c.Duplicated, c.Truncated)
+	}
 }
 
 // gossipConfig carries the -gossip* flags into runMonitor.
@@ -130,13 +199,31 @@ func splitPeers(s string) []string {
 	return out
 }
 
-func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration, gc *gossipConfig, pprofOn bool) {
-	ep, err := sfd.ListenUDP(listen)
+func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration, gc *gossipConfig, pprofOn bool, chaosSc *sfd.ChaosScenario) {
+	udp, err := sfd.ListenUDP(listen)
 	if err != nil {
 		fatal(err)
 	}
-	defer ep.Close()
+	defer udp.Close()
+	var ep sfd.Endpoint = udp
 	clk := sfd.NewRealClock()
+
+	// A monitor-side scenario sits between the socket and the receiver,
+	// impairing the live inbound heartbeat/gossip stream.
+	var ctl *sfd.ChaosController
+	if chaosSc != nil {
+		ctl = sfd.NewChaosController(clk, chaosSc.Seed)
+		cep := sfd.WrapChaos(ep, ctl)
+		cep.Start()
+		defer cep.Close()
+		ep = cep
+		if err := ctl.Play(*chaosSc); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sfdmon: chaos scenario %q armed (seed %d, %d steps)\n",
+			chaosSc.Name, ctl.Seed(), len(chaosSc.Steps))
+	}
+
 	reg := sfd.NewRegistry(clk, sfd.SFDFactory(targets), sfd.RegistryOptions{
 		EvictAfter: evict,
 	})
@@ -166,6 +253,9 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 	if gsp != nil {
 		gsp.InstrumentMetrics(reg.Metrics())
 	}
+	if ctl != nil {
+		ctl.InstrumentMetrics(reg.Metrics())
+	}
 
 	fmt.Printf("sfdmon: monitoring on %s (targets %v)\n", ep.Addr(), targets)
 	if gsp != nil {
@@ -193,6 +283,10 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 		if gsp != nil {
 			mux.Handle("/gossip", gsp.Handler())
 			surfaces += ", /gossip"
+		}
+		if ctl != nil {
+			mux.Handle("/chaos", ctl.Handler())
+			surfaces += ", /chaos"
 		}
 		if pprofOn {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)

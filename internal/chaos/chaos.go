@@ -1,0 +1,245 @@
+// Package chaos is the fault-injection layer for the live heartbeat
+// stack: an Endpoint middleware that wraps any transport.Endpoint (UDP
+// socket or in-memory hub) and injects deterministic, seeded
+// impairments between the wire and the protocol code — Gilbert–Elliott
+// loss bursts, added delay and jitter, reordering, duplication,
+// truncation, directional partitions, and send-side clock skew/drift.
+//
+// The paper's claim is that SFD holds its QoS targets *while the
+// network misbehaves* (§V's WAN loss/delay processes, Fig. 2's message
+// cases); internal/netsim proves that over a fully simulated clock and
+// link, but nothing could impair the real transport path that sfdmon
+// ships. This package closes that gap: the same Receiver, Registry, and
+// Gossiper binaries run unmodified while a scripted Scenario turns
+// impairments on and off around them, and injection counters exported
+// through internal/metrics let a scrape correlate each impairment window
+// with the QoS dip it caused. The fault taxonomy follows the
+// robustness-architecture direction of Dobre et al. and the fault-model
+// classification of the Impact FD line of work (see DESIGN.md §4d).
+//
+// Determinism contract: all injection decisions are drawn from one
+// seeded rand.Rand in arrival order, so the same seed, schedule, and
+// offered traffic sequence produce a byte-identical injection log
+// (Controller.LogBytes) — replays of a chaos drill are debuggable.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// Direction selects which traffic an impairment applies to, relative to
+// the wrapped endpoint: DirOut is Send traffic, DirIn is received
+// traffic, DirBoth is both.
+type Direction uint8
+
+const (
+	// DirBoth applies the impairment to sends and receives alike.
+	DirBoth Direction = iota
+	// DirIn applies the impairment to received datagrams only.
+	DirIn
+	// DirOut applies the impairment to sent datagrams only.
+	DirOut
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	default:
+		return "both"
+	}
+}
+
+// MarshalJSON encodes the direction as its string form.
+func (d Direction) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + d.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts "in", "out", "both" (or empty for both).
+func (d *Direction) UnmarshalJSON(b []byte) error {
+	v, err := parseDirection(strings.Trim(string(b), `"`))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}
+
+func parseDirection(s string) (Direction, error) {
+	switch s {
+	case "in":
+		return DirIn, nil
+	case "out":
+		return DirOut, nil
+	case "both", "":
+		return DirBoth, nil
+	default:
+		return DirBoth, fmt.Errorf("chaos: bad direction %q (want in, out, or both)", s)
+	}
+}
+
+// Kind names an impairment class.
+type Kind string
+
+const (
+	// KindLoss drops datagrams through a Gilbert–Elliott burst channel:
+	// Rate is the long-run loss fraction, Burst the mean loss-run length
+	// in datagrams (Burst ≤ 1 degenerates to Bernoulli loss).
+	KindLoss Kind = "loss"
+	// KindDelay postpones delivery by Delay plus uniform jitter in
+	// [0, Jitter). Rate 0 (the default) delays every matching datagram;
+	// a nonzero Rate delays only that fraction.
+	KindDelay Kind = "delay"
+	// KindReorder holds back a Rate fraction of datagrams by Delay so
+	// later datagrams overtake them — the classic late-arrival reorder.
+	KindReorder Kind = "reorder"
+	// KindDuplicate delivers a Rate fraction of datagrams twice; the
+	// copy follows after Delay (0 = immediately after the original).
+	KindDuplicate Kind = "duplicate"
+	// KindTruncate cuts a Rate fraction of datagrams to Bytes bytes
+	// (default: half their length) — the wire-damage case codecs must
+	// reject without panicking.
+	KindTruncate Kind = "truncate"
+	// KindPartition drops every matching datagram outright. With
+	// Direction and Peers it expresses one-sided partitions: e.g.
+	// Direction DirIn + a peer list silences those peers without
+	// touching outbound traffic.
+	KindPartition Kind = "partition"
+	// KindSkew steps every attached SkewedClock to Offset plus DriftPPM
+	// parts-per-million drift while armed (disarming steps back) —
+	// send-side timestamp skew as seen by remote detectors.
+	KindSkew Kind = "skew"
+)
+
+// Impairment is one parameterized fault. Unused fields are ignored by
+// kinds that do not consume them; Validate reports nonsensical
+// combinations. The zero Direction (DirBoth) matches both directions
+// and an empty Peers list matches every peer.
+type Impairment struct {
+	Kind Kind `json:"kind"`
+	// Rate is the affected fraction in [0,1] (loss: long-run loss rate).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the Gilbert–Elliott mean burst length (loss only).
+	Burst float64 `json:"burst,omitempty"`
+	// Delay is the added latency (delay), hold-back (reorder), or copy
+	// lag (duplicate).
+	Delay Span `json:"delay,omitempty"`
+	// Jitter widens Delay by a uniform draw in [0, Jitter) (delay only).
+	Jitter Span `json:"jitter,omitempty"`
+	// Bytes is the truncated length (truncate only; 0 = half length).
+	Bytes int `json:"bytes,omitempty"`
+	// Peers restricts the impairment to these addresses (the Send
+	// destination for DirOut, the Inbound source for DirIn). Empty
+	// matches all.
+	Peers []string `json:"peers,omitempty"`
+	// Direction restricts the impairment to one traffic direction.
+	Direction Direction `json:"direction,omitempty"`
+	// Offset is the clock step applied while a skew impairment is armed.
+	Offset Span `json:"offset,omitempty"`
+	// DriftPPM is the clock drift in parts per million while armed.
+	DriftPPM float64 `json:"drift_ppm,omitempty"`
+}
+
+// Validate reports whether the impairment is well-formed.
+func (im Impairment) Validate() error {
+	switch im.Kind {
+	case KindLoss, KindReorder, KindDuplicate, KindTruncate:
+		if im.Rate < 0 || im.Rate > 1 {
+			return fmt.Errorf("chaos: %s rate %g outside [0,1]", im.Kind, im.Rate)
+		}
+		if im.Kind == KindLoss && im.Rate == 0 {
+			return fmt.Errorf("chaos: loss needs rate > 0")
+		}
+		if im.Kind != KindLoss && im.Rate == 0 {
+			return fmt.Errorf("chaos: %s needs rate > 0", im.Kind)
+		}
+		if im.Burst < 0 {
+			return fmt.Errorf("chaos: negative burst %g", im.Burst)
+		}
+		if im.Bytes < 0 {
+			return fmt.Errorf("chaos: negative bytes %d", im.Bytes)
+		}
+		if im.Kind == KindReorder && im.Delay <= 0 {
+			return fmt.Errorf("chaos: reorder needs delay > 0")
+		}
+	case KindDelay:
+		if im.Delay <= 0 && im.Jitter <= 0 {
+			return fmt.Errorf("chaos: delay needs delay and/or jitter > 0")
+		}
+		if im.Rate < 0 || im.Rate > 1 {
+			return fmt.Errorf("chaos: delay rate %g outside [0,1]", im.Rate)
+		}
+	case KindPartition:
+		// Any combination of direction/peers is meaningful.
+	case KindSkew:
+		if im.Offset == 0 && im.DriftPPM == 0 {
+			return fmt.Errorf("chaos: skew needs offset and/or drift")
+		}
+	default:
+		return fmt.Errorf("chaos: unknown impairment kind %q", im.Kind)
+	}
+	if im.Delay < 0 || im.Jitter < 0 {
+		return fmt.Errorf("chaos: negative delay/jitter")
+	}
+	return nil
+}
+
+// matches reports whether the impairment applies to a datagram moving in
+// direction dir to/from peer.
+func (im Impairment) matches(dir Direction, peer string) bool {
+	if im.Direction != DirBoth && im.Direction != dir {
+		return false
+	}
+	if len(im.Peers) == 0 {
+		return true
+	}
+	for _, p := range im.Peers {
+		if p == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the impairment compactly, in the DSL's parameter form.
+func (im Impairment) String() string {
+	var kv []string
+	add := func(k, v string) { kv = append(kv, k+"="+v) }
+	if im.Rate != 0 {
+		add("rate", fmt.Sprintf("%g", im.Rate))
+	}
+	if im.Burst != 0 {
+		add("burst", fmt.Sprintf("%g", im.Burst))
+	}
+	if im.Delay != 0 {
+		add("delay", clock.Duration(im.Delay).String())
+	}
+	if im.Jitter != 0 {
+		add("jitter", clock.Duration(im.Jitter).String())
+	}
+	if im.Bytes != 0 {
+		add("bytes", fmt.Sprintf("%d", im.Bytes))
+	}
+	if im.Direction != DirBoth {
+		add("dir", im.Direction.String())
+	}
+	if len(im.Peers) > 0 {
+		ps := append([]string(nil), im.Peers...)
+		sort.Strings(ps)
+		add("peers", strings.Join(ps, "|"))
+	}
+	if im.Offset != 0 {
+		add("offset", clock.Duration(im.Offset).String())
+	}
+	if im.DriftPPM != 0 {
+		add("drift", fmt.Sprintf("%g", im.DriftPPM))
+	}
+	return string(im.Kind) + "(" + strings.Join(kv, ",") + ")"
+}

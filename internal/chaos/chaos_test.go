@@ -1,0 +1,423 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/transport"
+)
+
+func TestImpairmentValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		im   Impairment
+		ok   bool
+	}{
+		{"loss ok", Impairment{Kind: KindLoss, Rate: 0.3, Burst: 5}, true},
+		{"loss no rate", Impairment{Kind: KindLoss}, false},
+		{"loss rate > 1", Impairment{Kind: KindLoss, Rate: 1.5}, false},
+		{"delay ok", Impairment{Kind: KindDelay, Delay: Span(10 * clock.Millisecond)}, true},
+		{"delay jitter only", Impairment{Kind: KindDelay, Jitter: Span(5 * clock.Millisecond)}, true},
+		{"delay empty", Impairment{Kind: KindDelay}, false},
+		{"reorder ok", Impairment{Kind: KindReorder, Rate: 0.2, Delay: Span(clock.Millisecond)}, true},
+		{"reorder no delay", Impairment{Kind: KindReorder, Rate: 0.2}, false},
+		{"duplicate ok", Impairment{Kind: KindDuplicate, Rate: 1}, true},
+		{"duplicate no rate", Impairment{Kind: KindDuplicate}, false},
+		{"truncate ok", Impairment{Kind: KindTruncate, Rate: 0.5, Bytes: 8}, true},
+		{"truncate negative bytes", Impairment{Kind: KindTruncate, Rate: 0.5, Bytes: -1}, false},
+		{"partition bare", Impairment{Kind: KindPartition}, true},
+		{"partition directional", Impairment{Kind: KindPartition, Direction: DirIn, Peers: []string{"a"}}, true},
+		{"skew offset", Impairment{Kind: KindSkew, Offset: Span(clock.Second)}, true},
+		{"skew drift", Impairment{Kind: KindSkew, DriftPPM: 200}, true},
+		{"skew empty", Impairment{Kind: KindSkew}, false},
+		{"unknown", Impairment{Kind: Kind("gremlin")}, false},
+	}
+	for _, c := range cases {
+		if err := c.im.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestDirectionRoundTrip(t *testing.T) {
+	for _, d := range []Direction{DirBoth, DirIn, DirOut} {
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Direction
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != d {
+			t.Fatalf("direction %v round-tripped to %v", d, back)
+		}
+	}
+	var d Direction
+	if err := json.Unmarshal([]byte(`"sideways"`), &d); err == nil {
+		t.Fatal("bad direction accepted")
+	}
+}
+
+func testScenario() Scenario {
+	return Scenario{
+		Name: "drill",
+		Seed: 7,
+		Steps: []Step{
+			{At: Span(2 * clock.Second), Duration: Span(10 * clock.Second),
+				Impairment: Impairment{Kind: KindLoss, Rate: 0.3, Burst: 5}},
+			{At: Span(15 * clock.Second), Duration: Span(5 * clock.Second),
+				Impairment: Impairment{Kind: KindPartition, Direction: DirIn, Peers: []string{"10.0.0.1:7946"}}},
+			{At: Span(22 * clock.Second),
+				Impairment: Impairment{Kind: KindSkew, Offset: Span(500 * clock.Millisecond), DriftPPM: 200}},
+		},
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := testScenario()
+	back, err := ParseScenario(sc.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Fatalf("JSON round trip mismatch:\n got %+v\nwant %+v", back, sc)
+	}
+}
+
+func TestScenarioDSLRoundTrip(t *testing.T) {
+	sc := testScenario()
+	dsl := sc.DSL()
+	back, err := ParseDSL(dsl)
+	if err != nil {
+		t.Fatalf("ParseDSL(%q): %v", dsl, err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Fatalf("DSL round trip mismatch via %q:\n got %+v\nwant %+v", dsl, back, sc)
+	}
+	if _, err := ParseDSL("2s:loss(rate=0.3)"); err == nil {
+		t.Fatal("step without +DUR accepted")
+	}
+	if _, err := ParseDSL("2s+1s:loss(rate=nope)"); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+}
+
+// drain empties a receive channel without blocking.
+func drain(ch <-chan transport.Inbound) []transport.Inbound {
+	var out []transport.Inbound
+	for {
+		select {
+		case in, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, in)
+		default:
+			return out
+		}
+	}
+}
+
+// pair builds a chaos-wrapped sender endpoint "a" and a raw receiver "b"
+// on a lossless synchronous hub.
+func pair(t *testing.T, ctl *Controller) (*Endpoint, *transport.MemEndpoint) {
+	t.Helper()
+	hub := transport.NewHub(0, 0, 1)
+	a := Wrap(hub.Endpoint("a"), ctl)
+	b := hub.Endpoint("b")
+	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
+	return a, b
+}
+
+func TestPartitionIsDirectional(t *testing.T) {
+	ctl := NewController(nil, 1)
+	a, b := pair(t, ctl)
+	if _, err := ctl.Arm(Impairment{Kind: KindPartition, Direction: DirIn, Peers: []string{"b"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Outbound to b passes (partition is inbound-only)...
+	if err := a.Send("b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(b.Recv()); len(got) != 1 {
+		t.Fatalf("outbound delivered %d datagrams, want 1", len(got))
+	}
+	// ...while inbound from b is silenced.
+	a.Process(transport.Inbound{From: "b", Payload: []byte("yo")})
+	a.Process(transport.Inbound{From: "c", Payload: []byte("ok")})
+	got := drain(a.Recv())
+	if len(got) != 1 || got[0].From != "c" {
+		t.Fatalf("inbound survivors %v, want only c", got)
+	}
+	if n := ctl.Counters().PartDrops; n != 1 {
+		t.Fatalf("PartDrops = %d, want 1", n)
+	}
+}
+
+func TestTruncateAndDuplicate(t *testing.T) {
+	ctl := NewController(nil, 1)
+	a, b := pair(t, ctl)
+	trunc, err := ctl.Arm(Impairment{Kind: KindTruncate, Rate: 1, Bytes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	got := drain(b.Recv())
+	if len(got) != 1 || string(got[0].Payload) != "abc" {
+		t.Fatalf("truncate delivered %q, want [abc]", got)
+	}
+	if !ctl.Disarm(trunc) {
+		t.Fatal("Disarm lost the id")
+	}
+	if _, err := ctl.Arm(Impairment{Kind: KindDuplicate, Rate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(b.Recv()); len(got) != 2 {
+		t.Fatalf("duplicate delivered %d datagrams, want 2", len(got))
+	}
+	c := ctl.Counters()
+	if c.Truncated != 1 || c.Duplicated != 1 {
+		t.Fatalf("counters = %+v, want 1 truncation + 1 duplication", c)
+	}
+}
+
+func TestDelayHoldsUntilClockAdvances(t *testing.T) {
+	sim := clock.NewSim(0)
+	ctl := NewController(sim, 1)
+	a, b := pair(t, ctl)
+	if _, err := ctl.Arm(Impairment{Kind: KindDelay, Delay: Span(50 * clock.Millisecond)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(b.Recv()); len(got) != 0 {
+		t.Fatalf("delivered before the delay elapsed: %v", got)
+	}
+	sim.Advance(50 * clock.Millisecond)
+	if got := drain(b.Recv()); len(got) != 1 {
+		t.Fatalf("delivered %d datagrams after delay, want 1", len(got))
+	}
+	// Inbound delay holds in the wrapped endpoint's own queue.
+	a.Process(transport.Inbound{From: "b", Payload: []byte("in")})
+	if got := drain(a.Recv()); len(got) != 0 {
+		t.Fatal("inbound delivered before the delay elapsed")
+	}
+	sim.Advance(50 * clock.Millisecond)
+	if got := drain(a.Recv()); len(got) != 1 {
+		t.Fatalf("inbound delivered %d datagrams after delay, want 1", len(got))
+	}
+}
+
+func TestGilbertElliottLossDropsInBursts(t *testing.T) {
+	ctl := NewController(nil, 42)
+	a, b := pair(t, ctl)
+	if _, err := ctl.Arm(Impairment{Kind: KindLoss, Rate: 0.4, Burst: 6}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", []byte("hb")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delivered := len(drain(b.Recv()))
+	dropped := int(ctl.Counters().LossDrops)
+	if delivered+dropped != n {
+		t.Fatalf("delivered %d + dropped %d != %d", delivered, dropped, n)
+	}
+	if frac := float64(dropped) / n; frac < 0.25 || frac > 0.55 {
+		t.Fatalf("loss fraction %.3f far from configured 0.4", frac)
+	}
+}
+
+func TestScenarioPlayTimeline(t *testing.T) {
+	sim := clock.NewSim(0)
+	ctl := NewController(sim, 1)
+	sc := Scenario{Name: "timeline", Seed: 9, Steps: []Step{
+		{At: Span(clock.Second), Duration: Span(2 * clock.Second),
+			Impairment: Impairment{Kind: KindPartition}},
+	}}
+	if err := ctl.Play(sc); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Scenario() != "timeline" || ctl.Seed() != 9 {
+		t.Fatalf("scenario/seed not adopted: %q/%d", ctl.Scenario(), ctl.Seed())
+	}
+	if n := len(ctl.Active()); n != 0 {
+		t.Fatalf("armed before At: %d", n)
+	}
+	sim.Advance(clock.Second)
+	if n := len(ctl.Active()); n != 1 {
+		t.Fatalf("armed at At: %d, want 1", n)
+	}
+	sim.Advance(2 * clock.Second)
+	if n := len(ctl.Active()); n != 0 {
+		t.Fatalf("still armed after Duration: %d", n)
+	}
+	c := ctl.Counters()
+	if c.StepsArmed != 1 || c.StepsCleared != 1 {
+		t.Fatalf("step counters = %+v", c)
+	}
+}
+
+func TestSkewedClock(t *testing.T) {
+	sim := clock.NewSim(0)
+	sk := NewSkewedClock(sim)
+	sim.Advance(10 * clock.Second)
+	if got := sk.Now(); got != sim.Now() {
+		t.Fatalf("unskewed Now = %v, want %v", got, sim.Now())
+	}
+	// +500 ms step plus 1e5 ppm (10%) drift.
+	sk.SetSkew(500*clock.Millisecond, 1e5)
+	sim.Advance(clock.Second)
+	want := sim.Now().Add(500*clock.Millisecond + 100*clock.Millisecond)
+	if got := sk.Now(); got != want {
+		t.Fatalf("skewed Now = %v, want %v", got, want)
+	}
+	sk.SetSkew(0, 0)
+	if got := sk.Now(); got != sim.Now() {
+		t.Fatalf("skew did not step back: %v != %v", got, sim.Now())
+	}
+}
+
+func TestSkewImpairmentDrivesAttachedClocks(t *testing.T) {
+	sim := clock.NewSim(0)
+	ctl := NewController(sim, 1)
+	sk := NewSkewedClock(sim)
+	ctl.AttachClock(sk)
+	id, err := ctl.Arm(Impairment{Kind: KindSkew, Offset: Span(250 * clock.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Skew(); got != 250*clock.Millisecond {
+		t.Fatalf("armed skew = %v, want 250ms", got)
+	}
+	ctl.Disarm(id)
+	if got := sk.Skew(); got != 0 {
+		t.Fatalf("disarmed skew = %v, want 0", got)
+	}
+	// Late attachment picks up an already-armed skew.
+	if _, err := ctl.Arm(Impairment{Kind: KindSkew, Offset: Span(clock.Second)}); err != nil {
+		t.Fatal(err)
+	}
+	late := NewSkewedClock(sim)
+	ctl.AttachClock(late)
+	if got := late.Skew(); got != clock.Second {
+		t.Fatalf("late-attached skew = %v, want 1s", got)
+	}
+}
+
+// TestInjectionLogDeterminism is the determinism guarantee the package
+// doc promises: same seed + same schedule + same traffic order ⇒
+// byte-identical injection log.
+func TestInjectionLogDeterminism(t *testing.T) {
+	run := func() []byte {
+		sim := clock.NewSim(0)
+		ctl := NewController(sim, 1)
+		hub := transport.NewHub(0, 0, 1)
+		a := Wrap(hub.Endpoint("a"), ctl)
+		b := hub.Endpoint("b")
+		defer a.Close()
+		defer b.Close()
+		sc := Scenario{Seed: 1234, Steps: []Step{
+			{At: 0, Impairment: Impairment{Kind: KindLoss, Rate: 0.3, Burst: 4}},
+			{At: Span(100 * clock.Millisecond), Duration: Span(300 * clock.Millisecond),
+				Impairment: Impairment{Kind: KindDuplicate, Rate: 0.5}},
+			{At: Span(200 * clock.Millisecond),
+				Impairment: Impairment{Kind: KindTruncate, Rate: 0.25, Bytes: 4}},
+		}}
+		if err := ctl.Play(sc); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			sim.Advance(clock.Millisecond)
+			if err := a.Send("b", []byte(fmt.Sprintf("payload-%04d", i))); err != nil {
+				t.Fatal(err)
+			}
+			a.Process(transport.Inbound{From: "b", Payload: []byte("reply")})
+			drain(a.Recv())
+			drain(b.Recv())
+		}
+		return ctl.LogBytes()
+	}
+	first, second := run(), run()
+	if len(first) == 0 || !strings.Contains(string(first), "drop:loss") {
+		t.Fatalf("injection log missing expected entries:\n%.400s", first)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("injection logs differ between identical runs:\n--- first\n%.400s\n--- second\n%.400s", first, second)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	ctl := NewController(nil, 5)
+	if _, err := ctl.Arm(Impairment{Kind: KindLoss, Rate: 0.2, Burst: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ctl.decide(DirOut, "peer", 28)
+	srv := httptest.NewServer(ctl.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var st struct {
+		Seed     int64       `json:"seed"`
+		Counters Counters    `json:"counters"`
+		Active   []ArmedView `json:"active"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Seed != 5 || len(st.Active) != 1 || st.Active[0].Imp.Kind != KindLoss {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Counters.SentSeen != 1 {
+		t.Fatalf("SentSeen = %d, want 1", st.Counters.SentSeen)
+	}
+
+	res2, err := srv.Client().Get(srv.URL + "?log=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "out peer 28") {
+		t.Fatalf("log endpoint returned %q", buf.String())
+	}
+}
+
+func TestEndpointCloseClosesRecv(t *testing.T) {
+	ctl := NewController(nil, 1)
+	hub := transport.NewHub(0, 0, 1)
+	a := Wrap(hub.Endpoint("a"), ctl)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-a.Recv(); ok {
+		t.Fatal("Recv not closed after Close")
+	}
+	if id, _ := ctl.Arm(Impairment{Kind: KindDuplicate, Rate: 1}); id == 0 {
+		t.Fatal("arm failed")
+	}
+	// Delivery after close must be a no-op, not a panic.
+	a.Process(transport.Inbound{From: "x", Payload: []byte("late")})
+}

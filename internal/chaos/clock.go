@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"sync"
+
+	"repro/internal/clock"
+)
+
+// SkewedClock wraps a clock.Clock and offsets its Now readings by a
+// settable step plus linear drift — the send-side "skewed timestamp"
+// fault: a sender stamping heartbeats from a skewed clock looks, to a
+// remote detector, like a process whose messages age differently than
+// they should (the paper's §II-B drift assumption, violated on purpose).
+//
+// Skew affects timestamps only: After and Sleep pass through unscaled,
+// so timer cadence (heartbeat intervals, wheel ticks) is unchanged and
+// the impairment isolates the timestamp channel. Arm a KindSkew
+// impairment on a Controller with this clock attached (AttachClock) and
+// the skew steps in while armed and back out when disarmed.
+type SkewedClock struct {
+	inner clock.Clock
+
+	mu       sync.Mutex
+	offset   clock.Duration
+	driftPPM float64
+	setAt    clock.Time // inner instant the current skew took effect
+}
+
+// NewSkewedClock wraps inner with zero initial skew.
+func NewSkewedClock(inner clock.Clock) *SkewedClock {
+	if inner == nil {
+		inner = clock.NewReal()
+	}
+	return &SkewedClock{inner: inner}
+}
+
+// SetSkew steps the clock to inner+offset and accumulates driftPPM
+// parts-per-million of additional skew from this moment on. SetSkew(0,0)
+// steps back to the inner clock exactly (no residual drift).
+func (s *SkewedClock) SetSkew(offset clock.Duration, driftPPM float64) {
+	now := s.inner.Now()
+	s.mu.Lock()
+	s.offset = offset
+	s.driftPPM = driftPPM
+	s.setAt = now
+	s.mu.Unlock()
+}
+
+// Skew returns the clock's current total displacement from inner.
+func (s *SkewedClock) Skew() clock.Duration {
+	n := s.inner.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skewAt(n)
+}
+
+func (s *SkewedClock) skewAt(n clock.Time) clock.Duration {
+	skew := s.offset
+	if s.driftPPM != 0 {
+		skew += clock.Duration(float64(n.Sub(s.setAt)) * s.driftPPM / 1e6)
+	}
+	return skew
+}
+
+// Now implements clock.Clock.
+func (s *SkewedClock) Now() clock.Time {
+	n := s.inner.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return n.Add(s.skewAt(n))
+}
+
+// After implements clock.Clock (unskewed; see the type comment).
+func (s *SkewedClock) After(d clock.Duration) <-chan clock.Time { return s.inner.After(d) }
+
+// Sleep implements clock.Clock (unskewed; see the type comment).
+func (s *SkewedClock) Sleep(d clock.Duration) { s.inner.Sleep(d) }

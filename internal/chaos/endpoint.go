@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/transport"
+)
+
+// Endpoint wraps a transport.Endpoint and applies the Controller's armed
+// impairments to traffic in both directions. Several Endpoints may share
+// one Controller (a fleet drill steers every node from one schedule);
+// all injection randomness and counters live in the Controller.
+//
+// Outbound: Send consults the controller and drops, truncates, delays,
+// duplicates, or passes the datagram before it reaches the inner
+// endpoint. Inbound: either call Start to pump the inner endpoint on a
+// goroutine (live use), or feed datagrams through Process directly
+// (deterministic tests drive impairments synchronously under clock.Sim).
+// Either way consumers read the impaired stream from Recv.
+type Endpoint struct {
+	inner   transport.Endpoint
+	ctl     *Controller
+	recv    chan transport.Inbound
+	started atomic.Bool
+
+	// closeMu serializes (possibly delayed) deliveries against close:
+	// recv may only be closed once no deliverer can still be inside a
+	// send — the same discipline transport.MemEndpoint uses.
+	closeMu  sync.RWMutex
+	isClosed bool
+	once     sync.Once
+}
+
+// Wrap layers chaos injection over inner, steered by ctl.
+func Wrap(inner transport.Endpoint, ctl *Controller) *Endpoint {
+	return &Endpoint{
+		inner: inner,
+		ctl:   ctl,
+		recv:  make(chan transport.Inbound, 4096),
+	}
+}
+
+// Start pumps the inner endpoint's receive channel through the
+// impairment path on a new goroutine, closing Recv when the inner
+// endpoint closes. Do not combine with manual Process calls.
+func (e *Endpoint) Start() {
+	if !e.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		for in := range e.inner.Recv() {
+			e.Process(in)
+		}
+		e.closeRecv()
+	}()
+}
+
+// Process runs one inbound datagram through the armed impairments,
+// delivering survivors (and any duplicates) to Recv. Exported so
+// deterministic tests can drive the inbound path without a pump
+// goroutine.
+func (e *Endpoint) Process(in transport.Inbound) {
+	v := e.ctl.decide(DirIn, in.From, len(in.Payload))
+	if v.drop {
+		return
+	}
+	if v.truncateTo >= 0 && v.truncateTo < len(in.Payload) {
+		in.Payload = in.Payload[:v.truncateTo]
+	}
+	if v.dup {
+		cp := transport.Inbound{From: in.From, Payload: append([]byte(nil), in.Payload...)}
+		e.ctl.schedule(v.delay+v.dupDelay, func() { e.deliver(cp) })
+	}
+	if v.delay > 0 {
+		held := in
+		e.ctl.schedule(v.delay, func() { e.deliver(held) })
+		return
+	}
+	e.deliver(in)
+}
+
+func (e *Endpoint) deliver(in transport.Inbound) {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.isClosed {
+		return
+	}
+	select {
+	case e.recv <- in:
+	default:
+		e.ctl.overflow.Add(1)
+	}
+}
+
+// Send implements transport.Endpoint. Dropped datagrams return nil — an
+// injected loss is indistinguishable from a network loss, exactly the
+// Endpoint contract. Delayed and duplicated sends are re-issued from
+// the controller's clock; their late errors are discarded.
+func (e *Endpoint) Send(to string, payload []byte) error {
+	v := e.ctl.decide(DirOut, to, len(payload))
+	if v.drop {
+		return nil
+	}
+	p := payload
+	if v.truncateTo >= 0 && v.truncateTo < len(p) {
+		p = p[:v.truncateTo]
+	}
+	if v.dup {
+		cp := append([]byte(nil), p...)
+		e.ctl.schedule(v.delay+v.dupDelay, func() { _ = e.inner.Send(to, cp) })
+	}
+	if v.delay > 0 {
+		cp := append([]byte(nil), p...)
+		e.ctl.schedule(v.delay, func() { _ = e.inner.Send(to, cp) })
+		return nil
+	}
+	return e.inner.Send(to, p)
+}
+
+// Recv implements transport.Endpoint; it yields the impaired inbound
+// stream.
+func (e *Endpoint) Recv() <-chan transport.Inbound { return e.recv }
+
+// Addr implements transport.Endpoint.
+func (e *Endpoint) Addr() string { return e.inner.Addr() }
+
+// Close implements transport.Endpoint. With Start running, Recv closes
+// once the inner pump drains; otherwise it closes immediately.
+func (e *Endpoint) Close() error {
+	err := e.inner.Close()
+	if !e.started.Load() {
+		e.closeRecv()
+	}
+	return err
+}
+
+func (e *Endpoint) closeRecv() {
+	e.once.Do(func() {
+		e.closeMu.Lock()
+		e.isClosed = true
+		close(e.recv)
+		e.closeMu.Unlock()
+	})
+}

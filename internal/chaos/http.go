@@ -1,0 +1,40 @@
+package chaos
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// status is the /chaos response body.
+type status struct {
+	Scenario string      `json:"scenario,omitempty"`
+	Seed     int64       `json:"seed"`
+	Counters Counters    `json:"counters"`
+	Active   []ArmedView `json:"active"`
+}
+
+// Handler returns the /chaos status endpoint: a JSON snapshot of the
+// active impairments and injection counters. With ?log=1 it returns the
+// plain-text injection log instead.
+func (c *Controller) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		if r.URL.Query().Get("log") != "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write(c.LogBytes())
+			return
+		}
+		c.mu.Lock()
+		st := status{Scenario: c.scenario, Seed: c.seed}
+		c.mu.Unlock()
+		st.Counters = c.Counters()
+		st.Active = c.Active()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+}

@@ -1,0 +1,247 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Span is a clock.Duration that marshals as a human duration string
+// ("250ms") and unmarshals from either a string or an integer nanosecond
+// count, so scenario files stay readable.
+type Span clock.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (s Span) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + clock.Duration(s).String() + `"`), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Span) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var str string
+		if err := json.Unmarshal(b, &str); err != nil {
+			return err
+		}
+		d, err := time.ParseDuration(str)
+		if err != nil {
+			return fmt.Errorf("chaos: bad duration %q: %w", str, err)
+		}
+		*s = Span(d)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return err
+	}
+	*s = Span(ns)
+	return nil
+}
+
+// Step is one timeline entry of a Scenario: arm Impairment at At (from
+// scenario start), disarm after Duration (0 = stay armed until the
+// controller is reset).
+type Step struct {
+	At         Span       `json:"at"`
+	Duration   Span       `json:"duration,omitempty"`
+	Impairment Impairment `json:"impairment"`
+}
+
+// Scenario is an ordered impairment timeline, replayable against a live
+// fleet via Controller.Play. Seed feeds the controller's rand.Rand so a
+// scenario names its own reproducible randomness (0 keeps the
+// controller's current seed).
+type Scenario struct {
+	Name  string `json:"name,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+	Steps []Step `json:"steps"`
+}
+
+// Validate checks every step's impairment and timing.
+func (sc Scenario) Validate() error {
+	if len(sc.Steps) == 0 {
+		return fmt.Errorf("chaos: scenario %q has no steps", sc.Name)
+	}
+	for i, st := range sc.Steps {
+		if st.At < 0 || st.Duration < 0 {
+			return fmt.Errorf("chaos: step %d has negative timing", i)
+		}
+		if err := st.Impairment.Validate(); err != nil {
+			return fmt.Errorf("chaos: step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Marshal renders the scenario as indented JSON.
+func (sc Scenario) Marshal() []byte {
+	b, _ := json.MarshalIndent(sc, "", "  ")
+	return append(b, '\n')
+}
+
+// ParseScenario decodes a JSON scenario and validates it.
+func ParseScenario(b []byte) (Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal(b, &sc); err != nil {
+		return Scenario{}, fmt.Errorf("chaos: scenario JSON: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// ParseDSL parses the compact flag form of a scenario: semicolon-
+// separated steps of
+//
+//	AT+DURATION:KIND(key=value,...)
+//
+// with optional leading "name=..." and "seed=N" entries. Durations use
+// Go syntax; DURATION 0 means "stay armed". Peer lists separate
+// addresses with "|". Example:
+//
+//	seed=7;2s+10s:loss(rate=0.3,burst=5);15s+5s:partition(dir=in,peers=10.0.0.1:7946);22s+0:skew(offset=500ms,drift=200)
+func ParseDSL(s string) (Scenario, error) {
+	var sc Scenario
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "name="); ok && !strings.Contains(part, ":") {
+			sc.Name = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "seed="); ok && !strings.Contains(part, ":") {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("chaos: bad seed %q", v)
+			}
+			sc.Seed = n
+			continue
+		}
+		st, err := parseDSLStep(part)
+		if err != nil {
+			return Scenario{}, err
+		}
+		sc.Steps = append(sc.Steps, st)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+func parseDSLStep(s string) (Step, error) {
+	timing, body, ok := strings.Cut(s, ":")
+	if !ok {
+		return Step{}, fmt.Errorf("chaos: step %q: want AT+DUR:KIND(...)", s)
+	}
+	atStr, durStr, ok := strings.Cut(timing, "+")
+	if !ok {
+		return Step{}, fmt.Errorf("chaos: step %q: timing wants AT+DUR", s)
+	}
+	var st Step
+	at, err := parseDur(atStr)
+	if err != nil {
+		return Step{}, fmt.Errorf("chaos: step %q: %w", s, err)
+	}
+	dur, err := parseDur(durStr)
+	if err != nil {
+		return Step{}, fmt.Errorf("chaos: step %q: %w", s, err)
+	}
+	st.At, st.Duration = Span(at), Span(dur)
+
+	kind, params, hasParams := strings.Cut(body, "(")
+	st.Impairment.Kind = Kind(strings.TrimSpace(kind))
+	if hasParams {
+		params = strings.TrimSuffix(strings.TrimSpace(params), ")")
+		if err := parseDSLParams(&st.Impairment, params); err != nil {
+			return Step{}, fmt.Errorf("chaos: step %q: %w", s, err)
+		}
+	}
+	return st, nil
+}
+
+func parseDSLParams(im *Impairment, s string) error {
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("bad parameter %q", kv)
+		}
+		var err error
+		switch k {
+		case "rate":
+			im.Rate, err = strconv.ParseFloat(v, 64)
+		case "burst":
+			im.Burst, err = strconv.ParseFloat(v, 64)
+		case "drift":
+			im.DriftPPM, err = strconv.ParseFloat(v, 64)
+		case "bytes":
+			im.Bytes, err = strconv.Atoi(v)
+		case "delay":
+			var d clock.Duration
+			d, err = parseDur(v)
+			im.Delay = Span(d)
+		case "jitter":
+			var d clock.Duration
+			d, err = parseDur(v)
+			im.Jitter = Span(d)
+		case "offset":
+			var d clock.Duration
+			d, err = parseDur(v)
+			im.Offset = Span(d)
+		case "dir":
+			im.Direction, err = parseDirection(v)
+		case "peers":
+			im.Peers = strings.Split(v, "|")
+		default:
+			return fmt.Errorf("unknown parameter %q", k)
+		}
+		if err != nil {
+			return fmt.Errorf("parameter %q: %v", kv, err)
+		}
+	}
+	return nil
+}
+
+// parseDur accepts Go duration syntax plus a bare "0".
+func parseDur(s string) (clock.Duration, error) {
+	s = strings.TrimSpace(s)
+	if s == "0" {
+		return 0, nil
+	}
+	return time.ParseDuration(s)
+}
+
+// DSL renders the scenario in ParseDSL's compact form (steps sorted by
+// At; the inverse of ParseDSL up to parameter ordering).
+func (sc Scenario) DSL() string {
+	var parts []string
+	if sc.Name != "" {
+		parts = append(parts, "name="+sc.Name)
+	}
+	if sc.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(sc.Seed, 10))
+	}
+	steps := append([]Step(nil), sc.Steps...)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+	for _, st := range steps {
+		dur := "0"
+		if st.Duration > 0 {
+			dur = clock.Duration(st.Duration).String()
+		}
+		parts = append(parts, fmt.Sprintf("%s+%s:%s",
+			clock.Duration(st.At), dur, st.Impairment))
+	}
+	return strings.Join(parts, ";")
+}

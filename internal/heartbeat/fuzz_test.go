@@ -20,6 +20,16 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("HB"))
 	f.Add(bytes.Repeat([]byte{0xff}, 28))
+	// Chaos-mutated shapes the injection layer produces in flight
+	// (KindTruncate / KindDuplicate): a v2 heartbeat cut to exactly the
+	// v1 length (the version byte must win over the length heuristic),
+	// cut to one byte short, cut to half (truncate's default), and two
+	// datagrams fused into one payload.
+	v2 := (Message{Kind: KindHeartbeat, Seq: 7, Time: 42, Inc: 3}).Marshal()
+	f.Add(v2[:20])
+	f.Add(v2[:27])
+	f.Add(v2[:14])
+	f.Add(append(append([]byte{}, v2...), v2...))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		m, err := Unmarshal(b)

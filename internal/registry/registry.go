@@ -590,6 +590,23 @@ func (r *Registry) Stats(peer string) (StreamStats, bool) {
 	return st.stats, true
 }
 
+// Inspect runs fn on a stream's detector under the shard lock; it
+// reports whether the peer was tracked. fn must not retain the detector
+// or call back into the registry — it is a read hatch for tests and
+// diagnostics (e.g. chaos acceptance asserting the safety margin widened
+// during a loss burst), not a mutation path.
+func (r *Registry) Inspect(peer string, fn func(det detector.Detector)) bool {
+	sh := r.shardFor(peer)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.streams[peer]
+	if st == nil || st.det == nil {
+		return false
+	}
+	fn(st.det)
+	return true
+}
+
 // Counters returns the registry's monotonic counters plus current gauges.
 func (r *Registry) Counters() Counters {
 	pub, drop := r.bus.Stats()

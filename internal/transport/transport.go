@@ -7,6 +7,7 @@
 package transport
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -22,7 +23,11 @@ type Inbound struct {
 }
 
 // Endpoint is an unreliable datagram endpoint: sends may be silently
-// lost, but delivered payloads are intact and unduplicated.
+// lost, delayed, reordered, duplicated, or truncated in flight — UDP
+// guarantees none of the above, and the chaos layer (internal/chaos)
+// injects all of them on purpose. Consumers must tolerate duplicates and
+// undecodable payloads; the heartbeat codec rejects damage and the
+// registry's incarnation/sequence filter absorbs replays.
 type Endpoint interface {
 	// Send transmits to the named address. A nil error does not imply
 	// delivery.
@@ -42,6 +47,18 @@ var ErrClosed = errors.New("transport: endpoint closed")
 // leave room for piggybacked payloads.
 const maxDatagram = 64 * 1024
 
+// DefaultPeerCache bounds the UDP resolution cache. Restart and
+// partition drills churn peer addresses; without a cap the cache grows
+// monotonically for the life of the socket.
+const DefaultPeerCache = 1024
+
+// peerEntry is one resolution-cache slot; the element value in the LRU
+// list.
+type peerEntry struct {
+	key  string
+	addr *net.UDPAddr
+}
+
 // UDP is an Endpoint over a real UDP socket.
 type UDP struct {
 	conn   *net.UDPConn
@@ -49,8 +66,12 @@ type UDP struct {
 	closed chan struct{}
 	once   sync.Once
 
-	mu    sync.Mutex
-	peers map[string]*net.UDPAddr // resolution cache
+	// The resolution cache is an LRU bounded at peerCap: peers is the
+	// index, order the recency list (front = most recent).
+	mu      sync.Mutex
+	peers   map[string]*list.Element
+	order   *list.List
+	peerCap int
 }
 
 // ListenUDP opens a UDP endpoint on addr (e.g. "127.0.0.1:0"). The
@@ -65,13 +86,67 @@ func ListenUDP(addr string) (*UDP, error) {
 		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
 	}
 	u := &UDP{
-		conn:   conn,
-		recv:   make(chan Inbound, 4096),
-		closed: make(chan struct{}),
-		peers:  make(map[string]*net.UDPAddr),
+		conn:    conn,
+		recv:    make(chan Inbound, 4096),
+		closed:  make(chan struct{}),
+		peers:   make(map[string]*list.Element),
+		order:   list.New(),
+		peerCap: DefaultPeerCache,
 	}
 	go u.readLoop()
 	return u, nil
+}
+
+// SetPeerCache rebounds the resolution cache (minimum 1), evicting
+// least-recently-sent entries if the new cap is already exceeded.
+func (u *UDP) SetPeerCache(n int) {
+	if n < 1 {
+		n = 1
+	}
+	u.mu.Lock()
+	u.peerCap = n
+	for len(u.peers) > u.peerCap {
+		u.evictOldestLocked()
+	}
+	u.mu.Unlock()
+}
+
+// PeerCacheLen returns the current resolution-cache occupancy.
+func (u *UDP) PeerCacheLen() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.peers)
+}
+
+// lookupPeerLocked returns the cached resolution and refreshes recency.
+func (u *UDP) lookupPeerLocked(to string) *net.UDPAddr {
+	el := u.peers[to]
+	if el == nil {
+		return nil
+	}
+	u.order.MoveToFront(el)
+	return el.Value.(*peerEntry).addr
+}
+
+func (u *UDP) storePeerLocked(to string, ua *net.UDPAddr) {
+	if el := u.peers[to]; el != nil { // raced with another Send
+		el.Value.(*peerEntry).addr = ua
+		u.order.MoveToFront(el)
+		return
+	}
+	u.peers[to] = u.order.PushFront(&peerEntry{key: to, addr: ua})
+	for len(u.peers) > u.peerCap {
+		u.evictOldestLocked()
+	}
+}
+
+func (u *UDP) evictOldestLocked() {
+	el := u.order.Back()
+	if el == nil {
+		return
+	}
+	u.order.Remove(el)
+	delete(u.peers, el.Value.(*peerEntry).key)
 }
 
 func (u *UDP) readLoop() {
@@ -108,7 +183,7 @@ func (u *UDP) Send(to string, payload []byte) error {
 	default:
 	}
 	u.mu.Lock()
-	ua := u.peers[to]
+	ua := u.lookupPeerLocked(to)
 	u.mu.Unlock()
 	if ua == nil {
 		resolved, err := net.ResolveUDPAddr("udp", to)
@@ -116,7 +191,7 @@ func (u *UDP) Send(to string, payload []byte) error {
 			return fmt.Errorf("transport: resolve %q: %w", to, err)
 		}
 		u.mu.Lock()
-		u.peers[to] = resolved
+		u.storePeerLocked(to, resolved)
 		u.mu.Unlock()
 		ua = resolved
 	}

@@ -259,3 +259,48 @@ func TestMemEndpointDoubleClose(t *testing.T) {
 		t.Fatal("double close errored")
 	}
 }
+
+func TestUDPPeerCacheLRU(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.SetPeerCache(8)
+
+	// Churn through 5× the cap; occupancy must stay bounded.
+	for i := 0; i < 40; i++ {
+		if err := a.Send(fmt.Sprintf("127.0.0.1:%d", 20000+i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := a.PeerCacheLen(); n != 8 {
+		t.Fatalf("peer cache length %d after churn, want 8", n)
+	}
+
+	// Recency: re-sending to the oldest survivor keeps it cached when
+	// a new peer evicts — the eviction victim is the LRU entry, not it.
+	oldest := "127.0.0.1:20032" // positions 32..39 survived; 32 is LRU
+	if err := a.Send(oldest, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("127.0.0.1:21000", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	_, stillThere := a.peers[oldest]
+	_, evicted := a.peers["127.0.0.1:20033"]
+	a.mu.Unlock()
+	if !stillThere {
+		t.Fatal("recently-used entry was evicted")
+	}
+	if evicted {
+		t.Fatal("LRU entry survived eviction")
+	}
+
+	// Shrinking the cap evicts down to it.
+	a.SetPeerCache(2)
+	if n := a.PeerCacheLen(); n != 2 {
+		t.Fatalf("peer cache length %d after shrink, want 2", n)
+	}
+}

@@ -38,6 +38,7 @@ package sfd
 import (
 	"io"
 
+	"repro/internal/chaos"
 	"repro/internal/clock"
 	"repro/internal/cluster"
 	"repro/internal/consensus"
@@ -470,6 +471,76 @@ func NewMetricsSet() *MetricsSet { return metrics.NewSet() }
 // MetricName composes a series name from a family and label key/value
 // pairs, escaping label values per the Prometheus text format.
 func MetricName(family string, labels ...string) string { return metrics.Name(family, labels...) }
+
+// Chaos fault-injection layer (see internal/chaos): an Endpoint
+// middleware that injects deterministic, seeded impairments — burst
+// loss, delay/jitter, reordering, duplication, truncation, directional
+// partitions, clock skew — into the live heartbeat stack, steered by a
+// runtime Controller and scriptable Scenario timelines.
+type (
+	// ChaosController arms/disarms impairments, owns the injection
+	// randomness and counters, and replays Scenario timelines.
+	ChaosController = chaos.Controller
+	// ChaosEndpoint wraps any Endpoint with the armed impairments.
+	ChaosEndpoint = chaos.Endpoint
+	// ChaosImpairment is one parameterized fault.
+	ChaosImpairment = chaos.Impairment
+	// ChaosScenario is an ordered impairment timeline.
+	ChaosScenario = chaos.Scenario
+	// ChaosStep is one scenario timeline entry.
+	ChaosStep = chaos.Step
+	// ChaosKind names an impairment class.
+	ChaosKind = chaos.Kind
+	// ChaosDirection selects inbound/outbound/both traffic.
+	ChaosDirection = chaos.Direction
+	// ChaosSpan is a duration that marshals as a human string.
+	ChaosSpan = chaos.Span
+	// ChaosCounters is the controller's injection-counter snapshot.
+	ChaosCounters = chaos.Counters
+	// SkewedClock offsets a Clock by a settable step plus drift — the
+	// send-side timestamp-skew fault.
+	SkewedClock = chaos.SkewedClock
+)
+
+// Impairment kinds.
+const (
+	ChaosLoss      = chaos.KindLoss
+	ChaosDelay     = chaos.KindDelay
+	ChaosReorder   = chaos.KindReorder
+	ChaosDuplicate = chaos.KindDuplicate
+	ChaosTruncate  = chaos.KindTruncate
+	ChaosPartition = chaos.KindPartition
+	ChaosSkew      = chaos.KindSkew
+)
+
+// Impairment directions.
+const (
+	ChaosDirBoth = chaos.DirBoth
+	ChaosDirIn   = chaos.DirIn
+	ChaosDirOut  = chaos.DirOut
+)
+
+// NewChaosController builds an idle impairment controller drawing
+// injection randomness from seed. nil clk means the real clock.
+func NewChaosController(clk Clock, seed int64) *ChaosController {
+	return chaos.NewController(clk, seed)
+}
+
+// WrapChaos layers chaos injection over an endpoint, steered by ctl.
+func WrapChaos(inner Endpoint, ctl *ChaosController) *ChaosEndpoint {
+	return chaos.Wrap(inner, ctl)
+}
+
+// ParseChaosScenario decodes and validates a JSON scenario file.
+func ParseChaosScenario(b []byte) (ChaosScenario, error) { return chaos.ParseScenario(b) }
+
+// ParseChaosDSL parses the compact flag form of a scenario, e.g.
+// "seed=7;2s+10s:loss(rate=0.3,burst=5);15s+5s:partition(dir=in)".
+func ParseChaosDSL(s string) (ChaosScenario, error) { return chaos.ParseDSL(s) }
+
+// NewSkewedClock wraps a Clock with zero initial skew; attach it to a
+// ChaosController so skew impairments drive it.
+func NewSkewedClock(inner Clock) *SkewedClock { return chaos.NewSkewedClock(inner) }
 
 // Inbound is one received datagram (transport layer).
 type Inbound = transport.Inbound
