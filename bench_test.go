@@ -231,6 +231,47 @@ func BenchmarkRegistryIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkRegistryIngestPersist is BenchmarkRegistryIngest with
+// crash-safe persistence armed: state dir open, checkpointer started,
+// delta subscription live. Snapshots and journal flushes run off the
+// checkpoint timers, never on the ingest path, so Observe must stay at
+// 0 allocs/op — the CI gate that keeps persistence off the hot path.
+func BenchmarkRegistryIngestPersist(b *testing.B) {
+	for _, size := range registryFleetSizes {
+		b.Run(size.name, func(b *testing.B) {
+			reg := sfd.NewRegistry(sfd.NewSimClock(0), func(string) sfd.Detector {
+				return sfd.NewFixed(500*clock.Millisecond, 1)
+			}, sfd.RegistryOptions{Shards: 64, StateDir: b.TempDir()})
+			reg.Start()
+			defer reg.Stop()
+			if reg.Checkpointer() == nil {
+				b.Fatal("persistence not armed")
+			}
+			peers := make([]string, size.n)
+			seqs := make([]uint64, size.n)
+			for i := range peers {
+				peers[i] = fmt.Sprintf("srv-%06d", i)
+				reg.Observe(sfd.HeartbeatArrival{From: peers[i], Seq: 0, Send: 0, Recv: 0})
+				seqs[i] = 1
+			}
+			// Prove the store is live before timing: one full snapshot.
+			if err := reg.SaveSnapshot(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := i % size.n
+				at := clock.Time(i) * clock.Time(clock.Microsecond)
+				reg.Observe(sfd.HeartbeatArrival{From: peers[p], Seq: seqs[p], Send: at, Recv: at})
+				seqs[p]++
+			}
+			// Keep teardown (Stop's final snapshot) out of the timings.
+			b.StopTimer()
+		})
+	}
+}
+
 // BenchmarkRegistryTimerWheel measures one wheel tick of fleet time in
 // steady state: per iteration a tenth of the fleet heartbeats (each
 // stream beats every 10 ticks) and Tick advances the wheel, firing and

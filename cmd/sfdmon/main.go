@@ -27,6 +27,10 @@
 //	sfdmon -mode monitor -listen :7946 -serve :8080 \
 //	    -chaos '2s+10s:loss(rate=0.4,burst=6);15s+5s:partition(dir=in)'
 //
+//	# crash-safe state: checkpoint detector/registry/gossip state to disk
+//	# and warm-restart from it (SIGINT/SIGTERM flushes a final snapshot):
+//	sfdmon -mode monitor -listen :7946 -state-dir /var/lib/sfdmon
+//
 // With -serve, the monitor exposes GET /status (full JSON snapshot),
 // GET /vars (counters + per-shard occupancy), GET /metrics (Prometheus
 // text exposition: receiver, registry, gossip, chaos, and per-stream
@@ -38,6 +42,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -65,6 +70,9 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "monitor: mount /debug/pprof/ on the -serve listener")
 		evict    = flag.Duration("evict", time.Minute, "monitor: drop peers offline this long (<0 = never)")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
+
+		stateDir   = flag.String("state-dir", "", "monitor: directory for crash-safe state snapshots (empty = no persistence)")
+		checkpoint = flag.Duration("checkpoint", 30*time.Second, "monitor: full-snapshot interval when -state-dir is set")
 
 		gossipOn       = flag.Bool("gossip", false, "monitor: exchange suspicion digests with peer monitors")
 		gossipPeers    = flag.String("gossip-peers", "", "monitor: comma-separated peer monitor addresses")
@@ -107,7 +115,8 @@ func main() {
 			}
 		}
 		runMonitor(*listen, *serve, *refresh,
-			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration, gc, *pprofOn, chaosSc)
+			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration, gc, *pprofOn, chaosSc,
+			*stateDir, *checkpoint)
 	case "demo":
 		runDemo()
 	default:
@@ -199,7 +208,7 @@ func splitPeers(s string) []string {
 	return out
 }
 
-func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration, gc *gossipConfig, pprofOn bool, chaosSc *sfd.ChaosScenario) {
+func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration, gc *gossipConfig, pprofOn bool, chaosSc *sfd.ChaosScenario, stateDir string, checkpoint time.Duration) {
 	udp, err := sfd.ListenUDP(listen)
 	if err != nil {
 		fatal(err)
@@ -225,10 +234,24 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 	}
 
 	reg := sfd.NewRegistry(clk, sfd.SFDFactory(targets), sfd.RegistryOptions{
-		EvictAfter: evict,
+		EvictAfter:         evict,
+		StateDir:           stateDir,
+		CheckpointInterval: checkpoint,
 	})
 	reg.Start()
 	defer reg.Stop()
+	if stateDir != "" {
+		// Start restored any valid snapshot (warm restart) and armed the
+		// checkpointer; report what it found.
+		switch n, err := reg.RestoredStreams(); {
+		case err != nil && errors.Is(err, sfd.ErrNoSnapshot):
+			fmt.Printf("sfdmon: no state snapshot in %s (cold start), checkpointing every %v\n", stateDir, checkpoint)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "sfdmon: state restore failed, cold start: %v\n", err)
+		default:
+			fmt.Printf("sfdmon: warm restart: restored %d streams from %s\n", n, stateDir)
+		}
+	}
 	recv := sfd.NewHeartbeatReceiver(ep, clk, reg.Observe)
 
 	// Gossip shares the heartbeat socket: digests (magic "SG") fall
@@ -309,10 +332,11 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 	ticker := time.NewTicker(refresh)
 	defer ticker.Stop()
 	done := exitChan(duration)
+loop:
 	for {
 		select {
 		case <-done:
-			return
+			break loop
 		case <-ticker.C:
 			now := clk.Now()
 			fmt.Printf("--- %s ---\n", time.Now().Format(time.RFC3339))
@@ -324,6 +348,23 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 			fmt.Printf("counters: hb=%d stale=%d suspects=%d trusts=%d offline=%d evicted=%d streams=%d\n",
 				c.Heartbeats, c.Stale, c.Suspects, c.Trusts, c.Offlines, c.Evictions, c.Streams)
 		}
+	}
+
+	// Graceful shutdown (SIGINT/SIGTERM or -duration), in dependency
+	// order: close the socket first so the receiver quiesces and no new
+	// arrivals race the final snapshot, stop the gossiper, then stop the
+	// registry — which flushes a full state snapshot when -state-dir is
+	// set — and exit 0. The remaining defers (HTTP server, chaos wrapper)
+	// are idempotent backstops.
+	fmt.Println("sfdmon: shutting down")
+	udp.Close()
+	recv.Wait()
+	if gsp != nil {
+		gsp.Stop()
+	}
+	reg.Stop()
+	if stateDir != "" {
+		fmt.Printf("sfdmon: final state snapshot flushed to %s\n", stateDir)
 	}
 }
 

@@ -146,6 +146,16 @@ type SFD struct {
 	stepScale float64 // multiplier on β·α, in [1/16, 1]
 	lastDir   int     // sign of the previous nonzero adjustment
 
+	// Rewarm state (warm restart; see Rewarm). While rewarmLeft > 0 the
+	// margin is frozen: the post-restore slots measure QoS over a window
+	// that straddles the outage and would otherwise jerk SM around.
+	rewarmLeft int
+	// rewarmGapSkip suppresses the first gap's n_ag sample after a
+	// restore: the downtime gap is the monitor's fault, not the
+	// network's, and folding it into the loss-burst average would
+	// inflate every subsequent gap fill.
+	rewarmGapSkip bool
+
 	history []Adjustment
 }
 
@@ -193,8 +203,13 @@ func New(cfg Config) *SFD {
 // carried in the heartbeat; recv the monitor's arrival time.
 func (s *SFD) Observe(seq uint64, send, recv clock.Time) {
 	// A heartbeat arriving after the freshness point expired proves the
-	// suspicion that began at fp was a mistake.
+	// suspicion that began at fp was a mistake. If no slot is open yet
+	// (first arrival after an ImportState), it opens at fp so the wrong
+	// suspicion's duration is charged instead of wiped by begin() below.
 	if s.fp != 0 && recv.After(s.fp) {
+		if !s.slot.started {
+			s.slot.begin(s.fp)
+		}
 		s.slot.addMistake(s.fp, recv)
 	}
 
@@ -203,13 +218,16 @@ func (s *SFD) Observe(seq uint64, send, recv clock.Time) {
 	// through loss bursts.
 	if s.haveSeq && seq > s.lastSeq+1 {
 		gap := int(seq - s.lastSeq - 1)
-		s.gapAvg.Add(float64(gap))
+		if !s.rewarmGapSkip {
+			s.gapAvg.Add(float64(gap))
+		}
 		if s.cfg.FillGaps {
 			s.fillGap(seq, gap, recv)
 		}
-	} else if s.haveSeq {
+	} else if s.haveSeq && !s.rewarmGapSkip {
 		s.gapAvg.Add(0)
 	}
+	s.rewarmGapSkip = false
 
 	s.est.Observe(seq, recv)
 
@@ -232,7 +250,13 @@ func (s *SFD) Observe(seq uint64, send, recv clock.Time) {
 
 	s.slotCount++
 	if s.slotCount >= s.cfg.SlotHeartbeats {
+		// Close before spending this arrival's rewarm credit: a slot
+		// whose last arrival is still inside the grace window straddles
+		// restored history and must not tune the margin.
 		s.closeSlot(recv)
+	}
+	if s.rewarmLeft > 0 {
+		s.rewarmLeft--
 	}
 }
 
@@ -280,6 +304,12 @@ func (s *SFD) closeSlot(now clock.Time) {
 	s.slotIndex++
 	defer s.slot.begin(now)
 	if !ok || s.state == StateWarmup {
+		return
+	}
+	if s.rewarmLeft > 0 {
+		// Warm-restart grace: the slot straddles restored history and the
+		// outage, so its QoS is not evidence about the live network; keep
+		// SM exactly where the previous life tuned it.
 		return
 	}
 	if s.state == StateInfeasible && s.cfg.HaltOnInfeasible {
@@ -389,6 +419,7 @@ func (s *SFD) Reset() {
 	s.lastSeq, s.lastSend, s.lastDelay, s.haveSeq = 0, 0, 0, false
 	s.gapAvg = stats.NewEWMA(0.1)
 	s.stepScale, s.lastDir = 1, 0
+	s.rewarmLeft, s.rewarmGapSkip = 0, false
 	s.history = nil
 }
 

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// stateTestConfig is small enough to exercise slot closes quickly and
+// uses a known interval so gap filling is deterministic.
+func stateTestConfig() Config {
+	return Config{
+		WindowSize:     16,
+		Interval:       clock.Second,
+		InitialMargin:  200 * clock.Millisecond,
+		Alpha:          100 * clock.Millisecond,
+		Beta:           0.5,
+		SlotHeartbeats: 8,
+		MaxMargin:      10 * clock.Second,
+		FillGaps:       true,
+		MaxGapFill:     8,
+	}
+}
+
+// feed drives seqs [from, to] with a fixed 10 ms delay on a 1 s cadence.
+func feed(s *SFD, from, to uint64) clock.Time {
+	var recv clock.Time
+	for seq := from; seq <= to; seq++ {
+		send := clock.Time(int64(seq)) * clock.Time(clock.Second)
+		recv = send.Add(10 * clock.Millisecond)
+		s.Observe(seq, send, recv)
+	}
+	return recv
+}
+
+func TestStateRoundTripEquivalence(t *testing.T) {
+	// With tuning disabled (no targets) the freshness point depends only
+	// on the estimation window and the margin, both of which the snapshot
+	// carries. A restored detector must track the uninterrupted one
+	// exactly on identical subsequent arrivals.
+	a := New(stateTestConfig())
+	feed(a, 1, 40)
+
+	b := New(stateTestConfig())
+	if err := b.ImportState(a.ExportState()); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if b.State() != a.State() || b.Margin() != a.Margin() {
+		t.Fatalf("restored state/margin %v/%v, want %v/%v",
+			b.State(), b.Margin(), a.State(), a.Margin())
+	}
+
+	for seq := uint64(41); seq <= 80; seq++ {
+		send := clock.Time(int64(seq)) * clock.Time(clock.Second)
+		recv := send.Add(10 * clock.Millisecond)
+		a.Observe(seq, send, recv)
+		b.Observe(seq, send, recv)
+		if a.FreshnessPoint() != b.FreshnessPoint() {
+			t.Fatalf("seq %d: fp diverged: %v vs %v", seq, a.FreshnessPoint(), b.FreshnessPoint())
+		}
+	}
+}
+
+func TestImportStateRejectsInvalid(t *testing.T) {
+	base := func() SFDState {
+		s := New(stateTestConfig())
+		feed(s, 1, 20)
+		return s.ExportState()
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*SFDState)
+	}{
+		{"state out of range", func(st *SFDState) { st.State = State(99) }},
+		{"negative state", func(st *SFDState) { st.State = State(-1) }},
+		{"step scale too small", func(st *SFDState) { st.StepScale = 0.01 }},
+		{"step scale too large", func(st *SFDState) { st.StepScale = 1.5 }},
+		{"window seq not increasing", func(st *SFDState) {
+			st.Window[2].Seq = st.Window[1].Seq
+		}},
+		{"last seq behind window head", func(st *SFDState) {
+			st.LastSeq = st.Window[len(st.Window)-1].Seq - 1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := base()
+			tc.mut(&st)
+			d := New(stateTestConfig())
+			feed(d, 1, 3) // pre-existing live state must survive a rejected import
+			margin, fp := d.Margin(), d.FreshnessPoint()
+			if err := d.ImportState(st); !errors.Is(err, ErrBadState) {
+				t.Fatalf("got %v, want ErrBadState", err)
+			}
+			if d.Margin() != margin || d.FreshnessPoint() != fp {
+				t.Error("rejected import mutated the detector")
+			}
+		})
+	}
+}
+
+func TestImportStateWarmupDowngrade(t *testing.T) {
+	s := New(stateTestConfig())
+	feed(s, 1, 40)
+	st := s.ExportState()
+	if st.State != StateTuning && st.State != StateStable {
+		t.Fatalf("exporter state = %v, want past warmup", st.State)
+	}
+	st.Window = st.Window[len(st.Window)-3:] // fewer samples than WindowSize
+
+	d := New(stateTestConfig())
+	if err := d.ImportState(st); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if d.State() != StateWarmup {
+		t.Fatalf("state after partial-window import = %v, want warmup", d.State())
+	}
+	// It leaves warmup honestly once the window refills.
+	feed(d, 41, 60)
+	if d.State() == StateWarmup {
+		t.Fatal("detector stuck in warmup after window refilled")
+	}
+}
+
+func TestImportStateClampsMargin(t *testing.T) {
+	s := New(stateTestConfig())
+	feed(s, 1, 20)
+	st := s.ExportState()
+	st.Margin = clock.Duration(1 << 60) // beyond MaxMargin
+
+	d := New(stateTestConfig())
+	if err := d.ImportState(st); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if d.Margin() != d.Config().MaxMargin {
+		t.Fatalf("margin = %v, want clamped to %v", d.Margin(), d.Config().MaxMargin)
+	}
+}
+
+func TestRewarmFreezesMargin(t *testing.T) {
+	// An impossible TD target (while accuracy holds) forces a -β·α margin
+	// step every slot, making tuning observable.
+	cfg := stateTestConfig()
+	cfg.Targets = Targets{MaxTD: clock.Millisecond, MaxMR: 1000, MinQAP: 0}
+	cfg.MinMargin = 0
+
+	// Stop after two adjustments (16, 24) so the margin is still well
+	// above the floor — a later clamp must not mask a real adjustment.
+	a := New(cfg)
+	feed(a, 1, 24)
+	st := a.ExportState()
+	if st.Margin <= cfg.MinMargin {
+		t.Fatalf("exporter margin already at floor (%v)", st.Margin)
+	}
+
+	b := New(cfg)
+	if err := b.ImportState(st); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	b.Rewarm(20)
+	if b.Rewarming() != 20 {
+		t.Fatalf("Rewarming() = %d, want 20", b.Rewarming())
+	}
+	frozen := b.Margin()
+
+	// Two slot closes happen inside the grace window (slots of 8 at
+	// arrivals 8 and 16 of the 20): margin must not move.
+	feed(b, 41, 56)
+	if b.Margin() != frozen {
+		t.Fatalf("margin moved during rewarm: %v -> %v", frozen, b.Margin())
+	}
+	if b.Rewarming() != 4 {
+		t.Fatalf("Rewarming() = %d, want 4", b.Rewarming())
+	}
+
+	// Once the grace window is spent, the feedback loop resumes.
+	feed(b, 57, 72)
+	if b.Rewarming() != 0 {
+		t.Fatalf("Rewarming() = %d, want 0", b.Rewarming())
+	}
+	if b.Margin() == frozen {
+		t.Fatal("margin never resumed tuning after rewarm")
+	}
+}
+
+func TestRewarmClearsFreshnessPoint(t *testing.T) {
+	s := New(stateTestConfig())
+	feed(s, 1, 40)
+	st := s.ExportState()
+	if st.FP == 0 {
+		t.Fatal("exporter has no freshness point")
+	}
+
+	d := New(stateTestConfig())
+	if err := d.ImportState(st); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if d.FreshnessPoint() == 0 {
+		t.Fatal("import alone should keep the snapshot's fp")
+	}
+	d.Rewarm(8)
+	if d.FreshnessPoint() != 0 {
+		t.Fatalf("fp after Rewarm = %v, want 0", d.FreshnessPoint())
+	}
+	if d.Suspect(clock.Time(1 << 60)) {
+		t.Fatal("rewarming detector with cleared fp must not suspect")
+	}
+}
+
+func TestRewarmSkipsDowntimeGap(t *testing.T) {
+	// Establish a known n_ag by feeding occasional 1-heartbeat losses.
+	s := New(stateTestConfig())
+	feed(s, 1, 30)
+	st := s.ExportState()
+
+	d := New(stateTestConfig())
+	if err := d.ImportState(st); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	d.Rewarm(8)
+
+	// First post-restore arrival jumps 100 seqs (the outage). The gap is
+	// filled for the estimator but must NOT enter the n_ag average.
+	send := clock.Time(131) * clock.Time(clock.Second)
+	d.Observe(131, send, send.Add(10*clock.Millisecond))
+	if got := d.ExportState().GapAvg; got != st.GapAvg {
+		t.Fatalf("downtime gap entered n_ag: %g -> %g", st.GapAvg, got)
+	}
+
+	// The next genuine gap is network loss again and does count.
+	send = clock.Time(135) * clock.Time(clock.Second)
+	d.Observe(135, send, send.Add(10*clock.Millisecond))
+	if got := d.ExportState().GapAvg; got == st.GapAvg {
+		t.Fatal("post-rewarm network gap did not update n_ag")
+	}
+}
+
+func TestRewarmDefaultsToSlot(t *testing.T) {
+	s := New(stateTestConfig())
+	s.Rewarm(0)
+	if s.Rewarming() != s.Config().SlotHeartbeats {
+		t.Fatalf("Rewarm(0) = %d arrivals, want one slot (%d)",
+			s.Rewarming(), s.Config().SlotHeartbeats)
+	}
+}

@@ -146,6 +146,38 @@ func (e *ArrivalEstimator) Last() (seq uint64, recv clock.Time, ok bool) {
 	return e.lastSeq, e.lastRecv, e.have
 }
 
+// ArrivalSample is one (sequence, arrival) pair of the estimation window
+// in exportable form — the unit of detector state persistence.
+type ArrivalSample struct {
+	Seq  uint64
+	Recv clock.Time
+}
+
+// Export copies the estimation window, oldest first, appending to dst
+// (which may be nil). Together with Import it lets a warm-restarting
+// monitor carry a stream's learned arrival distribution across process
+// lives instead of re-entering warmup.
+func (e *ArrivalEstimator) Export(dst []ArrivalSample) []ArrivalSample {
+	e.win.Do(func(a arrival) {
+		dst = append(dst, ArrivalSample{Seq: a.seq, Recv: a.recv})
+	})
+	return dst
+}
+
+// Import resets the estimator and replays the samples (which must be in
+// strictly increasing sequence order) through Observe, rebuilding the
+// running sums. Samples beyond the window capacity keep only the newest
+// Cap() entries, matching what a live estimator would hold.
+func (e *ArrivalEstimator) Import(samples []ArrivalSample) {
+	e.Reset()
+	if n := len(samples) - e.win.Cap(); n > 0 {
+		samples = samples[n:]
+	}
+	for _, s := range samples {
+		e.Observe(s.Seq, s.Recv)
+	}
+}
+
 // Full reports whether the estimation window is full.
 func (e *ArrivalEstimator) Full() bool { return e.win.Full() }
 

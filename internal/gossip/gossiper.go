@@ -179,6 +179,12 @@ func New(ep Endpoint, clk clock.Clock, reg *registry.Registry, peers []string, o
 		stopc:    make(chan struct{}),
 		sub:      reg.Subscribe(4096),
 	}
+	// Persistence wiring: contribute this gossiper's tables to the
+	// registry's snapshots, and absorb whatever the warm restart
+	// recovered (a no-op when the registry restored nothing or
+	// persistence is disabled).
+	reg.SetAuxSnapshot(g.ExportState)
+	g.ImportState(reg.ClaimRestoredGossip(), clk.Now())
 	return g
 }
 
@@ -203,6 +209,11 @@ func (g *Gossiper) Start() {
 	if !g.started.CompareAndSwap(false, true) {
 		return
 	}
+	// Second claim window: if this gossiper was built before the
+	// registry restored (construction order varies by embedder), the
+	// restored record is still waiting. Claim is one-shot and a nil
+	// import is a no-op, so claiming in both places is safe.
+	g.ImportState(g.reg.ClaimRestoredGossip(), g.clk.Now())
 	if af, ok := g.clk.(afterFuncer); ok {
 		g.armSim(af)
 		return

@@ -1,0 +1,114 @@
+package gossip
+
+import (
+	"repro/internal/clock"
+	"repro/internal/persist"
+)
+
+// ExportState captures the gossiper's tables as a persistence record:
+// the opinion tables, peer weights, published verdicts, the local
+// suspect set, the mistake-rate EWMA behind this monitor's self-reported
+// weight, and — critically — the digest sequence number. Peers keep only
+// the newest opinion per (subject, monitor) keyed by Seq, so a monitor
+// that restarted at seq 0 would have every digest dropped until it
+// out-counted its old life; restoring Seq keeps it audible immediately.
+func (g *Gossiper) ExportState(now clock.Time) *persist.GossipRecord {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rec := &persist.GossipRecord{
+		ID:          g.id,
+		MistakeRate: g.mistakeRate,
+		Seq:         g.seq,
+	}
+	for mon, w := range g.weights {
+		rec.Weights = append(rec.Weights, persist.MonitorWeight{Monitor: mon, Weight: w})
+	}
+	for subject, byMon := range g.remote {
+		for mon, op := range byMon {
+			rec.Opinions = append(rec.Opinions, persist.OpinionRecord{
+				Subject: subject,
+				Monitor: mon,
+				State:   uint8(op.State),
+				Inc:     op.Inc,
+				Level:   op.Level,
+				Seq:     op.seq,
+				At:      op.at,
+			})
+		}
+	}
+	for subject, st := range g.verdict {
+		rec.Verdicts = append(rec.Verdicts, persist.VerdictRecord{Subject: subject, State: uint8(st)})
+	}
+	for subject := range g.suspects {
+		rec.Suspects = append(rec.Suspects, subject)
+	}
+	return rec
+}
+
+// ImportState restores a persisted gossip record (clock fields already
+// rebased by the persistence layer). The digest sequence takes the max
+// of the restored and current values, so Seq never regresses even if a
+// few digests went out before the restore landed. Invalid entries are
+// skipped rather than failing the whole import — the tables are
+// self-healing via anti-entropy anyway.
+func (g *Gossiper) ImportState(rec *persist.GossipRecord, now clock.Time) {
+	if rec == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rec.Seq > g.seq {
+		g.seq = rec.Seq
+	}
+	if rec.MistakeRate >= 0 && rec.MistakeRate <= 1 {
+		g.mistakeRate = rec.MistakeRate
+	}
+	for _, w := range rec.Weights {
+		if w.Monitor == "" || w.Weight < 0 || w.Weight > 1 {
+			continue
+		}
+		g.weights[w.Monitor] = w.Weight
+	}
+	for _, o := range rec.Opinions {
+		if o.Subject == "" || o.Monitor == "" || State(o.State) > StateOffline {
+			continue
+		}
+		byMon := g.remote[o.Subject]
+		if byMon == nil {
+			byMon = make(map[string]remoteOpinion)
+			g.remote[o.Subject] = byMon
+		}
+		if cur, ok := byMon[o.Monitor]; ok && cur.seq >= o.Seq {
+			continue // a live digest already superseded the snapshot
+		}
+		// Rebased receive instants stay truthful: the TTL keeps counting
+		// across the outage, so opinions from monitors that went quiet
+		// before the crash still expire on schedule. Only unset or
+		// future-dated (clock-skewed) instants are clamped.
+		at := o.At
+		if at == 0 || at.After(now) {
+			at = now
+		}
+		byMon[o.Monitor] = remoteOpinion{
+			Opinion: Opinion{
+				Subject: o.Subject,
+				State:   State(o.State),
+				Inc:     o.Inc,
+				Level:   o.Level,
+			},
+			seq: o.Seq,
+			at:  at,
+		}
+	}
+	for _, v := range rec.Verdicts {
+		if v.Subject == "" || State(v.State) > StateOffline {
+			continue
+		}
+		g.verdict[v.Subject] = State(v.State)
+	}
+	for _, s := range rec.Suspects {
+		if s != "" {
+			g.suspects[s] = struct{}{}
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/detector"
+)
+
+// Wire format (all integers big-endian, matching the heartbeat and
+// gossip codecs):
+//
+//	header:  magic "SFDP" | version u16 | kind u8 | reserved u8
+//
+//	snapshot (kind 1):
+//	  header | epoch u64 | takenAt i64 | wallNano i64
+//	  | streamCount u32 | stream*
+//	  | gossipFlag u8 | [gossip]
+//	  | crc32 u32              (IEEE, over everything before it)
+//
+//	stream:  peer str | inc u64 | phase u8 | seen u8 | lastSeq u64
+//	         | lastArrival i64 | suspectSince i64
+//	         | heartbeats u64 | stale u64 | mistakes u64 | mistakeTime i64
+//	         | detFlag u8 | [det]
+//	det:     margin i64 | fp i64 | state u8 | slotIndex u32 | lastSeq u64
+//	         | lastSend i64 | lastDelay i64 | haveSeq u8
+//	         | gapAvg f64 | gapAvgOK u8 | stepScale f64 | lastDir u8
+//	         | sampleCount u32 | (seq u64, recv i64)*
+//	gossip:  id str | mistakeRate f64 | seq u64
+//	         | weightCount u32 | (mon str, w f64)*
+//	         | opinionCount u32 | (subj str, mon str, state u8, inc u64,
+//	           level f64, seq u64, at i64)*
+//	         | verdictCount u32 | (subj str, state u8)*
+//	         | suspectCount u32 | str*
+//	str:     len u16 | bytes    (len <= maxNameLen)
+//
+//	journal (kind 2):
+//	  header | epoch u64 | createdAt i64 | record*
+//	record:  payloadLen u32 | crc32(payload) u32 | payload
+//	payload: deltaKind u8 | at i64 | inc u64 | phase u8 | peer str
+//
+// A snapshot is valid only as a whole (single trailing checksum: a
+// torn write invalidates the file and recovery falls back to the
+// previous epoch). Journal records are checksummed individually so a
+// crash mid-append loses only the torn tail — the valid prefix still
+// applies.
+const (
+	version      = 1
+	kindSnapshot = 1
+	kindJournal  = 2
+	maxNameLen   = 512
+	headerLen    = 4 + 2 + 1 + 1
+
+	// Decode-side sanity bounds: a corrupted count must not drive a huge
+	// allocation before the per-entry bounds checks reject it.
+	maxStreams = 1 << 22
+	maxSamples = 1 << 20
+	maxEntries = 1 << 22
+)
+
+var magic = [4]byte{'S', 'F', 'D', 'P'}
+
+// Decode errors. ErrCorrupt covers checksum mismatches and truncation;
+// ErrVersion unknown format versions — both mean "fall back to an older
+// epoch or cold start", never a panic.
+var (
+	ErrCorrupt = errors.New("persist: corrupt or truncated state file")
+	ErrVersion = errors.New("persist: unsupported state format version")
+)
+
+// EncodeSnapshot serializes s (checksummed, ready to write to disk).
+func EncodeSnapshot(s *Snapshot) []byte {
+	b := make([]byte, 0, 64+len(s.Streams)*96)
+	b = appendHeader(b, kindSnapshot)
+	b = binary.BigEndian.AppendUint64(b, s.Epoch)
+	b = binary.BigEndian.AppendUint64(b, uint64(s.TakenAt))
+	b = binary.BigEndian.AppendUint64(b, uint64(s.WallNano))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Streams)))
+	for i := range s.Streams {
+		b = appendStream(b, &s.Streams[i])
+	}
+	if s.Gossip != nil {
+		b = append(b, 1)
+		b = appendGossip(b, s.Gossip)
+	} else {
+		b = append(b, 0)
+	}
+	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// DecodeSnapshot parses and validates a snapshot file image.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if err := checkHeader(data, kindSnapshot); err != nil {
+		return nil, err
+	}
+	if len(data) < headerLen+4 {
+		return nil, ErrCorrupt
+	}
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	r := reader{buf: body, off: headerLen}
+	s := &Snapshot{
+		Epoch:    r.u64(),
+		TakenAt:  clock.Time(r.u64()),
+		WallNano: int64(r.u64()),
+	}
+	n := r.u32()
+	if n > maxStreams || uint64(n)*2 > uint64(len(body)) {
+		return nil, fmt.Errorf("%w: implausible stream count %d", ErrCorrupt, n)
+	}
+	s.Streams = make([]StreamRecord, 0, n)
+	for i := uint32(0); i < n; i++ {
+		rec, err := readStream(&r)
+		if err != nil {
+			return nil, err
+		}
+		s.Streams = append(s.Streams, rec)
+	}
+	if r.u8() == 1 {
+		g, err := readGossip(&r)
+		if err != nil {
+			return nil, err
+		}
+		s.Gossip = g
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-r.off)
+	}
+	return s, nil
+}
+
+func appendStream(b []byte, rec *StreamRecord) []byte {
+	b = appendStr(b, rec.Peer)
+	b = binary.BigEndian.AppendUint64(b, rec.Inc)
+	b = append(b, rec.Phase, boolByte(rec.Seen))
+	b = binary.BigEndian.AppendUint64(b, rec.LastSeq)
+	b = binary.BigEndian.AppendUint64(b, uint64(rec.LastArrival))
+	b = binary.BigEndian.AppendUint64(b, uint64(rec.SuspectSince))
+	b = binary.BigEndian.AppendUint64(b, rec.Heartbeats)
+	b = binary.BigEndian.AppendUint64(b, rec.Stale)
+	b = binary.BigEndian.AppendUint64(b, rec.Mistakes)
+	b = binary.BigEndian.AppendUint64(b, uint64(rec.MistakeTime))
+	if rec.Det == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	d := rec.Det
+	b = binary.BigEndian.AppendUint64(b, uint64(d.Margin))
+	b = binary.BigEndian.AppendUint64(b, uint64(d.FP))
+	b = append(b, uint8(d.State))
+	b = binary.BigEndian.AppendUint32(b, uint32(d.SlotIndex))
+	b = binary.BigEndian.AppendUint64(b, d.LastSeq)
+	b = binary.BigEndian.AppendUint64(b, uint64(d.LastSend))
+	b = binary.BigEndian.AppendUint64(b, uint64(d.LastDelay))
+	b = append(b, boolByte(d.HaveSeq))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(d.GapAvg))
+	b = append(b, boolByte(d.GapAvgOK))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(d.StepScale))
+	b = append(b, uint8(d.LastDir))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(d.Window)))
+	for _, w := range d.Window {
+		b = binary.BigEndian.AppendUint64(b, w.Seq)
+		b = binary.BigEndian.AppendUint64(b, uint64(w.Recv))
+	}
+	return b
+}
+
+func readStream(r *reader) (StreamRecord, error) {
+	rec := StreamRecord{
+		Peer:         r.str(),
+		Inc:          r.u64(),
+		Phase:        r.u8(),
+		Seen:         r.u8() == 1,
+		LastSeq:      r.u64(),
+		LastArrival:  clock.Time(r.u64()),
+		SuspectSince: clock.Time(r.u64()),
+		Heartbeats:   r.u64(),
+		Stale:        r.u64(),
+		Mistakes:     r.u64(),
+		MistakeTime:  clock.Duration(r.u64()),
+	}
+	if rec.Phase > PhaseOffline {
+		return rec, fmt.Errorf("%w: phase %d out of range", ErrCorrupt, rec.Phase)
+	}
+	if r.u8() == 1 {
+		d := &core.SFDState{
+			Margin:    clock.Duration(r.u64()),
+			FP:        clock.Time(r.u64()),
+			State:     core.State(r.u8()),
+			SlotIndex: int(r.u32()),
+			LastSeq:   r.u64(),
+			LastSend:  clock.Time(r.u64()),
+			LastDelay: clock.Duration(r.u64()),
+			HaveSeq:   r.u8() == 1,
+			GapAvg:    math.Float64frombits(r.u64()),
+			GapAvgOK:  r.u8() == 1,
+			StepScale: math.Float64frombits(r.u64()),
+			LastDir:   int8(r.u8()),
+		}
+		n := r.u32()
+		if n > maxSamples || int(n)*16 > r.remaining() {
+			return rec, fmt.Errorf("%w: implausible sample count %d", ErrCorrupt, n)
+		}
+		d.Window = make([]detector.ArrivalSample, 0, n)
+		for i := uint32(0); i < n; i++ {
+			d.Window = append(d.Window, detector.ArrivalSample{
+				Seq: r.u64(), Recv: clock.Time(r.u64()),
+			})
+		}
+		rec.Det = d
+	}
+	return rec, r.err
+}
+
+func appendGossip(b []byte, g *GossipRecord) []byte {
+	b = appendStr(b, g.ID)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(g.MistakeRate))
+	b = binary.BigEndian.AppendUint64(b, g.Seq)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(g.Weights)))
+	for _, w := range g.Weights {
+		b = appendStr(b, w.Monitor)
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(w.Weight))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(g.Opinions)))
+	for _, o := range g.Opinions {
+		b = appendStr(b, o.Subject)
+		b = appendStr(b, o.Monitor)
+		b = append(b, o.State)
+		b = binary.BigEndian.AppendUint64(b, o.Inc)
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(o.Level))
+		b = binary.BigEndian.AppendUint64(b, o.Seq)
+		b = binary.BigEndian.AppendUint64(b, uint64(o.At))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(g.Verdicts)))
+	for _, v := range g.Verdicts {
+		b = appendStr(b, v.Subject)
+		b = append(b, v.State)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(g.Suspects)))
+	for _, s := range g.Suspects {
+		b = appendStr(b, s)
+	}
+	return b
+}
+
+func readGossip(r *reader) (*GossipRecord, error) {
+	g := &GossipRecord{
+		ID:          r.str(),
+		MistakeRate: math.Float64frombits(r.u64()),
+		Seq:         r.u64(),
+	}
+	n := r.u32()
+	if n > maxEntries || int(n)*10 > r.remaining() {
+		return nil, fmt.Errorf("%w: implausible weight count %d", ErrCorrupt, n)
+	}
+	g.Weights = make([]MonitorWeight, 0, n)
+	for i := uint32(0); i < n; i++ {
+		g.Weights = append(g.Weights, MonitorWeight{
+			Monitor: r.str(), Weight: math.Float64frombits(r.u64()),
+		})
+	}
+	n = r.u32()
+	if n > maxEntries || int(n)*37 > r.remaining() {
+		return nil, fmt.Errorf("%w: implausible opinion count %d", ErrCorrupt, n)
+	}
+	g.Opinions = make([]OpinionRecord, 0, n)
+	for i := uint32(0); i < n; i++ {
+		g.Opinions = append(g.Opinions, OpinionRecord{
+			Subject: r.str(),
+			Monitor: r.str(),
+			State:   r.u8(),
+			Inc:     r.u64(),
+			Level:   math.Float64frombits(r.u64()),
+			Seq:     r.u64(),
+			At:      clock.Time(r.u64()),
+		})
+	}
+	n = r.u32()
+	if n > maxEntries || int(n)*3 > r.remaining() {
+		return nil, fmt.Errorf("%w: implausible verdict count %d", ErrCorrupt, n)
+	}
+	g.Verdicts = make([]VerdictRecord, 0, n)
+	for i := uint32(0); i < n; i++ {
+		g.Verdicts = append(g.Verdicts, VerdictRecord{Subject: r.str(), State: r.u8()})
+	}
+	n = r.u32()
+	if n > maxEntries || int(n)*2 > r.remaining() {
+		return nil, fmt.Errorf("%w: implausible suspect count %d", ErrCorrupt, n)
+	}
+	g.Suspects = make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		g.Suspects = append(g.Suspects, r.str())
+	}
+	return g, r.err
+}
+
+// EncodeJournalHeader serializes the journal file preamble for epoch.
+func EncodeJournalHeader(epoch uint64, createdAt clock.Time) []byte {
+	b := appendHeader(make([]byte, 0, headerLen+16), kindJournal)
+	b = binary.BigEndian.AppendUint64(b, epoch)
+	return binary.BigEndian.AppendUint64(b, uint64(createdAt))
+}
+
+// AppendDeltaRecord serializes one length-prefixed, checksummed journal
+// record onto b.
+func AppendDeltaRecord(b []byte, d Delta) []byte {
+	payload := make([]byte, 0, 21+len(d.Peer))
+	payload = append(payload, d.Kind)
+	payload = binary.BigEndian.AppendUint64(payload, uint64(d.At))
+	payload = binary.BigEndian.AppendUint64(payload, d.Inc)
+	payload = append(payload, d.Phase)
+	payload = appendStr(payload, d.Peer)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return append(b, payload...)
+}
+
+// DecodeJournal parses a journal file image: the header plus every valid
+// record up to the first truncated or corrupted one. truncated reports
+// whether a torn tail was discarded — expected after a crash mid-append,
+// so it is not an error.
+func DecodeJournal(data []byte) (epoch uint64, deltas []Delta, truncated bool, err error) {
+	if err := checkHeader(data, kindJournal); err != nil {
+		return 0, nil, false, err
+	}
+	r := reader{buf: data, off: headerLen}
+	epoch = r.u64()
+	r.u64() // createdAt: informational only
+	if r.err != nil {
+		return 0, nil, false, ErrCorrupt
+	}
+	for r.off < len(data) {
+		if r.remaining() < 8 {
+			return epoch, deltas, true, nil
+		}
+		plen := r.u32()
+		sum := r.u32()
+		if plen > uint32(r.remaining()) || plen < 19 || plen > 8+maxNameLen+13 {
+			return epoch, deltas, true, nil
+		}
+		payload := data[r.off : r.off+int(plen)]
+		r.off += int(plen)
+		if crc32.ChecksumIEEE(payload) != sum {
+			return epoch, deltas, true, nil
+		}
+		pr := reader{buf: payload}
+		d := Delta{
+			Kind:  pr.u8(),
+			At:    clock.Time(pr.u64()),
+			Inc:   pr.u64(),
+			Phase: pr.u8(),
+			Peer:  pr.str(),
+		}
+		if pr.err != nil || pr.off != len(payload) ||
+			d.Kind < DeltaPhase || d.Kind > DeltaEvict || d.Phase > PhaseOffline {
+			return epoch, deltas, true, nil
+		}
+		deltas = append(deltas, d)
+	}
+	return epoch, deltas, false, nil
+}
+
+func appendHeader(b []byte, kind uint8) []byte {
+	b = append(b, magic[:]...)
+	b = binary.BigEndian.AppendUint16(b, version)
+	return append(b, kind, 0)
+}
+
+func checkHeader(data []byte, kind uint8) error {
+	if len(data) < headerLen {
+		return ErrCorrupt
+	}
+	if [4]byte(data[:4]) != magic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != version {
+		return fmt.Errorf("%w: got %d, supported %d", ErrVersion, v, version)
+	}
+	if data[6] != kind {
+		return fmt.Errorf("%w: wrong file kind %d", ErrCorrupt, data[6])
+	}
+	return nil
+}
+
+func appendStr(b []byte, s string) []byte {
+	if len(s) > maxNameLen {
+		s = s[:maxNameLen]
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// reader is a bounds-checked big-endian cursor: after any short read it
+// latches err and every subsequent read returns zero, so decode paths
+// can batch field reads and check err once.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || r.remaining() < n {
+		if r.err == nil {
+			r.err = ErrCorrupt
+		}
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) str() string {
+	n := int(binary.BigEndian.Uint16(orZero2(r.take(2))))
+	if n > maxNameLen {
+		r.err = fmt.Errorf("%w: name length %d exceeds %d", ErrCorrupt, n, maxNameLen)
+		return ""
+	}
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func orZero2(b []byte) []byte {
+	if b == nil {
+		return []byte{0, 0}
+	}
+	return b
+}

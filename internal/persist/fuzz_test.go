@@ -1,0 +1,71 @@
+package persist
+
+import (
+	"testing"
+)
+
+// FuzzDecodeSnapshot asserts the snapshot decoder's contract on
+// arbitrary input: it may reject (corrupted state → error → cold start)
+// but must never panic, and anything it accepts must re-encode
+// losslessly (no silent mangling of accepted state).
+func FuzzDecodeSnapshot(f *testing.F) {
+	valid := EncodeSnapshot(sampleSnapshot())
+	f.Add(valid)
+	f.Add(EncodeSnapshot(&Snapshot{}))
+	f.Add(valid[:len(valid)/2]) // truncated
+	skewed := append([]byte(nil), valid...)
+	skewed[5] = 0x63 // version skew
+	f.Add(skewed)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x80 // bit flip
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("SFDP"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data) // must not panic
+		if err != nil {
+			return
+		}
+		re, err2 := DecodeSnapshot(EncodeSnapshot(s))
+		if err2 != nil {
+			t.Fatalf("re-encode of accepted snapshot does not decode: %v", err2)
+		}
+		if len(re.Streams) != len(s.Streams) || re.Epoch != s.Epoch {
+			t.Fatalf("re-encode drifted: %d/%d streams, epoch %d/%d",
+				len(re.Streams), len(s.Streams), re.Epoch, s.Epoch)
+		}
+	})
+}
+
+// FuzzDecodeJournal asserts the journal decoder's contract: arbitrary
+// bytes never panic, and the decoded prefix is always internally valid
+// (kinds and phases in range).
+func FuzzDecodeJournal(f *testing.F) {
+	valid := encodeJournal(5, sampleDeltas())
+	f.Add(valid)
+	f.Add(EncodeJournalHeader(1, 0))
+	f.Add(valid[:len(valid)-3]) // torn tail
+	skewed := append([]byte(nil), valid...)
+	skewed[4] = 0x10 // version skew
+	f.Add(skewed)
+	flipped := append([]byte(nil), valid...)
+	flipped[headerLen+20] ^= 0x01
+	f.Add(flipped)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, deltas, _, err := DecodeJournal(data) // must not panic
+		if err != nil {
+			return
+		}
+		for i, d := range deltas {
+			if d.Kind < DeltaPhase || d.Kind > DeltaEvict {
+				t.Fatalf("record %d: kind %d out of range", i, d.Kind)
+			}
+			if d.Phase > PhaseOffline {
+				t.Fatalf("record %d: phase %d out of range", i, d.Phase)
+			}
+		}
+	})
+}

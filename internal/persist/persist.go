@@ -1,0 +1,215 @@
+// Package persist provides crash-safe state persistence for the
+// monitor: versioned, checksummed snapshots of the registry's per-stream
+// detector state and the gossip opinion tables, written atomically by a
+// dedicated checkpoint goroutine (periodic full snapshots plus a batched
+// incremental delta journal), and a recovery path that always restores
+// the newest *valid* snapshot/journal pair or falls back to cold start —
+// never a half-written or corrupted one.
+//
+// The failure-detection layer is only as available as the monitor
+// process itself: Dobre et al. argue the detection architecture must
+// tolerate its own failures, and production cloud monitors restart
+// routinely (Cotroneo et al.). Without persistence a restart discards
+// every stream's estimation window and tuned safety margin, so the
+// whole fleet re-enters warmup and the mistake rate spikes exactly when
+// the operator can least afford it. With it, a restarting monitor
+// resumes from the last checkpoint and rewarms gracefully.
+//
+// Nothing in this package runs on the heartbeat ingest hot path: full
+// snapshots are pulled by the checkpointer goroutine through a
+// registry-provided export callback, and deltas are drained from the
+// registry's existing failure-event bus.
+package persist
+
+import (
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// Phase mirrors the registry's stream lifecycle position in serialized
+// form (the registry's own phase type stays unexported).
+const (
+	PhaseTrusted uint8 = iota
+	PhaseSuspected
+	PhaseOffline
+)
+
+// Snapshot is a full capture of monitor state at one instant. All
+// clock.Time fields are in the capturing process's clock domain; Rebase
+// shifts them into the restoring process's domain before import.
+type Snapshot struct {
+	// Epoch is the store-assigned snapshot generation (0 until written).
+	Epoch uint64
+	// TakenAt is the capture instant on the monitor's monotonic clock.
+	TakenAt clock.Time
+	// WallNano is the capture instant as wall-clock unix nanoseconds —
+	// the anchor that lets a restarting process compute its downtime.
+	WallNano int64
+
+	Streams []StreamRecord
+	Gossip  *GossipRecord
+}
+
+// StreamRecord is one monitored stream's persisted state: the registry
+// table row plus (for self-tuning detectors) the detector state.
+type StreamRecord struct {
+	Peer         string
+	Inc          uint64
+	Phase        uint8
+	Seen         bool
+	LastSeq      uint64
+	LastArrival  clock.Time
+	SuspectSince clock.Time
+
+	Heartbeats  uint64
+	Stale       uint64
+	Mistakes    uint64
+	MistakeTime clock.Duration
+
+	// Det is the stream's exported detector state; nil when the detector
+	// does not support export (it restarts cold on restore).
+	Det *core.SFDState
+}
+
+// MonitorWeight is one peer monitor's last self-reported accuracy weight.
+type MonitorWeight struct {
+	Monitor string
+	Weight  float64
+}
+
+// OpinionRecord is one remote opinion held in the gossip table: what
+// Monitor last said about Subject, versioned by the monitor's digest
+// sequence number.
+type OpinionRecord struct {
+	Subject string
+	Monitor string
+	State   uint8
+	Inc     uint64
+	Level   float64
+	Seq     uint64
+	At      clock.Time
+}
+
+// VerdictRecord is one published non-trusted global verdict.
+type VerdictRecord struct {
+	Subject string
+	State   uint8
+}
+
+// GossipRecord is the gossip layer's persisted state. Restoring Seq is
+// what keeps a restarted monitor's digests monotonic: peers drop digests
+// with regressed sequence numbers, so a monitor that restarted at seq 0
+// would be mute until it caught up with its old life.
+type GossipRecord struct {
+	ID          string
+	MistakeRate float64
+	Seq         uint64
+	Weights     []MonitorWeight
+	Opinions    []OpinionRecord
+	Verdicts    []VerdictRecord
+	Suspects    []string
+}
+
+// Delta kinds recorded in the journal between full snapshots.
+const (
+	// DeltaPhase records a stream lifecycle transition (trust/suspect/
+	// offline) with the incarnation it applied to.
+	DeltaPhase uint8 = iota + 1
+	// DeltaEvict records a stream's removal from the registry table.
+	DeltaEvict
+)
+
+// Delta is one incremental journal entry, derived from the registry's
+// failure-event bus — the transitions that must survive a crash between
+// full snapshots so restored phases and incarnations stay fresh.
+type Delta struct {
+	Kind  uint8
+	Peer  string
+	At    clock.Time
+	Inc   uint64
+	Phase uint8
+}
+
+// Rebase shifts every time field by d, mapping the snapshot from the
+// capturing process's clock domain into the restoring one's. Zero times
+// stay zero: they are "unset" sentinels, not instants.
+func (s *Snapshot) Rebase(d clock.Duration) {
+	s.TakenAt = rebase(s.TakenAt, d)
+	for i := range s.Streams {
+		r := &s.Streams[i]
+		r.LastArrival = rebase(r.LastArrival, d)
+		r.SuspectSince = rebase(r.SuspectSince, d)
+		if r.Det != nil {
+			r.Det.FP = rebase(r.Det.FP, d)
+			r.Det.LastSend = rebase(r.Det.LastSend, d)
+			for j := range r.Det.Window {
+				r.Det.Window[j].Recv = rebase(r.Det.Window[j].Recv, d)
+			}
+		}
+	}
+	if s.Gossip != nil {
+		for i := range s.Gossip.Opinions {
+			s.Gossip.Opinions[i].At = rebase(s.Gossip.Opinions[i].At, d)
+		}
+	}
+}
+
+func rebase(t clock.Time, d clock.Duration) clock.Time {
+	if t == 0 {
+		return 0
+	}
+	return t.Add(d)
+}
+
+// Apply folds journal deltas into the snapshot's stream table, newest
+// last: phase transitions update phase/incarnation/suspicion instant
+// (creating a minimal record for streams registered after the snapshot,
+// so their incarnations cannot regress), and evictions remove rows.
+// Delta times are rebased with the same shift as the snapshot before
+// calling Apply.
+func (s *Snapshot) Apply(deltas []Delta) {
+	if len(deltas) == 0 {
+		return
+	}
+	idx := make(map[string]int, len(s.Streams))
+	for i := range s.Streams {
+		idx[s.Streams[i].Peer] = i
+	}
+	for _, d := range deltas {
+		switch d.Kind {
+		case DeltaPhase:
+			i, ok := idx[d.Peer]
+			if !ok {
+				s.Streams = append(s.Streams, StreamRecord{Peer: d.Peer})
+				i = len(s.Streams) - 1
+				idx[d.Peer] = i
+			}
+			r := &s.Streams[i]
+			r.Phase = d.Phase
+			r.Seen = true
+			if d.Inc > r.Inc {
+				r.Inc = d.Inc
+			}
+			if d.Phase == PhaseSuspected {
+				r.SuspectSince = d.At
+			}
+		case DeltaEvict:
+			if i, ok := idx[d.Peer]; ok {
+				last := len(s.Streams) - 1
+				s.Streams[i] = s.Streams[last]
+				s.Streams = s.Streams[:last]
+				delete(idx, d.Peer)
+				if i < last {
+					idx[s.Streams[i].Peer] = i
+				}
+			}
+		}
+	}
+}
+
+// RebaseDeltas shifts delta times by d (same mapping as Snapshot.Rebase).
+func RebaseDeltas(deltas []Delta, d clock.Duration) {
+	for i := range deltas {
+		deltas[i].At = rebase(deltas[i].At, d)
+	}
+}

@@ -1,0 +1,292 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestStoreWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteSnapshot(sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDeltas(sampleDeltas()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, deltas, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 1 || len(snap.Streams) != 3 {
+		t.Fatalf("loaded epoch %d with %d streams", snap.Epoch, len(snap.Streams))
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("loaded %d deltas, want 3", len(deltas))
+	}
+	if s2.Epoch() != 1 {
+		t.Fatalf("reopened epoch = %d", s2.Epoch())
+	}
+}
+
+func TestStoreLoadEmpty(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty dir: got %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestStoreFallsBackToOlderEpoch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap1 := sampleSnapshot()
+	if _, err := s.WriteSnapshot(snap1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDeltas(sampleDeltas()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteSnapshot(sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Corrupt the newest full snapshot — a crash mid-rotation in a
+	// filesystem without atomic rename would look like this.
+	path := filepath.Join(dir, "snap-00000002.full")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, deltas, err := s2.Load()
+	if err != nil {
+		t.Fatalf("fallback load: %v", err)
+	}
+	if snap.Epoch != 1 {
+		t.Fatalf("fell back to epoch %d, want 1", snap.Epoch)
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("epoch-1 journal has %d deltas, want 1", len(deltas))
+	}
+}
+
+func TestStoreCrashMidRotation(t *testing.T) {
+	// A crash between writing the new full snapshot and opening its
+	// journal leaves epoch N+1 full with no journal; Load must take the
+	// full alone. A crash before the rename leaves a temp file; Load must
+	// ignore it.
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteSnapshot(sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Epoch 2 full without journal.
+	snap2 := sampleSnapshot()
+	snap2.Epoch = 2
+	if err := os.WriteFile(filepath.Join(dir, "snap-00000002.full"), EncodeSnapshot(snap2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Stray temp file from an interrupted atomic write.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-snap-123"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, deltas, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 2 || deltas != nil {
+		t.Fatalf("loaded epoch %d with %d deltas, want epoch 2, none", snap.Epoch, len(deltas))
+	}
+}
+
+func TestStorePrunesOldEpochs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.WriteSnapshot(sampleSnapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epochs, err := s.epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 2 || epochs[0] != 4 || epochs[1] != 5 {
+		t.Fatalf("epochs after prune = %v, want [4 5]", epochs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snap-00000001.journal")); !os.IsNotExist(err) {
+		t.Error("epoch-1 journal not pruned")
+	}
+}
+
+func TestStoreJournalMeaninglessWithoutSnapshot(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDeltas(sampleDeltas()); err == nil {
+		t.Fatal("AppendDeltas before any snapshot succeeded")
+	}
+}
+
+func TestStoreMismatchedJournalEpochIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteSnapshot(sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Overwrite the journal with one from a different epoch (torn state
+	// dir copy); the snapshot must still load, the journal must not apply.
+	if err := os.WriteFile(filepath.Join(dir, "snap-00000001.journal"),
+		encodeJournal(9, sampleDeltas()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := OpenStore(dir, 2)
+	snap, deltas, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 1 || len(deltas) != 0 {
+		t.Fatalf("epoch %d, %d deltas; want epoch 1, 0 deltas", snap.Epoch, len(deltas))
+	}
+}
+
+func TestCheckpointerCadence(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := clock.NewSim(0)
+
+	var pending []Delta
+	full := func(now clock.Time) *Snapshot {
+		return &Snapshot{TakenAt: now, Streams: []StreamRecord{{Peer: "a", Seen: true}}}
+	}
+	drain := func(dst []Delta) []Delta {
+		dst = append(dst, pending...)
+		pending = nil
+		return dst
+	}
+	c := NewCheckpointer(sim, store, full, drain, CheckpointOptions{
+		Interval:      10 * clock.Second,
+		FlushInterval: clock.Second,
+	})
+	c.Start()
+
+	// First tick takes the initial full snapshot.
+	sim.Advance(clock.Second)
+	if got := c.Snapshots(); got != 1 {
+		t.Fatalf("after first tick: %d snapshots", got)
+	}
+
+	// Deltas flush on the cadence without forcing a new snapshot.
+	pending = sampleDeltas()
+	sim.Advance(clock.Second)
+	if got := c.Deltas(); got != 3 {
+		t.Fatalf("deltas written = %d, want 3", got)
+	}
+	if got := c.Snapshots(); got != 1 {
+		t.Fatalf("flush forced a snapshot: %d", got)
+	}
+
+	// The full-snapshot interval elapses → rotation.
+	sim.Advance(10 * clock.Second)
+	if got := c.Snapshots(); got != 2 {
+		t.Fatalf("after interval: %d snapshots", got)
+	}
+	if got := c.Rotations(); got != 1 {
+		t.Fatalf("rotations = %d, want 1", got)
+	}
+
+	c.Stop() // final snapshot
+	if got := c.Snapshots(); got != 3 {
+		t.Fatalf("after stop: %d snapshots", got)
+	}
+	if c.Errors() != 0 {
+		t.Fatalf("errors = %d", c.Errors())
+	}
+
+	snap, deltas, err := store.Load()
+	if err == nil {
+		_ = deltas
+		if len(snap.Streams) != 1 {
+			t.Fatalf("final snapshot has %d streams", len(snap.Streams))
+		}
+	} else {
+		t.Fatalf("load after stop: %v", err)
+	}
+}
+
+func TestCheckpointerSizeRotation(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := clock.NewSim(0)
+	var pending []Delta
+	c := NewCheckpointer(sim, store,
+		func(now clock.Time) *Snapshot { return &Snapshot{TakenAt: now} },
+		func(dst []Delta) []Delta { dst = append(dst, pending...); pending = nil; return dst },
+		CheckpointOptions{
+			Interval:        clock.Duration(1 << 60), // never by time
+			FlushInterval:   clock.Second,
+			JournalMaxBytes: 256,
+		})
+	c.Start()
+	sim.Advance(clock.Second) // initial full
+
+	for i := 0; i < 20 && c.Rotations() == 0; i++ {
+		pending = sampleDeltas()
+		sim.Advance(clock.Second)
+	}
+	if c.Rotations() == 0 {
+		t.Fatalf("journal never rotated by size (len=%d)", store.JournalLen())
+	}
+	c.Stop()
+}

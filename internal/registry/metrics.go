@@ -6,6 +6,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/persist"
 )
 
 // tuned is implemented by self-tuning detectors (core.SFD) whose QoS
@@ -64,9 +65,53 @@ func (r *Registry) Metrics() *metrics.Set {
 		if r.opts.MetricsMaxStreams > 0 {
 			set.Sampled(r.sampleStreams)
 		}
+		if r.opts.StateDir != "" {
+			r.instrumentPersist(set)
+		}
 		r.metricsSet = set
 	})
 	return r.metricsSet
+}
+
+// instrumentPersist registers the sfd_persist_* series. The closures
+// read through the checkpointer's atomic pointer so registration order
+// relative to Start does not matter (zeros before the checkpointer
+// exists).
+func (r *Registry) instrumentPersist(set *metrics.Set) {
+	ck := func(read func(*persist.Checkpointer) uint64) func() uint64 {
+		return func() uint64 {
+			if c := r.ckpt.Load(); c != nil {
+				return read(c)
+			}
+			return 0
+		}
+	}
+	set.CounterFunc("sfd_persist_snapshots_total",
+		"Full state snapshots written.", ck((*persist.Checkpointer).Snapshots))
+	set.CounterFunc("sfd_persist_deltas_total",
+		"Incremental delta records appended to the journal.", ck((*persist.Checkpointer).Deltas))
+	set.CounterFunc("sfd_persist_rotations_total",
+		"Journal rotations (full snapshot supersedes the delta journal).", ck((*persist.Checkpointer).Rotations))
+	set.CounterFunc("sfd_persist_errors_total",
+		"Snapshot or journal write failures.", ck((*persist.Checkpointer).Errors))
+	set.GaugeFunc("sfd_persist_snapshot_age_seconds",
+		"Seconds since the last full snapshot was written (-1 before the first).",
+		func() float64 {
+			if c := r.ckpt.Load(); c != nil {
+				return c.SnapshotAgeSeconds()
+			}
+			return -1
+		})
+	set.GaugeFunc("sfd_persist_snapshot_bytes",
+		"Encoded size of the last full snapshot.", func() float64 {
+			if c := r.ckpt.Load(); c != nil {
+				return float64(c.SnapshotBytes())
+			}
+			return 0
+		})
+	set.GaugeFunc("sfd_persist_restored_streams",
+		"Streams recovered by the warm restart (0 on cold start).",
+		func() float64 { n, _ := r.RestoredStreams(); return float64(n) })
 }
 
 // sampleShards emits one occupancy gauge per lock stripe — the load

@@ -26,6 +26,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/heartbeat"
 	"repro/internal/metrics"
+	"repro/internal/persist"
 )
 
 // Factory builds a fresh detector for a newly registered stream.
@@ -62,6 +63,29 @@ type Options struct {
 	// scrape enumerate every stream. Default 256; negative disables the
 	// per-stream sampler entirely (aggregate series remain).
 	MetricsMaxStreams int
+
+	// StateDir enables crash-safe persistence: full snapshots and the
+	// delta journal live here, and Start restores from them (warm
+	// restart). Empty disables persistence entirely.
+	StateDir string
+	// CheckpointInterval is the cadence of full state snapshots
+	// (default 30 s).
+	CheckpointInterval clock.Duration
+	// JournalFlush is the cadence of incremental delta-journal flushes
+	// (default 1 s).
+	JournalFlush clock.Duration
+	// JournalMaxBytes rotates the delta journal into a fresh full
+	// snapshot once it grows past this size (default 1 MiB).
+	JournalMaxBytes int64
+	// RewarmArrivals is how many fresh arrivals a restored detector's
+	// safety margin stays frozen for after a warm restart (0 → one
+	// slot's worth, the detector default).
+	RewarmArrivals int
+	// RewarmGrace is the deadline granted to restored trusted streams:
+	// a stream that does not heartbeat within this window after restart
+	// is suspected through the normal machinery. Default: MaxSilence,
+	// or OfflineAfter when the silence net is disabled.
+	RewarmGrace clock.Duration
 }
 
 func (o *Options) normalize() {
@@ -103,6 +127,22 @@ func (o *Options) normalize() {
 		o.MetricsMaxStreams = 256
 	case o.MetricsMaxStreams < 0:
 		o.MetricsMaxStreams = 0
+	}
+	if o.CheckpointInterval <= 0 {
+		o.CheckpointInterval = 30 * clock.Second
+	}
+	if o.JournalFlush <= 0 {
+		o.JournalFlush = clock.Second
+	}
+	if o.JournalMaxBytes <= 0 {
+		o.JournalMaxBytes = 1 << 20
+	}
+	if o.RewarmGrace <= 0 {
+		if o.MaxSilence > 0 {
+			o.RewarmGrace = o.MaxSilence
+		} else {
+			o.RewarmGrace = o.OfflineAfter
+		}
 	}
 }
 
@@ -173,6 +213,20 @@ type Registry struct {
 	stopc   chan struct{}
 
 	tickBuf []expiry // owned by the single wheel driver
+
+	// Persistence plumbing (zero when Options.StateDir is unset). The
+	// checkpointer rides in an atomic pointer so scrape-time metrics can
+	// read it regardless of Start ordering; restoreMu guards the
+	// restore-once state and the store handle.
+	ckpt           atomic.Pointer[persist.Checkpointer]
+	auxSnap        atomic.Value // auxSnapFunc
+	restoreMu      sync.Mutex
+	store          *persist.Store
+	deltaSub       *Subscription
+	restored       bool
+	restoredCount  int
+	restoreErr     error
+	restoredGossip *persist.GossipRecord
 }
 
 // New builds a Registry. A nil clock defaults to the real clock; a nil
@@ -212,6 +266,7 @@ func (r *Registry) Start() {
 	if !r.started.CompareAndSwap(false, true) {
 		return
 	}
+	r.startPersist()
 	if af, ok := r.clk.(afterFuncer); ok {
 		r.armSim(af)
 		return
@@ -219,11 +274,14 @@ func (r *Registry) Start() {
 	go r.runReal()
 }
 
-// Stop halts the wheel driver. Streams and subscriptions survive; Tick
-// can still be called manually.
+// Stop halts the wheel driver and, when persistence is enabled, flushes
+// a final full snapshot (the graceful-shutdown guarantee: a clean exit
+// restores exactly). Streams and subscriptions survive; Tick can still
+// be called manually.
 func (r *Registry) Stop() {
 	if r.stopped.CompareAndSwap(false, true) {
 		close(r.stopc)
+		r.stopPersist()
 	}
 }
 

@@ -48,6 +48,7 @@ import (
 	"repro/internal/heartbeat"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/persist"
 	"repro/internal/qos"
 	"repro/internal/registry"
 	"repro/internal/trace"
@@ -404,6 +405,51 @@ func NewRegistry(clk Clock, f DetectorFactory, opts RegistryOptions) *Registry {
 		rf = registry.Factory(f)
 	}
 	return registry.New(clk, rf, opts)
+}
+
+// Crash-safe state persistence and warm restart (see internal/persist):
+// versioned, checksummed snapshots of registry + detector + gossip state
+// rotated atomically on disk, restored on restart with a rewarm grace
+// window so a short monitor outage produces zero spurious suspicions.
+// Set RegistryOptions.StateDir to arm it; Registry.Stop flushes a final
+// snapshot.
+type (
+	// StateSnapshot is one full capture of monitor state.
+	StateSnapshot = persist.Snapshot
+	// StateStreamRecord is one stream's row in a StateSnapshot.
+	StateStreamRecord = persist.StreamRecord
+	// StateDelta is one incremental journal entry between snapshots.
+	StateDelta = persist.Delta
+	// StateStore manages the snapshot/journal files in a state directory.
+	StateStore = persist.Store
+	// Checkpointer drives periodic snapshots and journal flushes.
+	Checkpointer = persist.Checkpointer
+	// CheckpointOptions tunes snapshot cadence and journal rotation.
+	CheckpointOptions = persist.CheckpointOptions
+)
+
+// ErrNoSnapshot reports an empty state directory on restore — the normal
+// first-boot condition, distinct from corruption.
+var ErrNoSnapshot = persist.ErrNoSnapshot
+
+// OpenStateStore opens (creating if needed) a state directory holding
+// retain snapshot epochs (minimum 2).
+func OpenStateStore(dir string, retain int) (*StateStore, error) {
+	return persist.OpenStore(dir, retain)
+}
+
+// SaveSnapshot forces a full state checkpoint of reg now — the graceful-
+// shutdown flush. With RegistryOptions.StateDir set this happens
+// automatically on Registry.Stop; exported for on-demand use.
+func SaveSnapshot(reg *Registry) error { return reg.SaveSnapshot() }
+
+// RestoreSnapshot restores reg from its StateDir, reporting how many
+// streams were recovered. downtime is how long the monitor was down;
+// pass a negative value to derive it from the snapshot's wall-clock
+// anchor. Registry.Start does this automatically; call it explicitly
+// (before Start) to control the downtime or inspect the result.
+func RestoreSnapshot(reg *Registry, downtime Duration) (int, error) {
+	return reg.RestoreFromDisk(downtime)
 }
 
 // Gossip dissemination layer: multi-monitor suspicion exchange with
