@@ -390,3 +390,66 @@ func TestPublicSimClockDeterminism(t *testing.T) {
 		t.Fatal("did not fire")
 	}
 }
+
+func TestPublicTopicSubscriptions(t *testing.T) {
+	if !sfd.MatchTopic("eu/+/web-1/#", "eu/zrh/web-1/api") {
+		t.Fatal("MatchTopic missed an in-subtree name")
+	}
+	if sfd.MatchTopic("eu/+/web-1/#", "us/iad/web-1/api") {
+		t.Fatal("MatchTopic crossed subtrees")
+	}
+	if err := sfd.ValidateStreamName("a//b"); err == nil {
+		t.Fatal("ValidateStreamName accepted an empty segment")
+	}
+	if err := sfd.ValidateTopicFilter("a/#/b"); err == nil {
+		t.Fatal("ValidateTopicFilter accepted a non-final #")
+	}
+
+	sim := sfd.NewSimClock(0)
+	reg := sfd.NewRegistry(sim, func(string) sfd.Detector {
+		return sfd.NewFixed(300*msA, 1)
+	}, sfd.RegistryOptions{WheelTick: 10 * msA, OfflineAfter: -1, EvictAfter: -1})
+	reg.Start()
+	defer reg.Stop()
+
+	sub, err := reg.SubscribeTopic("eu/#", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if _, err := reg.SubscribeTopic("eu//bad", 16); err == nil {
+		t.Fatal("SubscribeTopic accepted an invalid filter")
+	}
+
+	// Two peers heartbeat, then go silent: only the eu one is routed.
+	for i := 0; i < 3; i++ {
+		for _, p := range []string{"eu/zrh/web-1", "us/iad/web-9"} {
+			reg.Observe(sfd.HeartbeatArrival{From: p, Seq: uint64(i), Send: sim.Now(), Recv: sim.Now()})
+		}
+		sim.Advance(100 * msA)
+	}
+	sim.Advance(time.Second)
+
+	select {
+	case ev := <-sub.C():
+		if ev.Type != sfd.EventSuspect || ev.Peer != "eu/zrh/web-1" {
+			t.Fatalf("routed event = %v", ev)
+		}
+	default:
+		t.Fatal("topic subscription missed its suspect event")
+	}
+	select {
+	case ev := <-sub.C():
+		t.Fatalf("out-of-subtree event leaked: %v", ev)
+	default:
+	}
+
+	var st sfd.FanoutStats = reg.Bus().FanoutStats()
+	if st.Subscriptions != 1 || st.Matches != 1 {
+		t.Fatalf("fanout stats = %+v", st)
+	}
+	var ss []sfd.SubscriptionStats = reg.Bus().SubscriptionStats()
+	if len(ss) != 1 || ss[0].Filter != "eu/#" || ss[0].Delivered != 1 {
+		t.Fatalf("subscription stats = %+v", ss)
+	}
+}

@@ -31,6 +31,11 @@
 //	# and warm-restart from it (SIGINT/SIGTERM flushes a final snapshot):
 //	sfdmon -mode monitor -listen :7946 -state-dir /var/lib/sfdmon
 //
+//	# tail one subtree of a running monitor's failure events (NDJSON over
+//	# the monitor's /watch endpoint; `+`/`#` wildcards route in the
+//	# monitor's topic trie, so only matching events cross the wire):
+//	sfdmon -mode watch -url http://10.0.0.2:8080 -filter 'eu/+/web-1/#'
+//
 // With -serve, the monitor exposes GET /status (full JSON snapshot),
 // GET /vars (counters + per-shard occupancy), GET /metrics (Prometheus
 // text exposition: receiver, registry, gossip, chaos, and per-stream
@@ -42,13 +47,17 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -58,7 +67,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "demo", "send, monitor, or demo")
+		mode     = flag.String("mode", "demo", "send, monitor, watch, or demo")
 		to       = flag.String("to", "127.0.0.1:7946", "send: monitor address")
 		listen   = flag.String("listen", ":7946", "monitor: bind address")
 		interval = flag.Duration("interval", 100*time.Millisecond, "send: heartbeat interval")
@@ -83,6 +92,11 @@ func main() {
 
 		chaosSpec = flag.String("chaos", "", "scenario to inject: a JSON file path or the flag DSL (see internal/chaos)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "override the scenario's injection seed (0 = keep)")
+
+		watchURL    = flag.String("url", "http://127.0.0.1:8080", "watch: base URL of a monitor's HTTP surface")
+		watchFilter = flag.String("filter", "#", "watch: topic filter over stream names (+/# wildcards)")
+		watchBuf    = flag.Int("buf", 256, "watch: server-side subscription buffer (drop-oldest beyond it)")
+		watchMax    = flag.Int("max", 0, "watch: exit after this many events (0 = stream until interrupted)")
 	)
 	flag.Parse()
 
@@ -117,6 +131,8 @@ func main() {
 		runMonitor(*listen, *serve, *refresh,
 			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration, gc, *pprofOn, chaosSc,
 			*stateDir, *checkpoint)
+	case "watch":
+		runWatch(*watchURL, *watchFilter, *watchBuf, *watchMax, *duration)
 	case "demo":
 		runDemo()
 	default:
@@ -366,6 +382,55 @@ loop:
 	if stateDir != "" {
 		fmt.Printf("sfdmon: final state snapshot flushed to %s\n", stateDir)
 	}
+}
+
+// runWatch tails a monitor's /watch endpoint: one HTTP long-poll whose
+// NDJSON lines (hello, events, keepalive heartbeats with this
+// connection's drop accounting) are printed as they arrive. The filter
+// is matched server-side in the monitor's topic trie, so a narrow
+// watcher costs the monitor — and the network — only its own events.
+func runWatch(base, filter string, buf, max int, duration time.Duration) {
+	q := url.Values{}
+	q.Set("filter", filter)
+	if buf > 0 {
+		q.Set("buf", strconv.Itoa(buf))
+	}
+	if max > 0 {
+		q.Set("max", strconv.Itoa(max))
+	}
+	target := strings.TrimRight(base, "/") + "/watch?" + q.Encode()
+	resp, err := http.Get(target)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		fatal(fmt.Errorf("%s: %s: %s", target, resp.Status, strings.TrimSpace(string(msg))))
+	}
+	fmt.Fprintf(os.Stderr, "sfdmon: watching %s with filter %q\n", base, filter)
+
+	// SIGINT/SIGTERM or -duration closes the body, unblocking the scanner.
+	done := exitChan(duration)
+	go func() {
+		<-done
+		resp.Body.Close()
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+		lines++
+	}
+	select {
+	case <-done: // local shutdown: a read error on the closed body is expected
+	default:
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sfdmon: watch stream closed after %d lines\n", lines)
 }
 
 // runDemo wires a sender and monitor over UDP loopback, crashes the

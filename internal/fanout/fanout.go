@@ -1,0 +1,377 @@
+// Package fanout is the interest-routed event dissemination layer: a
+// concurrent topic trie over hierarchical stream names that routes each
+// published event to exactly the subscribers whose filters match it,
+// instead of flooding every subscriber with every event.
+//
+// Dobre et al. ("Robust Failure Detection Architecture for Large Scale
+// Distributed Systems") argue that detection at fleet scale only works
+// when status dissemination is filtered and aggregated rather than
+// broadcast; Rossetto et al.'s Impact FD shows consumers care about
+// named *groups* of processes, not the whole fleet. The trie encodes
+// both: stream names are hierarchical (`region/cluster/host/service`),
+// and a filter selects a subtree (`region/cluster/#`), a slice across
+// one level (`region/+/host/service`), or a single stream.
+//
+// Filter grammar (the MQTT topic-filter idiom):
+//
+//   - Segments are separated by '/'. Empty segments are invalid in both
+//     names and filters, so `a//b` can never alias `a/b`.
+//   - `+` matches exactly one segment and must occupy a whole segment.
+//   - `#` matches the remainder of the name, including zero segments
+//     (`a/#` matches `a`, `a/b`, and `a/b/c`), and must be the final
+//     segment of the filter.
+//   - Stream names themselves must not contain `+` or `#`; Validate-
+//     Name enforces this at registration time so publish-side matching
+//     is unambiguous.
+//
+// Concurrency model — copy-on-write, read-mostly:
+//
+// Every trie node holds its children, its terminal subscribers, and its
+// `#` subscribers in one immutable branches struct behind an atomic
+// pointer. Matching (the publish hot path) walks the trie with one
+// atomic load per visited node and no locks, no allocation, and no
+// retries; its cost is O(name depth × wildcard branching + matching
+// subscribers), independent of the total subscriber count. Writers
+// (Subscribe / Unsubscribe) serialize on one mutex and republish only
+// the nodes they change: an in-place branch swap for subscriber-list
+// edits, a map clone only when a node gains or loses a child. Readers
+// that raced a swap see the immediately-previous version of that one
+// node — the same momentary staleness any subscription system has
+// between "unsubscribe returned" and "the last in-flight event".
+package fanout
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sub is the handle returned by Subscribe; pass it to Unsubscribe to
+// detach. It pins the subscribed value and the exact filter used.
+type Sub[T any] struct {
+	filter string
+	val    T
+	gone   bool // guarded by the trie's writer mutex (double-unsubscribe)
+}
+
+// Filter returns the filter this subscription was registered under.
+func (s *Sub[T]) Filter() string { return s.filter }
+
+// Value returns the subscribed value.
+func (s *Sub[T]) Value() T { return s.val }
+
+// branches is the immutable payload of one trie node. A node's current
+// branches is replaced wholesale on every mutation; the maps and slices
+// inside are never written after publication.
+type branches[T any] struct {
+	children map[string]*node[T] // literal next segments
+	plus     *node[T]            // the `+` child (matches any one segment)
+	subs     []*Sub[T]           // filters terminating exactly at this node
+	hash     []*Sub[T]           // filters ending in `#` rooted at this node
+}
+
+func (b *branches[T]) empty() bool {
+	return len(b.children) == 0 && b.plus == nil && len(b.subs) == 0 && len(b.hash) == 0
+}
+
+// node is one trie level; it carries nothing but the atomic branch
+// pointer so readers pay exactly one load per level.
+type node[T any] struct {
+	br atomic.Pointer[branches[T]]
+}
+
+func newNode[T any]() *node[T] {
+	n := &node[T]{}
+	n.br.Store(&branches[T]{})
+	return n
+}
+
+// Stats is a point-in-time view of the trie's size and traffic.
+type Stats struct {
+	// Subscriptions is the number of live subscriptions.
+	Subscriptions int `json:"subscriptions"`
+	// Nodes is the number of live trie nodes (excluding the root).
+	Nodes int `json:"nodes"`
+	// Matches counts subscriber deliveries routed by Match since the
+	// trie was created (cumulative).
+	Matches uint64 `json:"matches"`
+}
+
+// Trie is a concurrent topic-subscription router. The zero value is not
+// ready; use New.
+type Trie[T any] struct {
+	mu   sync.Mutex // serializes writers; readers never take it
+	root *node[T]
+
+	subCount  atomic.Int64
+	nodeCount atomic.Int64
+	matches   atomic.Uint64
+}
+
+// New returns an empty trie.
+func New[T any]() *Trie[T] {
+	return &Trie[T]{root: newNode[T]()}
+}
+
+// Stats returns current sizes and the cumulative match count.
+func (t *Trie[T]) Stats() Stats {
+	return Stats{
+		Subscriptions: int(t.subCount.Load()),
+		Nodes:         int(t.nodeCount.Load()),
+		Matches:       t.matches.Load(),
+	}
+}
+
+// Empty reports whether the trie has no subscriptions — the publish
+// path's cheap pre-check before walking.
+func (t *Trie[T]) Empty() bool { return t.subCount.Load() == 0 }
+
+// Subscribe registers val under filter and returns the detach handle.
+// The filter is validated first; an invalid filter changes nothing.
+func (t *Trie[T]) Subscribe(filter string, val T) (*Sub[T], error) {
+	if err := ValidateFilter(filter); err != nil {
+		return nil, err
+	}
+	s := &Sub[T]{filter: filter, val: val}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	n := t.root
+	rest := filter
+	for {
+		seg, tail := splitSegment(rest)
+		if seg == "#" { // ValidateFilter guarantees this is the last segment
+			br := n.br.Load()
+			nb := *br
+			nb.hash = append(append([]*Sub[T]{}, br.hash...), s)
+			n.br.Store(&nb)
+			break
+		}
+		br := n.br.Load()
+		var next *node[T]
+		if seg == "+" {
+			next = br.plus
+		} else {
+			next = br.children[seg]
+		}
+		if next == nil {
+			next = t.attachChildLocked(n, br, seg)
+		}
+		if tail == "" {
+			cb := next.br.Load()
+			nb := *cb
+			nb.subs = append(append([]*Sub[T]{}, cb.subs...), s)
+			next.br.Store(&nb)
+			break
+		}
+		n, rest = next, tail
+	}
+	t.subCount.Add(1)
+	return s, nil
+}
+
+// attachChildLocked publishes a fresh child of n under seg ("+" selects
+// the plus slot). The writer mutex must be held; br must be n's current
+// branches.
+func (t *Trie[T]) attachChildLocked(n *node[T], br *branches[T], seg string) *node[T] {
+	child := newNode[T]()
+	nb := *br
+	if seg == "+" {
+		nb.plus = child
+	} else {
+		m := make(map[string]*node[T], len(br.children)+1)
+		for k, v := range br.children {
+			m[k] = v
+		}
+		m[seg] = child
+		nb.children = m
+	}
+	n.br.Store(&nb)
+	t.nodeCount.Add(1)
+	return child
+}
+
+// Unsubscribe detaches s, pruning any trie nodes it leaves empty. It is
+// idempotent; a nil or already-detached handle is a no-op.
+func (t *Trie[T]) Unsubscribe(s *Sub[T]) {
+	if s == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.gone {
+		return
+	}
+	s.gone = true
+
+	// Walk to the node holding s, remembering the path for pruning.
+	type hop struct {
+		n   *node[T]
+		seg string // segment taken FROM n to reach the next hop
+	}
+	var path []hop
+	n := t.root
+	rest := s.filter
+	terminalHash := false
+	for {
+		seg, tail := splitSegment(rest)
+		if seg == "#" {
+			terminalHash = true
+			break
+		}
+		path = append(path, hop{n, seg})
+		br := n.br.Load()
+		if seg == "+" {
+			n = br.plus
+		} else {
+			n = br.children[seg]
+		}
+		if n == nil || tail == "" {
+			break
+		}
+		rest = tail
+	}
+	if n == nil {
+		return // filter was never filed (corrupt handle); nothing to do
+	}
+
+	// Remove s from the terminal node's list.
+	br := n.br.Load()
+	nb := *br
+	if terminalHash {
+		nb.hash = removeSub(br.hash, s)
+	} else {
+		nb.subs = removeSub(br.subs, s)
+	}
+	n.br.Store(&nb)
+	t.subCount.Add(-1)
+
+	// Prune: walk the recorded path bottom-up, detaching children that
+	// became completely empty. The root is never detached.
+	for i := len(path) - 1; i >= 0; i-- {
+		parent, seg := path[i].n, path[i].seg
+		pb := parent.br.Load()
+		var child *node[T]
+		if seg == "+" {
+			child = pb.plus
+		} else {
+			child = pb.children[seg]
+		}
+		if child == nil || !child.br.Load().empty() {
+			break
+		}
+		npb := *pb
+		if seg == "+" {
+			npb.plus = nil
+		} else {
+			m := make(map[string]*node[T], len(pb.children)-1)
+			for k, v := range pb.children {
+				if k != seg {
+					m[k] = v
+				}
+			}
+			npb.children = m
+		}
+		parent.br.Store(&npb)
+		t.nodeCount.Add(-1)
+	}
+}
+
+func removeSub[T any](list []*Sub[T], s *Sub[T]) []*Sub[T] {
+	out := make([]*Sub[T], 0, len(list))
+	for _, x := range list {
+		if x != s {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// MatchAppend appends to buf the value of every subscription whose
+// filter matches name, and returns the extended slice. Passing a
+// caller-reused buf keeps the publish path allocation-free. A given
+// subscription is appended at most once per call (wildcard paths never
+// reconverge). Safe for any number of concurrent callers, including
+// concurrent writers.
+func (t *Trie[T]) MatchAppend(name string, buf []T) []T {
+	if t.Empty() {
+		return buf
+	}
+	before := len(buf)
+	buf = matchNode(t.root, name, buf)
+	if n := len(buf) - before; n > 0 {
+		t.matches.Add(uint64(n))
+	}
+	return buf
+}
+
+// Match invokes fn for every subscription value whose filter matches
+// name. Prefer MatchAppend on hot paths; Match is the convenience form.
+func (t *Trie[T]) Match(name string, fn func(T)) {
+	if t.Empty() {
+		return
+	}
+	n := uint64(0)
+	matchFunc(t.root, name, fn, &n)
+	if n > 0 {
+		t.matches.Add(n)
+	}
+}
+
+func matchNode[T any](n *node[T], rest string, buf []T) []T {
+	br := n.br.Load()
+	// `#` rooted here matches whatever remains, including nothing.
+	for _, s := range br.hash {
+		buf = append(buf, s.val)
+	}
+	if rest == "" {
+		for _, s := range br.subs {
+			buf = append(buf, s.val)
+		}
+		return buf
+	}
+	seg, tail := splitSegment(rest)
+	if c := br.children[seg]; c != nil {
+		buf = matchNode(c, tail, buf)
+	}
+	if br.plus != nil {
+		buf = matchNode(br.plus, tail, buf)
+	}
+	return buf
+}
+
+func matchFunc[T any](n *node[T], rest string, fn func(T), count *uint64) {
+	br := n.br.Load()
+	for _, s := range br.hash {
+		fn(s.val)
+		*count++
+	}
+	if rest == "" {
+		for _, s := range br.subs {
+			fn(s.val)
+			*count++
+		}
+		return
+	}
+	seg, tail := splitSegment(rest)
+	if c := br.children[seg]; c != nil {
+		matchFunc(c, tail, fn, count)
+	}
+	if br.plus != nil {
+		matchFunc(br.plus, tail, fn, count)
+	}
+}
+
+// splitSegment cuts the first '/'-separated segment off s. tail is ""
+// when seg was the last segment (names and filters never contain empty
+// segments, so "" is unambiguous).
+func splitSegment(s string) (seg, tail string) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return s[:i], s[i+1:]
+		}
+	}
+	return s, ""
+}

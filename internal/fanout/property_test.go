@@ -1,0 +1,152 @@
+package fanout
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naiveRouter is the obviously-correct reference: a flat list of
+// (filter, id) pairs matched one by one with MatchTopic.
+type naiveRouter struct {
+	filters map[int]string // id → filter
+}
+
+func (n *naiveRouter) match(name string) []int {
+	var out []int
+	for id, f := range n.filters {
+		if MatchTopic(f, name) {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// randFilter draws a plausible filter over a small segment alphabet,
+// with wildcards mixed in. Roughly 1-in-8 drawn filters are made
+// deliberately invalid to exercise rejection parity.
+func randFilter(rng *rand.Rand) string {
+	if rng.Intn(8) == 0 {
+		bad := []string{"", "a//b", "/a", "a/", "#/a", "a/#/b", "x+/y", "a#"}
+		return bad[rng.Intn(len(bad))]
+	}
+	depth := 1 + rng.Intn(4)
+	out := ""
+	for i := 0; i < depth; i++ {
+		if i > 0 {
+			out += "/"
+		}
+		switch r := rng.Intn(10); {
+		case r == 0:
+			return out + "#" // '#' terminates the filter
+		case r <= 2:
+			out += "+"
+		default:
+			out += fmt.Sprintf("s%d", rng.Intn(4))
+		}
+	}
+	return out
+}
+
+func randName(rng *rand.Rand) string {
+	depth := 1 + rng.Intn(4)
+	out := ""
+	for i := 0; i < depth; i++ {
+		if i > 0 {
+			out += "/"
+		}
+		out += fmt.Sprintf("s%d", rng.Intn(4))
+	}
+	return out
+}
+
+// TestTriePropertyVsNaive runs long random interleavings of subscribe /
+// unsubscribe / match against the naive reference matcher: after every
+// operation the trie must route exactly the set the flat scan routes,
+// and the subscription count must agree. The narrow segment alphabet
+// (4 symbols, depth ≤ 4) forces heavy path sharing, wildcard overlap,
+// and prune/re-create cycles.
+func TestTriePropertyVsNaive(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tr := New[int]()
+			ref := &naiveRouter{filters: map[int]string{}}
+			handles := map[int]*Sub[int]{}
+			nextID := 0
+
+			for op := 0; op < 4000; op++ {
+				switch r := rng.Intn(10); {
+				case r < 4: // subscribe
+					f := randFilter(rng)
+					id := nextID
+					h, err := tr.Subscribe(f, id)
+					if (err == nil) != (ValidateFilter(f) == nil) {
+						t.Fatalf("op %d: Subscribe(%q) err=%v disagrees with ValidateFilter", op, f, err)
+					}
+					if err == nil {
+						nextID++
+						ref.filters[id] = f
+						handles[id] = h
+					}
+				case r < 6: // unsubscribe a random live subscription
+					for id, h := range handles { // map order is as random as we need
+						tr.Unsubscribe(h)
+						delete(handles, id)
+						delete(ref.filters, id)
+						break
+					}
+				default: // match
+					name := randName(rng)
+					got := tr.MatchAppend(name, nil)
+					sort.Ints(got)
+					want := ref.match(name)
+					if !eq(got, want) {
+						t.Fatalf("op %d: match(%q) = %v, want %v (filters %v)",
+							op, name, got, want, ref.filters)
+					}
+				}
+				if live := tr.Stats().Subscriptions; live != len(ref.filters) {
+					t.Fatalf("op %d: Subscriptions = %d, reference holds %d", op, live, len(ref.filters))
+				}
+			}
+
+			// Drain everything; the trie must return to empty.
+			for _, h := range handles {
+				tr.Unsubscribe(h)
+			}
+			if st := tr.Stats(); st.Subscriptions != 0 || st.Nodes != 0 {
+				t.Fatalf("after full drain: %+v, want empty trie", st)
+			}
+		})
+	}
+}
+
+// FuzzMatchTopicVsTrie cross-checks the standalone matcher against the
+// trie on arbitrary (filter, name) inputs: subscribing the filter and
+// matching the name must agree with MatchTopic, and nothing may panic.
+func FuzzMatchTopicVsTrie(f *testing.F) {
+	f.Add("a/+/c", "a/b/c")
+	f.Add("a/#", "a")
+	f.Add("#", "x/y")
+	f.Add("a//b", "a/b")
+	f.Add("+", "")
+	f.Fuzz(func(t *testing.T, filter, name string) {
+		tr := New[int]()
+		_, err := tr.Subscribe(filter, 1)
+		got := len(tr.MatchAppend(name, nil)) > 0
+		want := MatchTopic(filter, name)
+		if err != nil && want {
+			t.Fatalf("invalid filter %q matched %q", filter, name)
+		}
+		// The trie does not validate names on the match side (the
+		// registry validates at registration); only compare on valid
+		// names, where the two matchers must agree exactly.
+		if err == nil && ValidateName(name) == nil && got != want {
+			t.Fatalf("trie match(%q, %q) = %v, MatchTopic = %v", filter, name, got, want)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package fanout
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTrieConcurrentMatchVsChurn runs matchers at full speed against
+// writers churning subscriptions on overlapping paths. Run with -race:
+// the copy-on-write contract says readers never observe a torn node,
+// and matchers must keep seeing a subscription that is never
+// unsubscribed, no matter how much churn shares its path.
+func TestTrieConcurrentMatchVsChurn(t *testing.T) {
+	tr := New[string]()
+
+	// A pinned subscription that must match every probe, forever.
+	if _, err := tr.Subscribe("eu/+/stable/#", "pinned"); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writers: subscribe/unsubscribe short-lived filters that share the
+	// "eu" prefix (and often the "+" child) with the pinned one.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var live []*Sub[string]
+			for i := 0; !stop.Load(); i++ {
+				if len(live) > 64 || (len(live) > 0 && rng.Intn(2) == 0) {
+					k := rng.Intn(len(live))
+					tr.Unsubscribe(live[k])
+					live = append(live[:k], live[k+1:]...)
+					continue
+				}
+				f := fmt.Sprintf("eu/c%d/stable/s%d", rng.Intn(8), rng.Intn(8))
+				if rng.Intn(4) == 0 {
+					f = fmt.Sprintf("eu/+/stable/s%d", rng.Intn(8))
+				}
+				h, err := tr.Subscribe(f, "churn")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				live = append(live, h)
+			}
+			for _, h := range live {
+				tr.Unsubscribe(h)
+			}
+		}(w)
+	}
+
+	// Readers: every probe must at least see the pinned subscription.
+	var probes atomic.Uint64
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			buf := make([]string, 0, 128)
+			for !stop.Load() {
+				name := fmt.Sprintf("eu/c%d/stable/s%d", rng.Intn(8), rng.Intn(8))
+				buf = tr.MatchAppend(name, buf[:0])
+				found := false
+				for _, v := range buf {
+					if v == "pinned" {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("probe %q lost the pinned subscription (got %v)", name, buf)
+					return
+				}
+				probes.Add(1)
+			}
+		}(r)
+	}
+
+	// Let the storm run a fixed amount of work rather than wall time.
+	for probes.Load() < 200_000 && !t.Failed() {
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if st := tr.Stats(); st.Subscriptions != 1 {
+		t.Fatalf("Subscriptions = %d after churn drained, want 1 (pinned)", st.Subscriptions)
+	}
+}

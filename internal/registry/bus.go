@@ -1,44 +1,104 @@
 package registry
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fanout"
 )
 
 // Bus is the failure-event fan-out: transitions detected by the registry
-// are published to every subscriber over a bounded channel. Publishing
-// NEVER blocks — a subscriber that falls behind has its oldest queued
-// events replaced by newer ones (drop-oldest backpressure), with the
-// drops counted per subscriber. This keeps the single timer-wheel
-// goroutine isolated from slow consumers, the property Dobre et al.'s
+// are published to subscribers over bounded channels. Publishing NEVER
+// blocks — a subscriber that falls behind has its oldest queued events
+// replaced by newer ones (drop-oldest backpressure), with the drops
+// counted per subscriber. This keeps the single timer-wheel goroutine
+// isolated from slow consumers, the property Dobre et al.'s
 // notification-driven architecture depends on.
+//
+// Subscribers come in two kinds:
+//
+//   - Subscribe: the firehose — every event, the original contract.
+//   - SubscribeTopic: interest-routed — only events whose stream name
+//     matches the subscription's topic filter (`+`/`#` wildcards over
+//     `/`-separated hierarchical names; see internal/fanout). The
+//     publish path routes through a copy-on-write topic trie, so its
+//     cost scales with the number of *matching* subscribers, not the
+//     total — the property that lets one registry serve thousands of
+//     narrow watchers.
 type Bus struct {
 	mu   sync.RWMutex
-	subs map[*Subscription]struct{}
+	subs map[*Subscription]struct{} // firehose subscribers
+	all  map[uint64]*Subscription   // every live subscription by id (stats)
 
-	published atomic.Uint64
-	dropped   atomic.Uint64
+	trie *fanout.Trie[*Subscription]
+	// matchBuf pools publish-time match buffers so interest routing
+	// stays allocation-free in steady state.
+	matchBuf sync.Pool
+
+	nextID       atomic.Uint64
+	published    atomic.Uint64
+	dropped      atomic.Uint64
+	droppedTopic atomic.Uint64
 }
 
 // NewBus returns an empty bus.
 func NewBus() *Bus {
-	return &Bus{subs: make(map[*Subscription]struct{})}
+	return &Bus{
+		subs: make(map[*Subscription]struct{}),
+		all:  make(map[uint64]*Subscription),
+		trie: fanout.New[*Subscription](),
+		matchBuf: sync.Pool{New: func() any {
+			buf := make([]*Subscription, 0, 32)
+			return &buf
+		}},
+	}
 }
 
-// Subscribe registers a subscriber with the given channel capacity
-// (minimum 1; buf <= 0 takes 64). Close the subscription to detach.
+// Subscribe registers a firehose subscriber receiving every event, with
+// the given channel capacity (minimum 1; buf <= 0 takes 64). Close the
+// subscription to detach.
 func (b *Bus) Subscribe(buf int) *Subscription {
-	if buf <= 0 {
-		buf = 64
-	}
-	s := &Subscription{bus: b, ch: make(chan Event, buf)}
+	s := b.newSubscription("", buf)
 	b.mu.Lock()
 	b.subs[s] = struct{}{}
+	b.all[s.id] = s
 	b.mu.Unlock()
 	return s
 }
 
-// Publish delivers e to every subscriber without blocking.
+// SubscribeTopic registers an interest-routed subscriber: it receives
+// only events whose stream name matches filter (MQTT-style `+`/`#`
+// wildcards over `/`-separated segments, e.g. "eu/+/web-1/#"). Drop-
+// oldest semantics and channel capacity behave exactly as Subscribe.
+// An invalid filter returns fanout's validation error.
+func (b *Bus) SubscribeTopic(filter string, buf int) (*Subscription, error) {
+	s := b.newSubscription(filter, buf)
+	tok, err := b.trie.Subscribe(filter, s)
+	if err != nil {
+		return nil, err
+	}
+	s.tok = tok
+	b.mu.Lock()
+	b.all[s.id] = s
+	b.mu.Unlock()
+	return s, nil
+}
+
+func (b *Bus) newSubscription(filter string, buf int) *Subscription {
+	if buf <= 0 {
+		buf = 64
+	}
+	return &Subscription{
+		bus:    b,
+		id:     b.nextID.Add(1),
+		filter: filter,
+		ch:     make(chan Event, buf),
+	}
+}
+
+// Publish delivers e to every firehose subscriber and to every topic
+// subscriber whose filter matches e.Peer, without blocking.
 func (b *Bus) Publish(e Event) {
 	b.published.Add(1)
 	b.mu.RLock()
@@ -46,6 +106,16 @@ func (b *Bus) Publish(e Event) {
 		s.offer(e)
 	}
 	b.mu.RUnlock()
+	if b.trie.Empty() {
+		return
+	}
+	bufp := b.matchBuf.Get().(*[]*Subscription)
+	matched := b.trie.MatchAppend(e.Peer, (*bufp)[:0])
+	for _, s := range matched {
+		s.offer(e)
+	}
+	*bufp = matched[:0]
+	b.matchBuf.Put(bufp)
 }
 
 // Stats returns the total published events and total drops across all
@@ -54,36 +124,102 @@ func (b *Bus) Stats() (published, dropped uint64) {
 	return b.published.Load(), b.dropped.Load()
 }
 
-// Subscribers returns the current subscriber count.
+// TopicDropped returns drops charged to topic (filtered) subscriptions
+// only — the sfd_fanout_drops_total series.
+func (b *Bus) TopicDropped() uint64 { return b.droppedTopic.Load() }
+
+// FanoutStats returns the topic trie's size and routing counters.
+func (b *Bus) FanoutStats() fanout.Stats { return b.trie.Stats() }
+
+// Subscribers returns the current subscriber count, firehose plus topic.
 func (b *Bus) Subscribers() int {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	return len(b.subs)
+	return len(b.all)
+}
+
+// SubscriptionStats is one subscriber's delivery accounting — the
+// per-subscription view the ISSUE's slow-watcher diagnosis needs: a
+// consumer that falls behind sees *its own* drop count, not just the
+// bus-wide aggregate.
+type SubscriptionStats struct {
+	ID     uint64 `json:"id"`
+	Filter string `json:"filter,omitempty"` // empty = firehose
+	Buffer int    `json:"buffer"`
+	Queued int    `json:"queued"`
+	// Delivered counts events enqueued to this subscription (including
+	// any later displaced by drop-oldest).
+	Delivered uint64 `json:"delivered"`
+	// Dropped counts events this subscription lost to drop-oldest
+	// backpressure.
+	Dropped uint64 `json:"dropped"`
+}
+
+// SubscriptionStats reports every live subscription, ordered by id
+// (oldest first).
+func (b *Bus) SubscriptionStats() []SubscriptionStats {
+	b.mu.RLock()
+	out := make([]SubscriptionStats, 0, len(b.all))
+	for _, s := range b.all {
+		out = append(out, s.Stats())
+	}
+	b.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Subscription is one bounded-channel consumer of the event bus.
 type Subscription struct {
-	bus *Bus
-	ch  chan Event
+	bus    *Bus
+	id     uint64
+	filter string // "" = firehose
+	ch     chan Event
+	tok    *fanout.Sub[*Subscription] // non-nil for topic subscriptions
 
-	mu      sync.Mutex // serializes offers against Close
-	closed  bool
-	dropped atomic.Uint64
+	mu        sync.Mutex // serializes offers against Close
+	closed    bool
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
 }
 
 // C returns the event channel. It is closed by Close.
 func (s *Subscription) C() <-chan Event { return s.ch }
 
+// ID returns the bus-unique subscription id.
+func (s *Subscription) ID() uint64 { return s.id }
+
+// Filter returns the topic filter, or "" for a firehose subscription.
+func (s *Subscription) Filter() string { return s.filter }
+
 // Dropped returns how many events were discarded because this subscriber
 // fell behind.
 func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Delivered returns how many events were enqueued to this subscription.
+func (s *Subscription) Delivered() uint64 { return s.delivered.Load() }
+
+// Stats returns this subscription's delivery accounting.
+func (s *Subscription) Stats() SubscriptionStats {
+	return SubscriptionStats{
+		ID:        s.id,
+		Filter:    s.filter,
+		Buffer:    cap(s.ch),
+		Queued:    len(s.ch),
+		Delivered: s.delivered.Load(),
+		Dropped:   s.dropped.Load(),
+	}
+}
 
 // Close detaches the subscription from the bus and closes the channel.
 // It is safe to call concurrently with Publish and more than once.
 func (s *Subscription) Close() {
 	s.bus.mu.Lock()
 	delete(s.bus.subs, s)
+	delete(s.bus.all, s.id)
 	s.bus.mu.Unlock()
+	if s.tok != nil {
+		s.bus.trie.Unsubscribe(s.tok)
+	}
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -102,6 +238,7 @@ func (s *Subscription) offer(e Event) {
 	if s.closed {
 		return
 	}
+	s.delivered.Add(1)
 	for {
 		select {
 		case s.ch <- e:
@@ -114,6 +251,9 @@ func (s *Subscription) offer(e Event) {
 		case <-s.ch:
 			s.dropped.Add(1)
 			s.bus.dropped.Add(1)
+			if s.filter != "" {
+				s.bus.droppedTopic.Add(1)
+			}
 		default:
 		}
 	}

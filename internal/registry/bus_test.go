@@ -112,3 +112,124 @@ func TestBusPublishAfterCloseIsNoop(t *testing.T) {
 		t.Fatal("closed subscription delivered an event")
 	}
 }
+
+// TestBusSubscribeTopicRouting: topic subscribers receive exactly the
+// events their filter matches; the firehose still sees everything.
+func TestBusSubscribeTopicRouting(t *testing.T) {
+	b := NewBus()
+	fire := b.Subscribe(64)
+	web, err := b.SubscribeTopic("eu/zurich/web-1/+", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := b.SubscribeTopic("eu/#", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := b.SubscribeTopic("us/#", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names := []string{
+		"eu/zurich/web-1/nginx",
+		"eu/zurich/web-2/nginx",
+		"eu/paris/web-1/redis",
+		"us/east/web-1/nginx",
+	}
+	for i, n := range names {
+		b.Publish(Event{Type: EventSuspect, Peer: n, At: clock.Time(i)})
+	}
+
+	drain := func(s *Subscription) []string {
+		var out []string
+		for {
+			select {
+			case ev := <-s.C():
+				out = append(out, ev.Peer)
+			default:
+				return out
+			}
+		}
+	}
+	if got := drain(fire); len(got) != 4 {
+		t.Fatalf("firehose got %v, want all 4", got)
+	}
+	if got := drain(web); len(got) != 1 || got[0] != names[0] {
+		t.Fatalf("web-1 filter got %v, want [%s]", got, names[0])
+	}
+	if got := drain(region); len(got) != 3 {
+		t.Fatalf("eu/# got %v, want 3 events", got)
+	}
+	if got := drain(other); len(got) != 1 || got[0] != names[3] {
+		t.Fatalf("us/# got %v, want [%s]", got, names[3])
+	}
+
+	if n := b.Subscribers(); n != 4 {
+		t.Fatalf("Subscribers() = %d, want 4", n)
+	}
+	if fs := b.FanoutStats(); fs.Subscriptions != 3 || fs.Matches != 5 {
+		t.Fatalf("FanoutStats() = %+v, want 3 subs / 5 matches", fs)
+	}
+
+	// Closing a topic subscription detaches it from the trie.
+	web.Close()
+	b.Publish(Event{Type: EventTrust, Peer: names[0], At: 99})
+	if fs := b.FanoutStats(); fs.Subscriptions != 2 {
+		t.Fatalf("after Close: %d topic subs, want 2", fs.Subscriptions)
+	}
+	if got := drain(region); len(got) != 1 {
+		t.Fatalf("region missed the post-close event: %v", got)
+	}
+
+	if _, err := b.SubscribeTopic("a//b", 1); err == nil {
+		t.Fatal("SubscribeTopic accepted an invalid filter")
+	}
+}
+
+// TestBusPerSubscriptionStats: each subscription exposes its own drop
+// and delivery counts, so the one slow watcher is identifiable.
+func TestBusPerSubscriptionStats(t *testing.T) {
+	b := NewBus()
+	slow := b.Subscribe(2)
+	fast := b.Subscribe(64)
+	topic, err := b.SubscribeTopic("a/#", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Type: EventSuspect, Peer: "a/x", At: clock.Time(i)})
+	}
+
+	stats := b.SubscriptionStats()
+	if len(stats) != 3 {
+		t.Fatalf("SubscriptionStats() has %d rows, want 3", len(stats))
+	}
+	byID := map[uint64]SubscriptionStats{}
+	for _, s := range stats {
+		byID[s.ID] = s
+	}
+	if s := byID[slow.ID()]; s.Dropped != 8 || s.Delivered != 10 || s.Filter != "" {
+		t.Fatalf("slow stats = %+v, want 8 dropped / 10 delivered / firehose", s)
+	}
+	if s := byID[fast.ID()]; s.Dropped != 0 || s.Delivered != 10 || s.Queued != 10 {
+		t.Fatalf("fast stats = %+v", s)
+	}
+	if s := byID[topic.ID()]; s.Dropped != 8 || s.Filter != "a/#" || s.Buffer != 2 {
+		t.Fatalf("topic stats = %+v", s)
+	}
+	if b.TopicDropped() != 8 {
+		t.Fatalf("TopicDropped() = %d, want 8 (only the filtered sub's drops)", b.TopicDropped())
+	}
+	_, total := b.Stats()
+	if total != 16 {
+		t.Fatalf("aggregate dropped = %d, want 16", total)
+	}
+
+	// Closed subscriptions leave the stats table.
+	slow.Close()
+	if got := len(b.SubscriptionStats()); got != 2 {
+		t.Fatalf("stats rows after close = %d, want 2", got)
+	}
+}

@@ -1,0 +1,194 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/detector"
+	"repro/internal/heartbeat"
+)
+
+// fleetName composes the hierarchical stream name of one fleet member:
+// 10 regions × 10 clusters × 20 hosts × 50 services = 100k streams.
+func fleetName(region, cluster, host, svc int) string {
+	return fmt.Sprintf("r%d/c%d/h%d/s%d", region, cluster, host, svc)
+}
+
+// TestFanoutLoad100kFleet is the ISSUE's acceptance scenario: a 100k-
+// stream fleet crashes wholesale, and a watcher whose filter selects
+// exactly one host's 50 services receives *precisely* its 50 suspect
+// events — no flooding, no drops, no misses — while the firehose sees
+// all 100k. Deterministic on clock.Sim.
+func TestFanoutLoad100kFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-stream fan-out load test skipped in -short mode")
+	}
+	const (
+		regions, clusters, hosts, svcs = 10, 10, 20, 50
+		total                          = regions * clusters * hosts * svcs
+	)
+	sim := clock.NewSim(0)
+	reg := New(sim, func(string) detector.Detector {
+		return detector.NewFixed(500*clock.Millisecond, 1)
+	}, Options{
+		Shards:       64,
+		WheelTick:    50 * clock.Millisecond,
+		OfflineAfter: clock.Second,
+		EvictAfter:   -1,
+		MaxSilence:   -1,
+	})
+	reg.Start()
+	defer reg.Stop()
+
+	// The narrow watcher: one host's services (50 streams of 100k).
+	narrow, err := reg.SubscribeTopic("r7/c3/h9/+", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A subtree watcher: one cluster (1000 streams of 100k).
+	subtree, err := reg.SubscribeTopic("r7/c3/#", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The firehose control: must still see every event.
+	fire := reg.Subscribe(total + 16)
+
+	// Every stream heartbeats twice, then the whole fleet goes silent.
+	beat := func(seq uint64) {
+		now := sim.Now()
+		for r := 0; r < regions; r++ {
+			for c := 0; c < clusters; c++ {
+				for h := 0; h < hosts; h++ {
+					for s := 0; s < svcs; s++ {
+						reg.Observe(heartbeat.Arrival{
+							From: fleetName(r, c, h, s), Seq: seq, Send: now, Recv: now,
+						})
+					}
+				}
+			}
+		}
+	}
+	beat(0)
+	sim.Advance(100 * clock.Millisecond)
+	beat(1)
+	if got := reg.Len(); got != total {
+		t.Fatalf("fleet size = %d, want %d", got, total)
+	}
+
+	// Silence → every stream's fixed 500 ms timeout fires.
+	sim.Advance(700 * clock.Millisecond)
+
+	countByPeer := func(sub *Subscription) map[string]int {
+		got := map[string]int{}
+		for {
+			select {
+			case ev := <-sub.C():
+				if ev.Type != EventSuspect {
+					t.Fatalf("unexpected event %v", ev)
+				}
+				got[ev.Peer]++
+			default:
+				return got
+			}
+		}
+	}
+
+	nGot := countByPeer(narrow)
+	if len(nGot) != svcs {
+		t.Fatalf("narrow watcher saw %d peers, want exactly %d", len(nGot), svcs)
+	}
+	for s := 0; s < svcs; s++ {
+		if nGot[fleetName(7, 3, 9, s)] != 1 {
+			t.Fatalf("narrow watcher missed %s (got %v)", fleetName(7, 3, 9, s), nGot)
+		}
+	}
+	if d := narrow.Dropped(); d != 0 {
+		t.Fatalf("narrow watcher dropped %d events; its 128-buffer must hold 50", d)
+	}
+
+	sGot := countByPeer(subtree)
+	if want := hosts * svcs; len(sGot) != want {
+		t.Fatalf("subtree watcher saw %d peers, want %d", len(sGot), want)
+	}
+	for p := range sGot {
+		if len(p) < 5 || p[:5] != "r7/c3" {
+			t.Fatalf("subtree watcher got out-of-scope peer %s", p)
+		}
+	}
+
+	if got := len(countByPeer(fire)); got != total {
+		t.Fatalf("firehose saw %d peers, want %d", got, total)
+	}
+
+	c := reg.Counters()
+	if c.Suspects != total {
+		t.Fatalf("suspects = %d, want %d", c.Suspects, total)
+	}
+	wantMatches := uint64(svcs + hosts*svcs) // narrow + subtree routed deliveries
+	if c.FanoutMatches != wantMatches {
+		t.Fatalf("fanout matches = %d, want %d", c.FanoutMatches, wantMatches)
+	}
+	if c.TopicSubs != 2 || c.FanoutDrops != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestFanoutPublishVsSubscribeChurnRace storms Publish from several
+// goroutines while topic subscriptions churn on overlapping filters —
+// the bus-level companion of the trie stress test (run with -race).
+func TestFanoutPublishVsSubscribeChurnRace(t *testing.T) {
+	b := NewBus()
+	stop := make(chan struct{})
+	var pubWg, churnWg sync.WaitGroup
+
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%d/c%d/h%d/s%d", i%4, (i/4)%4, (i/16)%2, i%8)
+	}
+
+	for p := 0; p < 3; p++ {
+		pubWg.Add(1)
+		go func(p int) {
+			defer pubWg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Publish(Event{Type: EventSuspect, Peer: names[(i+p)%len(names)], At: clock.Time(i)})
+				}
+			}
+		}(p)
+	}
+
+	for w := 0; w < 4; w++ {
+		churnWg.Add(1)
+		go func(w int) {
+			defer churnWg.Done()
+			for i := 0; i < 500; i++ {
+				filter := fmt.Sprintf("r%d/+/h%d/#", i%4, i%2)
+				sub, err := b.SubscribeTopic(filter, 4)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Consume a little, then detach mid-storm.
+				select {
+				case <-sub.C():
+				default:
+				}
+				sub.Close()
+			}
+		}(w)
+	}
+
+	churnWg.Wait()
+	close(stop)
+	pubWg.Wait()
+
+	if fs := b.FanoutStats(); fs.Subscriptions != 0 || fs.Nodes != 0 {
+		t.Fatalf("trie not drained after churn: %+v", fs)
+	}
+}

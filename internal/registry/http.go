@@ -11,13 +11,15 @@ import (
 // `sfdmon -mode monitor -serve :8080`:
 //
 //	GET /status   full JSON snapshot: counters plus one row per stream
-//	GET /vars     expvar-style counters and per-shard occupancy only
+//	GET /vars     expvar-style counters, shard occupancy, subscriptions
+//	GET /watch    NDJSON event stream filtered by topic (see serveWatch)
 //	GET /metrics  Prometheus text exposition (see Metrics)
 //	GET /healthz  liveness probe (200 "ok")
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", r.serveStatus)
 	mux.HandleFunc("/vars", r.serveVars)
+	mux.HandleFunc("/watch", r.serveWatch)
 	mux.Handle("/metrics", r.Metrics().Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -73,15 +75,20 @@ type varsJSON struct {
 	Uptime   float64  `json:"uptime_s"`
 	Counters Counters `json:"counters"`
 	Shards   []int    `json:"shard_occupancy"`
+	// Subscriptions lists every live bus subscription (firehose and
+	// topic) with its delivery accounting, so a slow /watch consumer is
+	// diagnosable from the outside by its per-subscription drop count.
+	Subscriptions []SubscriptionStats `json:"subscriptions"`
 }
 
 func (r *Registry) serveVars(w http.ResponseWriter, _ *http.Request) {
 	now := r.clk.Now()
 	writeJSON(w, varsJSON{
-		Now:      int64(now),
-		Uptime:   now.Sub(clock.Time(0)).Seconds(),
-		Counters: r.Counters(),
-		Shards:   r.ShardOccupancy(),
+		Now:           int64(now),
+		Uptime:        now.Sub(clock.Time(0)).Seconds(),
+		Counters:      r.Counters(),
+		Shards:        r.ShardOccupancy(),
+		Subscriptions: r.bus.SubscriptionStats(),
 	})
 }
 

@@ -61,6 +61,18 @@ func (r *Registry) Metrics() *metrics.Set {
 		set.GaugeFunc("sfd_registry_bus_subscribers",
 			"Current failure-event bus subscribers.",
 			func() float64 { return float64(r.bus.Subscribers()) })
+		set.GaugeFunc("sfd_fanout_trie_nodes",
+			"Live nodes in the topic-subscription trie.",
+			func() float64 { return float64(r.bus.FanoutStats().Nodes) })
+		set.GaugeFunc("sfd_fanout_subscriptions",
+			"Live topic (filtered) subscriptions.",
+			func() float64 { return float64(r.bus.FanoutStats().Subscriptions) })
+		set.CounterFunc("sfd_fanout_matches_total",
+			"Topic-routed deliveries (events times matching subscriptions).",
+			func() uint64 { return r.bus.FanoutStats().Matches })
+		set.CounterFunc("sfd_fanout_drops_total",
+			"Events lost by topic subscriptions to drop-oldest backpressure.",
+			r.bus.TopicDropped)
 		set.Sampled(r.sampleShards)
 		if r.opts.MetricsMaxStreams > 0 {
 			set.Sampled(r.sampleStreams)

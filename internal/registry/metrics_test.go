@@ -82,6 +82,40 @@ func TestMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestMetricsFanoutSeries: the sfd_fanout_* series track the topic trie
+// and interest-routed delivery accounting.
+func TestMetricsFanoutSeries(t *testing.T) {
+	sim := clock.NewSim(0)
+	r := New(sim, sfdFactory, Options{Shards: 2})
+
+	sub, err := r.SubscribeTopic("eu/+/web", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	// Two matches into a 1-slot buffer: the second displaces the first.
+	r.Bus().Publish(Event{Type: EventSuspect, Peer: "eu/zrh/web", At: 1})
+	r.Bus().Publish(Event{Type: EventSuspect, Peer: "eu/ams/web", At: 2})
+	r.Bus().Publish(Event{Type: EventSuspect, Peer: "us/iad/web", At: 3}) // no match
+
+	page := scrape(t, r)
+	for _, want := range []string{
+		"# TYPE sfd_fanout_trie_nodes gauge",
+		"sfd_fanout_trie_nodes 3",
+		"sfd_fanout_subscriptions 1",
+		"# TYPE sfd_fanout_matches_total counter",
+		"sfd_fanout_matches_total 2",
+		"sfd_fanout_drops_total 1",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("page:\n%s", page)
+	}
+}
+
 // TestMetricsMaxStreams: the per-stream sampler honors the cap and
 // reports how many streams it skipped instead of truncating silently.
 func TestMetricsMaxStreams(t *testing.T) {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/fanout"
 	"repro/internal/heartbeat"
 	"repro/internal/metrics"
 	"repro/internal/persist"
@@ -152,6 +153,7 @@ type Counters struct {
 	Heartbeats    uint64 `json:"heartbeats"`      // accepted arrivals
 	Stale         uint64 `json:"stale"`           // duplicate/reordered arrivals dropped
 	Registered    uint64 `json:"registered"`      // streams ever registered
+	InvalidNames  uint64 `json:"invalid_names"`   // registrations rejected by name validation
 	Suspects      uint64 `json:"suspects"`        // trust → suspect transitions
 	Trusts        uint64 `json:"trusts"`          // suspect → trust transitions
 	Offlines      uint64 `json:"offlines"`        // suspect → offline transitions
@@ -159,9 +161,13 @@ type Counters struct {
 	CannotSatisfy uint64 `json:"cannot_satisfy"`  // self-tuner infeasibility reports
 	BusPublished  uint64 `json:"bus_published"`   // events published on the bus
 	BusDropped    uint64 `json:"bus_dropped"`     // events dropped across subscribers
+	FanoutMatches uint64 `json:"fanout_matches"`  // deliveries routed by the topic trie
+	FanoutDrops   uint64 `json:"fanout_drops"`    // drops charged to topic subscriptions
 	Streams       int    `json:"streams"`         // currently registered streams
 	WheelEntries  int    `json:"wheel_entries"`   // live wheel entries (incl. stale)
-	Subscribers   int    `json:"bus_subscribers"` // current bus subscribers
+	Subscribers   int    `json:"bus_subscribers"` // current subscribers (firehose + topic)
+	TopicSubs     int    `json:"topic_subscriptions"`
+	TrieNodes     int    `json:"fanout_trie_nodes"`
 }
 
 // stater is implemented by self-tuning detectors (core.SFD) whose
@@ -196,6 +202,7 @@ type Registry struct {
 	heartbeats    atomic.Uint64
 	stale         atomic.Uint64
 	registered    atomic.Uint64
+	invalidNames  atomic.Uint64
 	suspects      atomic.Uint64
 	trusts        atomic.Uint64
 	offlines      atomic.Uint64
@@ -324,7 +331,16 @@ func (r *Registry) shardFor(peer string) *shard {
 // Register adds a stream without waiting for its first heartbeat
 // (idempotent). The silence safety net starts immediately, so a
 // registered peer that never speaks is still suspected and evicted.
-func (r *Registry) Register(peer string) {
+//
+// Stream names are hierarchical topics (`region/cluster/host/service`):
+// names with empty segments (`a//b`) or wildcard characters (`+`, `#`)
+// are rejected here, at the boundary, so every tracked stream is
+// unambiguously addressable by SubscribeTopic filters.
+func (r *Registry) Register(peer string) error {
+	if err := fanout.ValidateName(peer); err != nil {
+		r.invalidNames.Add(1)
+		return err
+	}
 	sh := r.shardFor(peer)
 	sh.mu.Lock()
 	if _, ok := sh.streams[peer]; !ok {
@@ -334,6 +350,7 @@ func (r *Registry) Register(peer string) {
 		}
 	}
 	sh.mu.Unlock()
+	return nil
 }
 
 // newStreamLocked creates and files a stream; the shard lock must be held.
@@ -364,10 +381,18 @@ func (r *Registry) Len() int {
 	return n
 }
 
-// Subscribe attaches a failure-event subscriber with the given channel
-// capacity (buf <= 0 takes the default).
+// Subscribe attaches a firehose failure-event subscriber (every event)
+// with the given channel capacity (buf <= 0 takes the default).
 func (r *Registry) Subscribe(buf int) *Subscription {
 	return r.bus.Subscribe(buf)
+}
+
+// SubscribeTopic attaches an interest-routed subscriber: it receives
+// only events whose stream name matches filter (`+`/`#` wildcards over
+// `/`-separated hierarchical names). A client watching 50 streams in a
+// million-stream fleet pays for exactly those 50 streams' events.
+func (r *Registry) SubscribeTopic(filter string, buf int) (*Subscription, error) {
+	return r.bus.SubscribeTopic(filter, buf)
 }
 
 // Bus returns the underlying event bus.
@@ -391,6 +416,13 @@ func (r *Registry) Observe(a heartbeat.Arrival) {
 	sh.mu.Lock()
 	st, ok := sh.streams[a.From]
 	if !ok {
+		// First sight of this name: validate it before it becomes a
+		// topic. Known streams skip this, so the hot path pays nothing.
+		if err := fanout.ValidateName(a.From); err != nil {
+			sh.mu.Unlock()
+			r.invalidNames.Add(1)
+			return
+		}
 		st = r.newStreamLocked(sh, a.From)
 	}
 	if st.seen && (a.Inc < st.inc || (a.Inc == st.inc && a.Seq <= st.lastSeq)) {
@@ -668,10 +700,12 @@ func (r *Registry) Inspect(peer string, fn func(det detector.Detector)) bool {
 // Counters returns the registry's monotonic counters plus current gauges.
 func (r *Registry) Counters() Counters {
 	pub, drop := r.bus.Stats()
+	fs := r.bus.FanoutStats()
 	return Counters{
 		Heartbeats:    r.heartbeats.Load(),
 		Stale:         r.stale.Load(),
 		Registered:    r.registered.Load(),
+		InvalidNames:  r.invalidNames.Load(),
 		Suspects:      r.suspects.Load(),
 		Trusts:        r.trusts.Load(),
 		Offlines:      r.offlines.Load(),
@@ -679,9 +713,13 @@ func (r *Registry) Counters() Counters {
 		CannotSatisfy: r.cannotSatisfy.Load(),
 		BusPublished:  pub,
 		BusDropped:    drop,
+		FanoutMatches: fs.Matches,
+		FanoutDrops:   r.bus.TopicDropped(),
 		Streams:       r.Len(),
 		WheelEntries:  r.wheel.len(),
 		Subscribers:   r.bus.Subscribers(),
+		TopicSubs:     fs.Subscriptions,
+		TrieNodes:     fs.Nodes,
 	}
 }
 

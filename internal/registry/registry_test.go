@@ -506,3 +506,37 @@ func TestRegistryConcurrentRealClock(t *testing.T) {
 		t.Fatal("no heartbeats ingested")
 	}
 }
+
+// TestRegisterRejectsInvalidStreamNames is the ISSUE's regression test:
+// names with empty segments (`a//b`) or wildcard characters must be
+// rejected at every registration boundary — explicit Register and
+// heartbeat auto-registration alike — so publish-side topic matching
+// stays unambiguous.
+func TestRegisterRejectsInvalidStreamNames(t *testing.T) {
+	sim := clock.NewSim(0)
+	r := New(sim, chenFactory(100*ms, 200*ms), Options{})
+	bad := []string{"a//b", "", "/a", "a/", "srv/+/x", "srv/#", "a#b"}
+	for _, name := range bad {
+		if err := r.Register(name); err == nil {
+			t.Errorf("Register(%q) accepted an invalid name", name)
+		}
+	}
+	if err := r.Register("a/b"); err != nil {
+		t.Fatalf("Register(a/b): %v", err)
+	}
+
+	// Heartbeats from invalid names are dropped, not auto-registered.
+	for _, name := range bad {
+		r.Observe(heartbeat.Arrival{From: name, Seq: 0, Send: 0, Recv: 0})
+	}
+	if got := r.Len(); got != 1 {
+		t.Fatalf("Len() = %d, want 1 (only a/b)", got)
+	}
+	c := r.Counters()
+	if want := uint64(2 * len(bad)); c.InvalidNames != want {
+		t.Fatalf("InvalidNames = %d, want %d", c.InvalidNames, want)
+	}
+	if c.Heartbeats != 0 {
+		t.Fatalf("Heartbeats = %d, want 0 (invalid arrivals must not count)", c.Heartbeats)
+	}
+}

@@ -1,0 +1,174 @@
+package registry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Streaming watch endpoint: GET /watch?filter=eu/%23 holds the
+// connection open and streams matching failure-bus events as NDJSON
+// (one JSON object per line, flushed as they happen). This is the
+// push-based counterpart of polling /status — a narrow watcher taps
+// the interest-routed topic trie instead of snapshotting 100k streams.
+//
+// Query parameters:
+//
+//	filter     topic filter (`+`/`#` wildcards; default "#" = everything)
+//	buf        subscription channel capacity (default 256)
+//	heartbeat  keepalive period while idle (Go duration; default 5s)
+//	max        close after this many events (default 0 = stream forever)
+//
+// The stream opens with a hello line carrying the subscription id, then
+// interleaves event lines with heartbeat lines. Heartbeats double as
+// per-connection drop accounting: a consumer that reads too slowly sees
+// its own `dropped` counter climb (drop-oldest backpressure at the bus,
+// see Bus). When `max` is reached a final summary line is written and
+// the connection closes — handy for curl demos and tests.
+const (
+	watchDefaultBuf       = 256
+	watchDefaultHeartbeat = 5 * time.Second
+)
+
+// watchHelloJSON is the first line of a /watch stream.
+type watchHelloJSON struct {
+	Watching string `json:"watching"`
+	ID       uint64 `json:"subscription_id"`
+	Buffer   int    `json:"buffer"`
+}
+
+// watchEventJSON is one routed failure-bus event.
+type watchEventJSON struct {
+	Event       string  `json:"event"`
+	Peer        string  `json:"peer"`
+	At          int64   `json:"at_ns"`
+	Suspicion   float64 `json:"suspicion,omitempty"`
+	Incarnation uint64  `json:"incarnation,omitempty"`
+	Source      string  `json:"source,omitempty"`
+	Detail      string  `json:"detail,omitempty"`
+}
+
+// watchHeartbeatJSON is an idle-period keepalive with this connection's
+// delivery accounting so far.
+type watchHeartbeatJSON struct {
+	Heartbeat bool   `json:"heartbeat"`
+	NowNs     int64  `json:"now_ns"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+	Queued    int    `json:"queued"`
+}
+
+// watchDoneJSON closes a max-bounded stream.
+type watchDoneJSON struct {
+	Done      bool   `json:"done"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+func (r *Registry) serveWatch(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	filter := q.Get("filter")
+	if filter == "" {
+		filter = "#"
+	}
+	buf := watchDefaultBuf
+	if s := q.Get("buf"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			http.Error(w, "watch: buf must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		buf = n
+	}
+	hb := watchDefaultHeartbeat
+	if s := q.Get("heartbeat"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			http.Error(w, "watch: heartbeat must be a positive duration", http.StatusBadRequest)
+			return
+		}
+		hb = d
+	}
+	max := 0
+	if s := q.Get("max"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "watch: max must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+
+	sub, err := r.bus.SubscribeTopic(filter, buf)
+	if err != nil {
+		http.Error(w, "watch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	// Tell buffering reverse proxies to pass chunks through unmodified.
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // Encode appends "\n": NDJSON for free
+	emit := func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	if !emit(watchHelloJSON{Watching: filter, ID: sub.ID(), Buffer: buf}) {
+		return
+	}
+
+	ctx := req.Context()
+	keepalive := r.clk.After(hb)
+	sent := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			if !emit(watchEventJSON{
+				Event:       ev.Type.String(),
+				Peer:        ev.Peer,
+				At:          int64(ev.At),
+				Suspicion:   ev.Suspicion,
+				Incarnation: ev.Incarnation,
+				Source:      ev.Source,
+				Detail:      ev.Detail,
+			}) {
+				return
+			}
+			sent++
+			if max > 0 && sent >= max {
+				st := sub.Stats()
+				emit(watchDoneJSON{Done: true, Delivered: st.Delivered, Dropped: st.Dropped})
+				return
+			}
+		case now := <-keepalive:
+			st := sub.Stats()
+			if !emit(watchHeartbeatJSON{
+				Heartbeat: true,
+				NowNs:     int64(now),
+				Delivered: st.Delivered,
+				Dropped:   st.Dropped,
+				Queued:    st.Queued,
+			}) {
+				return
+			}
+			keepalive = r.clk.After(hb)
+		}
+	}
+}

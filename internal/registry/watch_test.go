@@ -1,0 +1,239 @@
+package registry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/detector"
+)
+
+func newWatchTestRegistry(clk clock.Clock) *Registry {
+	return New(clk, func(string) detector.Detector {
+		return detector.NewFixed(500*clock.Millisecond, 1)
+	}, Options{OfflineAfter: -1, EvictAfter: -1, MaxSilence: -1})
+}
+
+// waitForTopicSubs polls until the trie holds want topic subscriptions —
+// the handshake that the /watch handler goroutine has subscribed.
+func waitForTopicSubs(t *testing.T, reg *Registry, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Bus().FanoutStats().Subscriptions != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d topic subscriptions", want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWatchStreamsFilteredEvents drives the full HTTP path: a /watch
+// client with a narrow filter and max=2 must receive a hello line, then
+// exactly its two matching events as NDJSON, then a done summary — and
+// nothing from outside its subtree.
+func TestWatchStreamsFilteredEvents(t *testing.T) {
+	sim := clock.NewSim(0)
+	reg := newWatchTestRegistry(sim)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	lines := make(chan string, 16)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/watch?filter=" + "eu%2F%23" + "&max=2")
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errc <- fmt.Errorf("status = %d", resp.StatusCode)
+			return
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+			errc <- fmt.Errorf("content-type = %q", ct)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+		errc <- sc.Err()
+	}()
+
+	waitForTopicSubs(t, reg, 1)
+	bus := reg.Bus()
+	bus.Publish(Event{Type: EventSuspect, Peer: "eu/zrh/web-1", At: 7, Suspicion: 0.9})
+	bus.Publish(Event{Type: EventOffline, Peer: "us/iad/web-9", At: 8}) // filtered out
+	bus.Publish(Event{Type: EventTrust, Peer: "eu/ams/db-2", At: 9, Incarnation: 3})
+
+	read := func() string {
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				t.Fatalf("stream ended early (reader err: %v)", <-errc)
+			}
+			return l
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for a watch line")
+			return ""
+		}
+	}
+
+	var hello watchHelloJSON
+	if err := json.Unmarshal([]byte(read()), &hello); err != nil || hello.Watching != "eu/#" {
+		t.Fatalf("bad hello line (err %v): %+v", err, hello)
+	}
+	var ev1, ev2 watchEventJSON
+	if err := json.Unmarshal([]byte(read()), &ev1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(read()), &ev2); err != nil {
+		t.Fatal(err)
+	}
+	if ev1.Peer != "eu/zrh/web-1" || ev1.Event != "suspect" || ev1.Suspicion != 0.9 {
+		t.Fatalf("event 1 = %+v", ev1)
+	}
+	if ev2.Peer != "eu/ams/db-2" || ev2.Event != "trust" || ev2.Incarnation != 3 {
+		t.Fatalf("event 2 = %+v", ev2)
+	}
+	var done watchDoneJSON
+	if err := json.Unmarshal([]byte(read()), &done); err != nil || !done.Done || done.Delivered != 2 {
+		t.Fatalf("bad done line (err %v): %+v", err, done)
+	}
+	if _, ok := <-lines; ok {
+		t.Fatal("stream kept flowing past the done line")
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	// The handler's deferred Close must detach the trie subscription.
+	waitForTopicSubs(t, reg, 0)
+}
+
+// TestWatchHeartbeatCarriesDropAccounting uses a real clock and a tiny
+// keepalive so an idle connection emits heartbeat lines, and checks the
+// per-connection delivered/dropped accounting rides along on them.
+func TestWatchHeartbeatCarriesDropAccounting(t *testing.T) {
+	reg := newWatchTestRegistry(clock.NewReal())
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/watch?filter=a%2F%23&buf=1&heartbeat=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no hello line: %v", sc.Err())
+	}
+
+	// Overrun the buf=1 subscription before the handler can drain it:
+	// with N back-to-back publishes at least one must be dropped, and the
+	// drop must show up on this connection's heartbeat line.
+	waitForTopicSubs(t, reg, 1)
+	for i := 0; i < 32; i++ {
+		reg.Bus().Publish(Event{Type: EventSuspect, Peer: "a/b", At: clock.Time(i)})
+	}
+
+	sawDrop := false
+	for i := 0; i < 200 && sc.Scan(); i++ {
+		var hb watchHeartbeatJSON
+		if err := json.Unmarshal(sc.Bytes(), &hb); err != nil || !hb.Heartbeat {
+			continue // an event line
+		}
+		if hb.Delivered < hb.Dropped || hb.Delivered == 0 {
+			t.Fatalf("implausible accounting: %+v", hb)
+		}
+		if hb.Dropped > 0 {
+			sawDrop = true
+			break
+		}
+	}
+	if !sawDrop {
+		t.Fatal("never saw a heartbeat line reporting this connection's drops")
+	}
+}
+
+// TestWatchRejectsInvalidParams covers the 400 paths.
+func TestWatchRejectsInvalidParams(t *testing.T) {
+	reg := newWatchTestRegistry(clock.NewSim(0))
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	for _, q := range []string{
+		"filter=a%2F%2Fb",  // empty segment
+		"filter=a%23b",     // '#' inside a segment
+		"filter=%23%2Fa",   // '#' not last
+		"buf=0",            // non-positive buffer
+		"buf=x",            // not an integer
+		"heartbeat=-1s",    // non-positive keepalive
+		"heartbeat=fast",   // not a duration
+		"max=-1",           // negative cap
+		"filter=a&max=1.5", // not an integer
+	} {
+		resp, err := http.Get(srv.URL + "/watch?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /watch?%s status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+	if n := reg.Bus().FanoutStats().Subscriptions; n != 0 {
+		t.Fatalf("rejected requests leaked %d subscriptions", n)
+	}
+}
+
+// TestVarsExposesSubscriptionStats checks /vars lists every live
+// subscription with filter and drop accounting.
+func TestVarsExposesSubscriptionStats(t *testing.T) {
+	sim := clock.NewSim(0)
+	reg := newWatchTestRegistry(sim)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	fire := reg.Subscribe(4)
+	defer fire.Close()
+	topic, err := reg.SubscribeTopic("eu/+", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topic.Close()
+	reg.Bus().Publish(Event{Type: EventSuspect, Peer: "eu/a", At: 1})
+
+	resp, err := http.Get(srv.URL + "/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars varsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if len(vars.Subscriptions) != 2 {
+		t.Fatalf("subscriptions = %+v, want 2 entries", vars.Subscriptions)
+	}
+	byID := map[uint64]SubscriptionStats{}
+	for _, s := range vars.Subscriptions {
+		byID[s.ID] = s
+	}
+	f, ok := byID[fire.ID()]
+	if !ok || f.Filter != "" || f.Delivered != 1 {
+		t.Fatalf("firehose stats = %+v", f)
+	}
+	tp, ok := byID[topic.ID()]
+	if !ok || tp.Filter != "eu/+" || tp.Delivered != 1 || tp.Buffer != 8 {
+		t.Fatalf("topic stats = %+v", tp)
+	}
+}

@@ -20,7 +20,9 @@
 //     paper's "one monitors multiple" deployment.
 //   - A fleet-scale monitoring registry (NewRegistry): lock-striped
 //     shards, a hierarchical timer wheel firing suspect transitions,
-//     and a bounded drop-oldest failure-event bus (Subscribe).
+//     and a bounded drop-oldest failure-event bus — firehose
+//     (Subscribe) or interest-routed over hierarchical stream names
+//     with MQTT-style `+`/`#` wildcards (SubscribeTopic, MatchTopic).
 //   - A gossip dissemination layer between monitors (NewGossiper):
 //     anti-entropy suspicion digests, accuracy-weighted quorum
 //     corroboration, and SWIM-style incarnation refutation, publishing
@@ -44,6 +46,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/fanout"
 	"repro/internal/gossip"
 	"repro/internal/heartbeat"
 	"repro/internal/metrics"
@@ -379,6 +382,11 @@ type (
 	EventType = registry.EventType
 	// Subscription is one subscriber's bounded, drop-oldest event queue.
 	Subscription = registry.Subscription
+	// SubscriptionStats is one subscription's delivery accounting
+	// (delivered / dropped / queued), as listed on /vars.
+	SubscriptionStats = registry.SubscriptionStats
+	// FanoutStats is the topic trie's size and routing counters.
+	FanoutStats = fanout.Stats
 )
 
 // Failure-event kinds published on the registry bus. The Global* kinds
@@ -406,6 +414,27 @@ func NewRegistry(clk Clock, f DetectorFactory, opts RegistryOptions) *Registry {
 	}
 	return registry.New(clk, rf, opts)
 }
+
+// Interest-routed subscriptions: stream names are hierarchical
+// (`region/cluster/host/service`), and a topic filter selects a subtree
+// with MQTT-style wildcards — `+` matches exactly one segment, a final
+// `#` matches the rest (including nothing). Registry.SubscribeTopic
+// attaches a filtered subscription; the registry's /watch endpoint
+// streams one as NDJSON over HTTP.
+
+// MatchTopic reports whether a topic filter matches a stream name, e.g.
+// MatchTopic("eu/+/web-1/#", "eu/zrh/web-1/api") == true. It returns
+// false for invalid filters or names (see ValidateTopicFilter).
+func MatchTopic(filter, name string) bool { return fanout.MatchTopic(filter, name) }
+
+// ValidateStreamName reports whether a stream name is publishable:
+// non-empty `/`-separated segments, no `+` or `#`. The registry rejects
+// invalid names at registration.
+func ValidateStreamName(name string) error { return fanout.ValidateName(name) }
+
+// ValidateTopicFilter reports whether a topic filter is well-formed:
+// wildcards only as whole segments, `#` only in the last position.
+func ValidateTopicFilter(filter string) error { return fanout.ValidateFilter(filter) }
 
 // Crash-safe state persistence and warm restart (see internal/persist):
 // versioned, checksummed snapshots of registry + detector + gossip state
