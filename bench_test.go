@@ -364,6 +364,61 @@ func BenchmarkRegistryTimerWheel(b *testing.B) {
 	}
 }
 
+// countingEndpoint is a datagram sink that only counts what a
+// federation leaf pushes — the benchmark measures digest production,
+// not delivery.
+type countingEndpoint struct{ bytes int }
+
+func (c *countingEndpoint) Send(to string, payload []byte) error {
+	c.bytes += len(payload)
+	return nil
+}
+func (c *countingEndpoint) Addr() string { return "sink" }
+
+// BenchmarkDigestRollup measures one federation roll-up interval at
+// fleet scale: fold queued bus transitions, sweep the whole registry
+// into per-cohort aggregates, and marshal the digest datagram(s). The
+// sweep is O(streams) CPU once per interval, but the emitted bytes are
+// O(cohorts): the bytes/interval metric must track the cohort count,
+// not the 10k-stream fleet (8 vs 64 cohorts over the same fleet). The
+// ingest hot path stays untouched — BenchmarkRegistryIngest's 0
+// allocs/op gate covers that.
+func BenchmarkDigestRollup(b *testing.B) {
+	const streams = 10_000
+	for _, cohorts := range []int{8, 64} {
+		b.Run(fmt.Sprintf("%dcohorts-10k", cohorts), func(b *testing.B) {
+			reg := sfd.NewRegistry(sfd.NewSimClock(0), func(string) sfd.Detector {
+				return sfd.NewFixed(500*clock.Millisecond, 1)
+			}, sfd.RegistryOptions{Shards: 64, MaxSilence: -1, EvictAfter: -1})
+			filters := make([]string, cohorts)
+			for i := range filters {
+				filters[i] = fmt.Sprintf("r/c%d/#", i)
+			}
+			for i := 0; i < streams; i++ {
+				name := fmt.Sprintf("r/c%d/s%d", i%cohorts, i)
+				reg.Observe(sfd.HeartbeatArrival{From: name, Seq: 1, Inc: 1})
+			}
+			ep := &countingEndpoint{}
+			leaf, err := sfd.NewFederationLeaf(ep, sfd.NewSimClock(0), reg, "agg", sfd.FederationLeafOptions{
+				ID: "bench-leaf", Region: "r", Cohorts: filters, Interval: clock.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer leaf.Stop()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				leaf.Rollup(clock.Time(i) * clock.Time(clock.Second))
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ep.bytes)/float64(b.N), "bytes/interval")
+			b.ReportMetric(float64(cohorts), "cohorts")
+			b.ReportMetric(float64(streams), "streams")
+		})
+	}
+}
+
 // BenchmarkTraceGeneration measures synthetic-trace throughput (the
 // substrate cost underlying every experiment).
 func BenchmarkTraceGeneration(b *testing.B) {

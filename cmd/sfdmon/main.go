@@ -33,8 +33,20 @@
 //
 //	# tail one subtree of a running monitor's failure events (NDJSON over
 //	# the monitor's /watch endpoint; `+`/`#` wildcards route in the
-//	# monitor's topic trie, so only matching events cross the wire):
-//	sfdmon -mode watch -url http://10.0.0.2:8080 -filter 'eu/+/web-1/#'
+//	# monitor's topic trie, so only matching events cross the wire).
+//	# -retry reconnects with capped exponential backoff when the monitor
+//	# restarts or sheds the connection (503 at the watch cap):
+//	sfdmon -mode watch -url http://10.0.0.2:8080 -filter 'eu/+/web-1/#' -retry
+//
+//	# federation: a regional aggregator merges per-cohort digests from
+//	# leaf monitors, tracks leaf liveness with the same SFD machinery,
+//	# re-delegates a dead leaf's cohorts, and serves the fleet view:
+//	sfdmon -mode aggregate -listen :7950 -serve :8090
+//
+//	# ... and each leaf monitor rolls its cohorts up to it:
+//	sfdmon -mode monitor -listen :7946 -serve :8080 \
+//	    -federate 10.0.0.9:7950 -fed-id eu/leaf-1 -fed-region eu \
+//	    -fed-cohorts 'eu/cluster-3/#,eu/cluster-4/#'
 //
 // With -serve, the monitor exposes GET /status (full JSON snapshot),
 // GET /vars (counters + per-shard occupancy), GET /metrics (Prometheus
@@ -67,7 +79,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "demo", "send, monitor, watch, or demo")
+		mode     = flag.String("mode", "demo", "send, monitor, aggregate, watch, or demo")
 		to       = flag.String("to", "127.0.0.1:7946", "send: monitor address")
 		listen   = flag.String("listen", ":7946", "monitor: bind address")
 		interval = flag.Duration("interval", 100*time.Millisecond, "send: heartbeat interval")
@@ -97,6 +109,13 @@ func main() {
 		watchFilter = flag.String("filter", "#", "watch: topic filter over stream names (+/# wildcards)")
 		watchBuf    = flag.Int("buf", 256, "watch: server-side subscription buffer (drop-oldest beyond it)")
 		watchMax    = flag.Int("max", 0, "watch: exit after this many events (0 = stream until interrupted)")
+		watchRetry  = flag.Bool("retry", false, "watch: reconnect with capped exponential backoff instead of exiting")
+
+		fedAgg      = flag.String("federate", "", "monitor: aggregator address to roll cohort digests up to (empty = no federation)")
+		fedID       = flag.String("fed-id", "", "monitor: federation leaf identity (default: the bound address)")
+		fedRegion   = flag.String("fed-region", "", "monitor/aggregate: region label")
+		fedCohorts  = flag.String("fed-cohorts", "", "monitor: comma-separated cohort topic filters this leaf owns (e.g. 'eu/cluster-3/#')")
+		fedInterval = flag.Duration("fed-interval", time.Second, "monitor/aggregate: digest roll-up interval")
 	)
 	flag.Parse()
 
@@ -128,11 +147,23 @@ func main() {
 				os.Exit(2)
 			}
 		}
+		var fc *fedConfig
+		if *fedAgg != "" {
+			fc = &fedConfig{
+				agg:      *fedAgg,
+				id:       *fedID,
+				region:   *fedRegion,
+				cohorts:  splitPeers(*fedCohorts),
+				interval: *fedInterval,
+			}
+		}
 		runMonitor(*listen, *serve, *refresh,
 			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration, gc, *pprofOn, chaosSc,
-			*stateDir, *checkpoint)
+			*stateDir, *checkpoint, fc)
+	case "aggregate":
+		runAggregate(*listen, *serve, *fedID, *fedInterval, *refresh, *duration, *pprofOn)
 	case "watch":
-		runWatch(*watchURL, *watchFilter, *watchBuf, *watchMax, *duration)
+		runWatch(*watchURL, *watchFilter, *watchBuf, *watchMax, *duration, *watchRetry)
 	case "demo":
 		runDemo()
 	default:
@@ -214,6 +245,15 @@ type gossipConfig struct {
 	seed     int64
 }
 
+// fedConfig carries the -federate/-fed-* flags into runMonitor.
+type fedConfig struct {
+	agg      string
+	id       string
+	region   string
+	cohorts  []string
+	interval time.Duration
+}
+
 func splitPeers(s string) []string {
 	var out []string
 	for _, p := range strings.Split(s, ",") {
@@ -224,7 +264,7 @@ func splitPeers(s string) []string {
 	return out
 }
 
-func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration, gc *gossipConfig, pprofOn bool, chaosSc *sfd.ChaosScenario, stateDir string, checkpoint time.Duration) {
+func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration, gc *gossipConfig, pprofOn bool, chaosSc *sfd.ChaosScenario, stateDir string, checkpoint time.Duration, fc *fedConfig) {
 	udp, err := sfd.ListenUDP(listen)
 	if err != nil {
 		fatal(err)
@@ -280,9 +320,44 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 			Quorum:   gc.quorum,
 			Seed:     gc.seed,
 		})
-		recv.SetForeign(func(in sfd.Inbound) { gsp.HandleDatagram(in.Payload) })
 		gsp.Start()
 		defer gsp.Stop()
+	}
+
+	// Federation shares it too: assignment tables (magic "FD") arrive on
+	// the same socket the leaf pushes digests through.
+	var leaf *sfd.FederationLeaf
+	if fc != nil {
+		id := fc.id
+		if id == "" {
+			id = ep.Addr()
+		}
+		opts := sfd.FederationLeafOptions{
+			ID:       id,
+			Region:   fc.region,
+			Cohorts:  fc.cohorts,
+			Interval: fc.interval,
+		}
+		if gsp != nil {
+			opts.WeightFn = gsp.Weight // gossip accuracy feeds re-delegation preference
+		}
+		var err error
+		leaf, err = sfd.NewFederationLeaf(ep, clk, reg, fc.agg, opts)
+		if err != nil {
+			fatal(err)
+		}
+		leaf.Start()
+		defer leaf.Stop()
+	}
+	if gsp != nil || leaf != nil {
+		recv.SetForeign(func(in sfd.Inbound) {
+			switch {
+			case leaf != nil && sfd.IsFederationDatagram(in.Payload):
+				leaf.HandleDatagram(in.Payload)
+			case gsp != nil:
+				gsp.HandleDatagram(in.Payload)
+			}
+		})
 	}
 	recv.Start()
 
@@ -292,6 +367,9 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 	if gsp != nil {
 		gsp.InstrumentMetrics(reg.Metrics())
 	}
+	if leaf != nil {
+		leaf.InstrumentMetrics(reg.Metrics())
+	}
 	if ctl != nil {
 		ctl.InstrumentMetrics(reg.Metrics())
 	}
@@ -300,6 +378,10 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 	if gsp != nil {
 		fmt.Printf("sfdmon: gossiping as %s with %v (quorum %d, every %v)\n",
 			gsp.ID(), gsp.Peers(), gc.quorum, gsp.Options().Interval)
+	}
+	if leaf != nil {
+		fmt.Printf("sfdmon: federating as leaf %s to %s (%d cohorts, every %v)\n",
+			leaf.ID(), fc.agg, len(leaf.Cohorts()), leaf.Options().Interval)
 	}
 
 	// Log every failure-bus transition; eviction also clears the
@@ -384,12 +466,80 @@ loop:
 	}
 }
 
+// runAggregate runs the regional federation tier: it listens for leaf
+// digests over UDP, merges them into the fleet view, tracks leaf
+// liveness with the same detector machinery the leaves use for their
+// streams, and re-delegates a dead leaf's cohorts to survivors. With
+// -serve it exposes GET /fleet (merged fleet + re-delegation history)
+// alongside the leaf-liveness registry's /status, /vars, /metrics.
+func runAggregate(listen, serve, id string, interval, refresh, duration time.Duration, pprofOn bool) {
+	udp, err := sfd.ListenUDP(listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer udp.Close()
+	clk := sfd.NewRealClock()
+
+	if id == "" {
+		id = udp.Addr()
+	}
+	agg := sfd.NewFederationAggregator(udp, clk, sfd.FederationAggregatorOptions{
+		ID:             id,
+		DigestInterval: interval,
+	})
+	agg.Start()
+	defer agg.Stop()
+	go sfd.Pump(udp, func(in sfd.Inbound) { agg.HandleDatagram(in.From, in.Payload) })
+
+	fmt.Printf("sfdmon: aggregating on %s as %s (digest interval %v)\n", udp.Addr(), id, interval)
+
+	if serve != "" {
+		liveness := agg.Liveness()
+		agg.InstrumentMetrics(liveness.Metrics())
+		mux := http.NewServeMux()
+		mux.Handle("/", liveness.Handler()) // leaf liveness: /status, /vars, /metrics, /healthz
+		mux.Handle("/fleet", agg.Handler())
+		if pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+		}
+		srv := &http.Server{Addr: serve, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "sfdmon: http: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("sfdmon: serving http://%s/fleet (also /status, /vars, /metrics, /healthz)\n", serve)
+	}
+
+	ticker := time.NewTicker(refresh)
+	defer ticker.Stop()
+	done := exitChan(duration)
+loop:
+	for {
+		select {
+		case <-done:
+			break loop
+		case <-ticker.C:
+			c := agg.Counters()
+			fmt.Printf("fed: leaves=%d/%d cohorts=%d (orphans=%d) streams=%d digests=%d stale=%d bad=%d redelegations=%d assign-v%d\n",
+				c.LiveLeaves, c.Leaves, c.Cohorts, c.OrphanedCohorts, c.FleetStreams,
+				c.DigestsReceived, c.DigestsStale, c.DigestsBad, c.Redelegations, agg.AssignVersion())
+		}
+	}
+	fmt.Println("sfdmon: shutting down")
+}
+
 // runWatch tails a monitor's /watch endpoint: one HTTP long-poll whose
 // NDJSON lines (hello, events, keepalive heartbeats with this
 // connection's drop accounting) are printed as they arrive. The filter
 // is matched server-side in the monitor's topic trie, so a narrow
 // watcher costs the monitor — and the network — only its own events.
-func runWatch(base, filter string, buf, max int, duration time.Duration) {
+// With retry, a failed connection or a severed stream reconnects under
+// capped exponential backoff (500ms doubling to 15s, reset after any
+// successful connection) instead of exiting — a 503 from a monitor at
+// its watch-connection cap is retried the same way.
+func runWatch(base, filter string, buf, max int, duration time.Duration, retry bool) {
 	q := url.Values{}
 	q.Set("filter", filter)
 	if buf > 0 {
@@ -399,22 +549,73 @@ func runWatch(base, filter string, buf, max int, duration time.Duration) {
 		q.Set("max", strconv.Itoa(max))
 	}
 	target := strings.TrimRight(base, "/") + "/watch?" + q.Encode()
+	done := exitChan(duration)
+
+	const (
+		backoffMin = 500 * time.Millisecond
+		backoffMax = 15 * time.Second
+	)
+	backoff := backoffMin
+	total := 0
+	for {
+		lines, err := watchOnce(target, base, filter, done)
+		total += lines
+		select {
+		case <-done: // local shutdown: a read error on the closed body is expected
+			fmt.Fprintf(os.Stderr, "sfdmon: watch stream closed after %d lines\n", total)
+			return
+		default:
+		}
+		if !retry {
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "sfdmon: watch stream closed after %d lines\n", total)
+			return
+		}
+		if lines > 0 {
+			backoff = backoffMin // the connection worked; start the ladder over
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfdmon: watch: %v; retrying in %v\n", err, backoff)
+		} else {
+			fmt.Fprintf(os.Stderr, "sfdmon: watch stream ended; retrying in %v\n", backoff)
+		}
+		select {
+		case <-done:
+			fmt.Fprintf(os.Stderr, "sfdmon: watch stream closed after %d lines\n", total)
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
+// watchOnce runs a single /watch connection to completion, returning how
+// many NDJSON lines it printed and why it ended.
+func watchOnce(target, base, filter string, done <-chan struct{}) (int, error) {
 	resp, err := http.Get(target)
 	if err != nil {
-		fatal(err)
+		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		fatal(fmt.Errorf("%s: %s: %s", target, resp.Status, strings.TrimSpace(string(msg))))
+		return 0, fmt.Errorf("%s: %s: %s", target, resp.Status, strings.TrimSpace(string(msg)))
 	}
 	fmt.Fprintf(os.Stderr, "sfdmon: watching %s with filter %q\n", base, filter)
 
-	// SIGINT/SIGTERM or -duration closes the body, unblocking the scanner.
-	done := exitChan(duration)
+	// Shutdown closes the body, unblocking the scanner.
+	stop := make(chan struct{})
+	defer close(stop)
 	go func() {
-		<-done
-		resp.Body.Close()
+		select {
+		case <-done:
+			resp.Body.Close()
+		case <-stop:
+		}
 	}()
 
 	sc := bufio.NewScanner(resp.Body)
@@ -423,14 +624,7 @@ func runWatch(base, filter string, buf, max int, duration time.Duration) {
 		fmt.Println(sc.Text())
 		lines++
 	}
-	select {
-	case <-done: // local shutdown: a read error on the closed body is expected
-	default:
-		if err := sc.Err(); err != nil {
-			fatal(err)
-		}
-	}
-	fmt.Fprintf(os.Stderr, "sfdmon: watch stream closed after %d lines\n", lines)
+	return lines, sc.Err()
 }
 
 // runDemo wires a sender and monitor over UDP loopback, crashes the

@@ -1,0 +1,174 @@
+package federate
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/registry"
+)
+
+// /fleet: the aggregator's merged fleet-wide view as JSON — leaves with
+// liveness and echoed table versions, per-cohort merged state counts,
+// cumulative transition totals, QoS aggregates, recent notable
+// transitions, and the re-delegation history. This is the federation
+// counterpart of a single monitor's /status: O(cohorts) rows for a
+// fleet whose stream count is unbounded.
+
+// fleetLeafJSON is one leaf row of /fleet.
+type fleetLeafJSON struct {
+	Leaf          string     `json:"leaf"`
+	Region        string     `json:"region,omitempty"`
+	Addr          string     `json:"addr,omitempty"`
+	State         string     `json:"state"`
+	Weight        float64    `json:"weight"`
+	Incarnation   uint64     `json:"incarnation"`
+	LastSeq       uint64     `json:"last_seq"`
+	LastDigestNs  clock.Time `json:"last_digest_ns"`
+	AssignVersion uint64     `json:"assign_version"`
+	Cohorts       int        `json:"cohorts"`
+}
+
+// fleetNotableJSON is one recent notable transition.
+type fleetNotableJSON struct {
+	Peer        string     `json:"peer"`
+	Event       string     `json:"event"`
+	At          clock.Time `json:"at_ns"`
+	Incarnation uint64     `json:"incarnation,omitempty"`
+	Leaf        string     `json:"leaf"`
+}
+
+// fleetCohortJSON is one cohort row of /fleet.
+type fleetCohortJSON struct {
+	Cohort    string `json:"cohort"`
+	Owner     string `json:"owner"`
+	Orphaned  bool   `json:"orphaned,omitempty"`
+	Streams   uint32 `json:"streams"`
+	Trusted   uint32 `json:"trusted"`
+	Suspected uint32 `json:"suspected"`
+	Offline   uint32 `json:"offline"`
+	// Cumulative transition totals across every ownership epoch.
+	Suspects  uint64 `json:"suspects_total"`
+	Trusts    uint64 `json:"trusts_total"`
+	Offlines  uint64 `json:"offlines_total"`
+	Evictions uint64 `json:"evictions_total"`
+	// QoS aggregates from the current owner's last digest.
+	TDAvgSeconds float64            `json:"td_avg_seconds,omitempty"`
+	MRAvg        float64            `json:"mr_avg,omitempty"`
+	QAPMin       float64            `json:"qap_min"`
+	Tuned        uint32             `json:"tuned_streams"`
+	UpdatedNs    clock.Time         `json:"updated_ns"`
+	Notable      []fleetNotableJSON `json:"notable,omitempty"`
+}
+
+// fleetJSON is the /fleet document.
+type fleetJSON struct {
+	Aggregator    string               `json:"aggregator"`
+	NowNs         clock.Time           `json:"now_ns"`
+	AssignVersion uint64               `json:"assign_version"`
+	Counters      AggCounters          `json:"counters"`
+	Leaves        []fleetLeafJSON      `json:"leaves"`
+	Cohorts       []fleetCohortJSON    `json:"cohorts"`
+	History       []RedelegationRecord `json:"redelegations,omitempty"`
+}
+
+// Fleet builds the merged fleet view at this instant.
+func (a *Aggregator) Fleet() fleetJSON {
+	now := a.clk.Now()
+	counters := a.Counters()
+
+	a.mu.Lock()
+	cohortsByOwner := make(map[string]int, len(a.leaves))
+	for _, c := range a.cohorts {
+		cohortsByOwner[c.owner]++
+	}
+	leaves := make([]fleetLeafJSON, 0, len(a.leaves))
+	for id, ls := range a.leaves {
+		leaves = append(leaves, fleetLeafJSON{
+			Leaf:          id,
+			Region:        ls.region,
+			Addr:          ls.addr,
+			State:         ls.live.String(),
+			Weight:        ls.weight,
+			Incarnation:   ls.inc,
+			LastSeq:       ls.lastSeq,
+			LastDigestNs:  ls.lastAt,
+			AssignVersion: ls.echoedAV,
+			Cohorts:       cohortsByOwner[id],
+		})
+	}
+	cohorts := make([]fleetCohortJSON, 0, len(a.cohorts))
+	for f, c := range a.cohorts {
+		susp, tr, off, ev := c.totals()
+		row := fleetCohortJSON{
+			Cohort:    f,
+			Owner:     c.owner,
+			Orphaned:  c.orphaned,
+			Streams:   c.last.Streams,
+			Trusted:   c.last.Trusted,
+			Suspected: c.last.Suspected,
+			Offline:   c.last.Offline,
+			Suspects:  susp,
+			Trusts:    tr,
+			Offlines:  off,
+			Evictions: ev,
+			QAPMin:    c.last.QAPMin,
+			Tuned:     c.last.Tuned,
+			UpdatedNs: c.updatedAt,
+		}
+		if c.last.Tuned > 0 {
+			row.TDAvgSeconds = c.last.TDSum / float64(c.last.Tuned)
+			row.MRAvg = c.last.MRSum / float64(c.last.Tuned)
+		}
+		for _, n := range c.notable {
+			row.Notable = append(row.Notable, fleetNotableJSON{
+				Peer:        n.Peer,
+				Event:       eventName(n.Type),
+				At:          n.At,
+				Incarnation: n.Inc,
+				Leaf:        n.leaf,
+			})
+		}
+		cohorts = append(cohorts, row)
+	}
+	history := append([]RedelegationRecord(nil), a.history...)
+	av := a.assignVersion
+	a.mu.Unlock()
+
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].Leaf < leaves[j].Leaf })
+	sort.Slice(cohorts, func(i, j int) bool { return cohorts[i].Cohort < cohorts[j].Cohort })
+	return fleetJSON{
+		Aggregator:    a.opts.ID,
+		NowNs:         now,
+		AssignVersion: av,
+		Counters:      counters,
+		Leaves:        leaves,
+		Cohorts:       cohorts,
+		History:       history,
+	}
+}
+
+// eventName renders a wire notable type via the registry's enum; unknown
+// values (version skew) degrade to the enum's numeric fallback.
+func eventName(t uint8) string {
+	return registry.EventType(t).String()
+}
+
+// Handler returns the aggregator's HTTP surface: GET /fleet (the merged
+// view). Embedders mount it beside the liveness registry's Handler so
+// one mux serves /fleet, /status, /watch, and /metrics.
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a.Fleet())
+	})
+	return mux
+}

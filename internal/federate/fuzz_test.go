@@ -1,0 +1,78 @@
+package federate
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the federation codec against hostile datagrams:
+// the aggregator's UDP port is open to the world, so no byte sequence
+// may panic the decoder, and anything it accepts must re-encode to the
+// exact input bytes (canonical encoding — the same contract as the
+// heartbeat and gossip codecs). Seeds mirror the heartbeat fuzz corpus:
+// legal messages, truncations, bit flips, version skew, fused datagrams.
+func FuzzUnmarshal(f *testing.F) {
+	d := Digest{
+		Leaf: "eu/leaf-1", Region: "eu", Inc: 2, Seq: 41, SentAt: 1 << 40, Weight: 0.875,
+		AssignVersion: 3,
+		Cohorts: []CohortDigest{
+			{Filter: "eu/cluster-3/#", Streams: 1000, Trusted: 990, Suspected: 7, Offline: 3,
+				Suspects: 12, Trusts: 5, Offlines: 3, Evictions: 1,
+				TDSum: 123.5, MRSum: 0.25, QAPMin: 0.97, Tuned: 800,
+				Notable: []Notable{{Peer: "eu/cluster-3/host-9/api", Type: 1, At: 999, Inc: 1}},
+				Omitted: 4},
+			{Filter: "eu/cluster-4/#", QAPMin: 1},
+		},
+	}
+	db := d.Marshal()
+	a := Assignment{Agg: "agg-eu", Version: 7, Entries: []AssignEntry{
+		{Cohort: "eu/cluster-3/#", Owner: "eu/leaf-2"},
+		{Cohort: "eu/cluster-4/#", Owner: "eu/leaf-3"},
+	}}
+	ab := a.Marshal()
+
+	f.Add(db)
+	f.Add(ab)
+	f.Add((Digest{Leaf: "l"}).Marshal()) // minimal: heartbeat-only digest
+	f.Add([]byte{})
+	f.Add([]byte("FD"))
+	f.Add(db[:len(db)/2]) // truncate (chaos KindTruncate default)
+	f.Add(db[:len(db)-1]) // one byte short
+	f.Add(ab[:3])         // magic + version, no kind
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	skew := append([]byte(nil), db...)
+	skew[2] = 2 // future version
+	f.Add(skew)
+	flip := append([]byte(nil), db...)
+	flip[10] ^= 0x80 // bit flip in the leaf name length
+	f.Add(flip)
+	f.Add(append(append([]byte(nil), db...), ab...)) // fused datagrams
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		dg, as, err := Unmarshal(b)
+		if err != nil {
+			return // rejected garbage is fine; panicking is not
+		}
+		if (dg == nil) == (as == nil) {
+			t.Fatalf("accepted message decodes as neither/both kinds")
+		}
+		var out []byte
+		if dg != nil {
+			if dg.Leaf == "" {
+				t.Fatal("accepted digest with empty leaf id")
+			}
+			if len(dg.Cohorts) > MaxDigestCohorts {
+				t.Fatalf("accepted digest with %d cohorts", len(dg.Cohorts))
+			}
+			out = dg.Marshal()
+		} else {
+			if len(as.Entries) > MaxAssignEntries {
+				t.Fatalf("accepted assignment with %d entries", len(as.Entries))
+			}
+			out = as.Marshal()
+		}
+		if !bytes.Equal(out, b) {
+			t.Fatalf("accepted message is not canonical:\n in  %x\n out %x", b, out)
+		}
+	})
+}

@@ -1,0 +1,503 @@
+package federate
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/fanout"
+	"repro/internal/gossip"
+	"repro/internal/registry"
+)
+
+// LeafOptions tunes a Leaf. Zero values take the documented defaults.
+type LeafOptions struct {
+	// ID identifies this leaf fleet-wide — a valid hierarchical stream
+	// name (it becomes a monitored stream on the aggregator). Default:
+	// the endpoint address.
+	ID string
+	// Region groups leaves for re-delegation locality: the aggregator
+	// prefers same-region survivors when a leaf dies.
+	Region string
+	// Cohorts are the topic filters this leaf initially owns (e.g.
+	// "eu/cluster-3/#"). The aggregator's assignment table supersedes
+	// this seed once a higher-versioned table arrives.
+	Cohorts []string
+	// Incarnation is bumped by a restarted leaf so the aggregator's
+	// detector starts its digest stream over (default 1).
+	Incarnation uint64
+	// Interval is the roll-up period (default 1 s). Every interval the
+	// leaf sweeps its registry, folds bus transitions into per-cohort
+	// counters, and sends one digest (or several, chunked) — the digest
+	// doubles as the leaf's liveness heartbeat, so an idle leaf still
+	// sends every interval.
+	Interval clock.Duration
+	// MaxNotable bounds the notable-transition list per cohort per
+	// digest (default 16, capped at the wire bound). Overflow is counted
+	// in the digest's Omitted field; consumers needing every transition
+	// tap the leaf's /watch stream.
+	MaxNotable int
+	// WeightFn supplies the leaf's self-assessed accuracy weight in
+	// [0,1] — wire gossip.(*Gossiper).Weight here so gossip verdict
+	// quality feeds aggregator re-delegation preference. Nil reports 1.
+	WeightFn func() float64
+	// BusBuf is the capacity of the registry-bus subscription feeding
+	// transition counters (default 4096; drop-oldest beyond that, with
+	// drops visible in the registry's fanout accounting).
+	BusBuf int
+}
+
+func (o *LeafOptions) normalize(ep gossip.Endpoint) {
+	if o.ID == "" {
+		o.ID = ep.Addr()
+	}
+	if o.Incarnation == 0 {
+		o.Incarnation = 1
+	}
+	if o.Interval <= 0 {
+		o.Interval = clock.Second
+	}
+	if o.MaxNotable <= 0 || o.MaxNotable > MaxNotablePerCohort {
+		o.MaxNotable = 16
+	}
+	if o.BusBuf <= 0 {
+		o.BusBuf = 4096
+	}
+}
+
+// LeafCounters is the leaf's monotonic counter snapshot.
+type LeafCounters struct {
+	Rollups        uint64 `json:"rollups"`
+	DigestsSent    uint64 `json:"digests_sent"`
+	SendErrors     uint64 `json:"send_errors"`
+	AssignsApplied uint64 `json:"assigns_applied"`
+	AssignsStale   uint64 `json:"assigns_stale"`
+	BadDatagrams   uint64 `json:"bad_datagrams"`
+	NotableOmitted uint64 `json:"notable_omitted"`
+	CohortsOwned   int    `json:"cohorts_owned"`   // gauge
+	AssignVersion  uint64 `json:"assign_version"`  // gauge
+	StreamsRolled  uint64 `json:"streams_rolled"`  // streams matched into cohorts, cumulative
+	StreamsForeign uint64 `json:"streams_foreign"` // swept streams outside every owned cohort
+}
+
+// cohortState is one owned cohort's accumulator. Transition counters are
+// cumulative for the cohort's current ownership epoch (they reset when
+// the cohort is adopted, never between digests) so a lost digest cannot
+// lose a transition; the notable ring resets every digest.
+type cohortState struct {
+	filter    string
+	suspects  uint64
+	trusts    uint64
+	offlines  uint64
+	evictions uint64
+	notable   []Notable
+	omitted   uint32
+}
+
+// Leaf is one monitor's membership in the federation tier: it owns a set
+// of cohorts, rolls them up to the regional aggregator every Interval,
+// and adopts re-delegated cohorts from the aggregator's assignment
+// table. All methods are safe for concurrent use.
+type Leaf struct {
+	ep   gossip.Endpoint
+	clk  clock.Clock
+	reg  *registry.Registry
+	agg  string
+	opts LeafOptions
+
+	mu sync.Mutex
+	// cohorts maps filter → accumulator for every owned cohort.
+	cohorts map[string]*cohortState
+	// assignVersion is the newest assignment-table version applied.
+	assignVersion uint64
+	seq           uint64
+
+	sub *registry.Subscription
+
+	rollups        atomic.Uint64
+	digestsSent    atomic.Uint64
+	sendErrors     atomic.Uint64
+	assignsApplied atomic.Uint64
+	assignsStale   atomic.Uint64
+	badDatagrams   atomic.Uint64
+	notableOmitted atomic.Uint64
+	streamsRolled  atomic.Uint64
+	streamsForeign atomic.Uint64
+
+	started atomic.Bool
+	stopped atomic.Bool
+	stopc   chan struct{}
+}
+
+// NewLeaf builds a Leaf that rolls reg's streams up to the aggregator at
+// address agg over ep. A nil clock defaults to the real clock. Call
+// Start to begin roll-up rounds and feed received datagrams (assignment
+// pushes) to HandleDatagram — the same shared-socket pattern as gossip.
+func NewLeaf(ep gossip.Endpoint, clk clock.Clock, reg *registry.Registry, agg string, opts LeafOptions) (*Leaf, error) {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	opts.normalize(ep)
+	if err := fanout.ValidateName(opts.ID); err != nil {
+		return nil, err
+	}
+	l := &Leaf{
+		ep:      ep,
+		clk:     clk,
+		reg:     reg,
+		agg:     agg,
+		opts:    opts,
+		cohorts: make(map[string]*cohortState, len(opts.Cohorts)),
+		stopc:   make(chan struct{}),
+		sub:     reg.Subscribe(opts.BusBuf),
+	}
+	for _, f := range opts.Cohorts {
+		if err := fanout.ValidateFilter(f); err != nil {
+			l.sub.Close()
+			return nil, err
+		}
+		l.cohorts[f] = &cohortState{filter: f}
+	}
+	return l, nil
+}
+
+// ID returns the leaf's federation identity.
+func (l *Leaf) ID() string { return l.opts.ID }
+
+// Options returns the effective configuration after defaulting.
+func (l *Leaf) Options() LeafOptions { return l.opts }
+
+// Cohorts returns the currently owned cohort filters, sorted.
+func (l *Leaf) Cohorts() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.cohorts))
+	for f := range l.cohorts {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AssignVersion returns the newest applied assignment-table version.
+func (l *Leaf) AssignVersion() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.assignVersion
+}
+
+// afterFuncer is satisfied by clock.Sim (same pattern as the registry
+// wheel driver and the gossip round loop).
+type afterFuncer interface {
+	AfterFunc(clock.Duration, func(clock.Time))
+}
+
+// Start launches the roll-up loop. Idempotent.
+func (l *Leaf) Start() {
+	if !l.started.CompareAndSwap(false, true) {
+		return
+	}
+	if af, ok := l.clk.(afterFuncer); ok {
+		l.armSim(af)
+		return
+	}
+	go l.runReal()
+}
+
+// Stop halts the roll-up loop and detaches from the registry bus.
+func (l *Leaf) Stop() {
+	if l.stopped.CompareAndSwap(false, true) {
+		close(l.stopc)
+		l.sub.Close()
+	}
+}
+
+func (l *Leaf) armSim(af afterFuncer) {
+	af.AfterFunc(l.opts.Interval, func(now clock.Time) {
+		if l.stopped.Load() {
+			return
+		}
+		l.Rollup(now)
+		l.armSim(af)
+	})
+}
+
+func (l *Leaf) runReal() {
+	for {
+		select {
+		case <-l.stopc:
+			return
+		case now := <-l.clk.After(l.opts.Interval):
+			l.Rollup(now)
+		}
+	}
+}
+
+// Rollup executes one roll-up round at instant now: fold queued bus
+// transitions into cohort counters, sweep the registry for per-cohort
+// state counts and QoS aggregates, and send the digest(s) to the
+// aggregator. The digest count — and so the bandwidth — is O(cohorts),
+// independent of how many streams the cohorts hold. Start drives it
+// automatically; it is exported so tests step rounds by hand.
+func (l *Leaf) Rollup(now clock.Time) {
+	l.mu.Lock()
+	l.drainBusLocked()
+	rows := l.sweepLocked()
+	digests := l.buildDigestsLocked(now, rows)
+	l.mu.Unlock()
+
+	l.rollups.Add(1)
+	for _, d := range digests {
+		if l.ep.Send(l.agg, d) == nil {
+			l.digestsSent.Add(1)
+		} else {
+			l.sendErrors.Add(1)
+		}
+	}
+}
+
+// drainBusLocked folds transition events since the last round into the
+// owning cohort's cumulative counters and notable ring. An event whose
+// stream matches no owned cohort is ignored (it belongs to a cohort
+// re-delegated away, or to a stream outside the federation's scope).
+func (l *Leaf) drainBusLocked() {
+	for {
+		select {
+		case ev, ok := <-l.sub.C():
+			if !ok {
+				return
+			}
+			c := l.cohortOfLocked(ev.Peer)
+			if c == nil {
+				continue
+			}
+			notable := false
+			switch ev.Type {
+			case registry.EventSuspect:
+				c.suspects++
+				notable = true
+			case registry.EventTrust:
+				c.trusts++
+				notable = true
+			case registry.EventOffline:
+				c.offlines++
+				notable = true
+			case registry.EventEvicted:
+				c.evictions++
+			}
+			if !notable {
+				continue
+			}
+			if len(c.notable) >= l.opts.MaxNotable {
+				c.omitted++
+				l.notableOmitted.Add(1)
+				continue
+			}
+			c.notable = append(c.notable, Notable{
+				Peer: ev.Peer,
+				Type: uint8(ev.Type),
+				At:   ev.At,
+				Inc:  ev.Incarnation,
+			})
+		default:
+			return
+		}
+	}
+}
+
+// cohortOfLocked finds the owned cohort a stream belongs to — a linear
+// scan, fine for the tens of cohorts a leaf owns (the stream fan-out
+// trie handles the million-subscription case; cohort sets are small by
+// construction). First match in sorted order wins when filters overlap.
+func (l *Leaf) cohortOfLocked(peer string) *cohortState {
+	var best *cohortState
+	for f, c := range l.cohorts {
+		if fanout.MatchTopic(f, peer) {
+			if best == nil || f < best.filter {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// cohortRow is one sweep's per-cohort aggregate (state counts + QoS).
+type cohortRow struct {
+	streams, trusted, suspected, offline uint32
+	tdSum, mrSum, qapMin                 float64
+	tuned                                uint32
+}
+
+// sweepLocked walks every registry stream once and buckets it into its
+// owning cohort: O(streams) CPU per round, O(cohorts) output.
+func (l *Leaf) sweepLocked() map[string]*cohortRow {
+	rows := make(map[string]*cohortRow, len(l.cohorts))
+	for f := range l.cohorts {
+		rows[f] = &cohortRow{qapMin: 1}
+	}
+	l.reg.ForEachStream(func(v registry.StreamView) {
+		c := l.cohortOfLocked(v.Peer)
+		if c == nil {
+			l.streamsForeign.Add(1)
+			return
+		}
+		l.streamsRolled.Add(1)
+		row := rows[c.filter]
+		row.streams++
+		switch v.Phase {
+		case registry.StreamTrusted:
+			row.trusted++
+		case registry.StreamSuspected:
+			row.suspected++
+		case registry.StreamOffline:
+			row.offline++
+		}
+		if v.Tuned {
+			row.tuned++
+			row.tdSum += v.TD.Seconds()
+			row.mrSum += v.MR
+			if v.QAP < row.qapMin {
+				row.qapMin = v.QAP
+			}
+		}
+	})
+	return rows
+}
+
+// buildDigestsLocked encodes the round's digests, chunked to the wire
+// bound, resetting each cohort's notable ring. Sorted cohort order keeps
+// digests byte-identical across runs for the same state (determinism
+// under clock.Sim).
+func (l *Leaf) buildDigestsLocked(now clock.Time, rows map[string]*cohortRow) [][]byte {
+	filters := make([]string, 0, len(l.cohorts))
+	for f := range l.cohorts {
+		filters = append(filters, f)
+	}
+	sort.Strings(filters)
+
+	weight := 1.0
+	if l.opts.WeightFn != nil {
+		weight = l.opts.WeightFn()
+	}
+
+	entries := make([]CohortDigest, 0, len(filters))
+	for _, f := range filters {
+		c := l.cohorts[f]
+		row := rows[f]
+		cd := CohortDigest{
+			Filter:    f,
+			Suspects:  c.suspects,
+			Trusts:    c.trusts,
+			Offlines:  c.offlines,
+			Evictions: c.evictions,
+			QAPMin:    1,
+			Omitted:   c.omitted,
+		}
+		if row != nil {
+			cd.Streams, cd.Trusted, cd.Suspected, cd.Offline = row.streams, row.trusted, row.suspected, row.offline
+			cd.TDSum, cd.MRSum, cd.QAPMin, cd.Tuned = row.tdSum, row.mrSum, row.qapMin, row.tuned
+		}
+		if len(c.notable) > 0 {
+			cd.Notable = append([]Notable(nil), c.notable...)
+			c.notable = c.notable[:0]
+		}
+		c.omitted = 0
+		entries = append(entries, cd)
+	}
+
+	// Always send at least one digest: it is the leaf's heartbeat, and
+	// it echoes AssignVersion so the aggregator's anti-entropy settles.
+	var out [][]byte
+	for first := true; first || len(entries) > 0; first = false {
+		n := len(entries)
+		if n > MaxDigestCohorts {
+			n = MaxDigestCohorts
+		}
+		l.seq++
+		d := Digest{
+			Leaf:          l.opts.ID,
+			Region:        l.opts.Region,
+			Inc:           l.opts.Incarnation,
+			Seq:           l.seq,
+			SentAt:        now,
+			Weight:        weight,
+			AssignVersion: l.assignVersion,
+			Cohorts:       entries[:n],
+		}
+		out = append(out, d.Marshal())
+		entries = entries[n:]
+	}
+	return out
+}
+
+// HandleDatagram ingests one received federation datagram — for a leaf,
+// assignment-table pushes. Non-federation payloads (wrong magic) are
+// ignored silently so the leaf shares a socket with the heartbeat and
+// gossip stacks; malformed federation traffic is counted.
+func (l *Leaf) HandleDatagram(payload []byte) {
+	if !IsFederation(payload) {
+		return
+	}
+	_, a, err := Unmarshal(payload)
+	if err != nil {
+		l.badDatagrams.Add(1)
+		return
+	}
+	if a == nil {
+		return // a digest: not addressed to leaves
+	}
+	l.applyAssignment(a)
+}
+
+// applyAssignment adopts a newer assignment table: cohorts assigned to
+// this leaf are owned (fresh accumulator epoch for newly adopted ones —
+// cumulative counters restart per ownership epoch, and the aggregator
+// freezes the previous owner's totals), the rest are dropped. Version
+// ratchets; stale or duplicate tables are ignored.
+func (l *Leaf) applyAssignment(a *Assignment) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if a.Version <= l.assignVersion {
+		l.assignsStale.Add(1)
+		return
+	}
+	next := make(map[string]*cohortState, len(l.cohorts))
+	for _, e := range a.Entries {
+		if e.Owner != l.opts.ID {
+			continue
+		}
+		if fanout.ValidateFilter(e.Cohort) != nil {
+			continue
+		}
+		if c, ok := l.cohorts[e.Cohort]; ok {
+			next[e.Cohort] = c // kept: epoch and counters continue
+		} else {
+			next[e.Cohort] = &cohortState{filter: e.Cohort}
+		}
+	}
+	l.cohorts = next
+	l.assignVersion = a.Version
+	l.assignsApplied.Add(1)
+}
+
+// Counters returns the leaf's counter snapshot.
+func (l *Leaf) Counters() LeafCounters {
+	l.mu.Lock()
+	owned := len(l.cohorts)
+	av := l.assignVersion
+	l.mu.Unlock()
+	return LeafCounters{
+		Rollups:        l.rollups.Load(),
+		DigestsSent:    l.digestsSent.Load(),
+		SendErrors:     l.sendErrors.Load(),
+		AssignsApplied: l.assignsApplied.Load(),
+		AssignsStale:   l.assignsStale.Load(),
+		BadDatagrams:   l.badDatagrams.Load(),
+		NotableOmitted: l.notableOmitted.Load(),
+		CohortsOwned:   owned,
+		AssignVersion:  av,
+		StreamsRolled:  l.streamsRolled.Load(),
+		StreamsForeign: l.streamsForeign.Load(),
+	}
+}

@@ -1,0 +1,75 @@
+package federate
+
+import (
+	"repro/internal/metrics"
+)
+
+// InstrumentMetrics registers the leaf's sfd_fed_leaf_* series into set.
+// Like the receiver and gossip instruments, the views read the atomics
+// the leaf already maintains — zero cost off the scrape path.
+func (l *Leaf) InstrumentMetrics(set *metrics.Set) {
+	set.CounterFunc("sfd_fed_leaf_rollups_total",
+		"Roll-up rounds executed by the federation leaf.", l.rollups.Load)
+	set.CounterFunc("sfd_fed_leaf_digests_sent_total",
+		"Cohort digests sent to the regional aggregator.", l.digestsSent.Load)
+	set.CounterFunc("sfd_fed_leaf_send_errors_total",
+		"Digest sends that failed at the endpoint.", l.sendErrors.Load)
+	set.CounterFunc("sfd_fed_leaf_assigns_applied_total",
+		"Assignment tables adopted (version ratcheted forward).", l.assignsApplied.Load)
+	set.CounterFunc("sfd_fed_leaf_assigns_stale_total",
+		"Assignment pushes ignored as stale or duplicate.", l.assignsStale.Load)
+	set.CounterFunc("sfd_fed_leaf_bad_datagrams_total",
+		"Malformed federation datagrams received.", l.badDatagrams.Load)
+	set.CounterFunc("sfd_fed_leaf_notable_omitted_total",
+		"Notable transitions dropped by the per-cohort digest bound.", l.notableOmitted.Load)
+	set.GaugeFunc("sfd_fed_leaf_cohorts",
+		"Cohorts this leaf currently owns.",
+		func() float64 { return float64(l.Counters().CohortsOwned) })
+	set.GaugeFunc("sfd_fed_leaf_assign_version",
+		"Newest assignment-table version applied.",
+		func() float64 { return float64(l.AssignVersion()) })
+}
+
+// InstrumentMetrics registers the aggregator's sfd_fed_* series into
+// set. The liveness registry's own sfd_registry_* series live on its
+// Metrics() set; embedders merge both onto one page.
+func (a *Aggregator) InstrumentMetrics(set *metrics.Set) {
+	set.CounterFunc("sfd_fed_digests_received_total",
+		"Leaf digests received and accepted.", a.digestsReceived.Load)
+	set.CounterFunc("sfd_fed_digests_bad_total",
+		"Malformed federation datagrams received.", a.digestsBad.Load)
+	set.CounterFunc("sfd_fed_digests_stale_total",
+		"Digests dropped as duplicate, reordered, or from a dead incarnation.", a.digestsStale.Load)
+	set.CounterFunc("sfd_fed_rows_merged_total",
+		"Cohort rows folded into the merged fleet view.", a.rowsMerged.Load)
+	set.CounterFunc("sfd_fed_rows_conflicted_total",
+		"Cohort rows dropped because the sender does not own the cohort.", a.rowsConflicted.Load)
+	set.CounterFunc("sfd_fed_redelegations_total",
+		"Re-delegation rounds triggered by leaf deaths.", a.redelegations.Load)
+	set.CounterFunc("sfd_fed_cohorts_moved_total",
+		"Cohorts moved to a new owner by re-delegation.", a.cohortsMoved.Load)
+	set.CounterFunc("sfd_fed_assigns_sent_total",
+		"Assignment-table pushes sent to leaves.", a.assignsSent.Load)
+	set.CounterFunc("sfd_fed_leaf_offlines_total",
+		"Leaves declared offline by the liveness detector.", a.leafOfflines.Load)
+	set.CounterFunc("sfd_fed_leaf_recoveries_total",
+		"Dead leaves that resumed digesting and were re-trusted.", a.leafRecoveries.Load)
+	set.GaugeFunc("sfd_fed_leaves",
+		"Leaves known to the aggregator.",
+		func() float64 { return float64(a.Counters().Leaves) })
+	set.GaugeFunc("sfd_fed_live_leaves",
+		"Leaves currently considered live.",
+		func() float64 { return float64(a.Counters().LiveLeaves) })
+	set.GaugeFunc("sfd_fed_cohorts",
+		"Cohorts in the merged fleet view.",
+		func() float64 { return float64(a.Counters().Cohorts) })
+	set.GaugeFunc("sfd_fed_orphan_cohorts",
+		"Cohorts whose owner is dead with no survivor assigned yet.",
+		func() float64 { return float64(a.Counters().OrphanedCohorts) })
+	set.GaugeFunc("sfd_fed_assign_version",
+		"Current assignment-table version.",
+		func() float64 { return float64(a.AssignVersion()) })
+	set.GaugeFunc("sfd_fed_fleet_streams",
+		"Sum of stream counts across every cohort's newest digest.",
+		func() float64 { return float64(a.Counters().FleetStreams) })
+}

@@ -1,0 +1,465 @@
+// Package federate is the hierarchical federation tier above the flat
+// monitor consortium: leaf monitors own stream *cohorts* (topic-filter
+// subtrees such as "eu/cluster-3/#") and periodically roll each cohort
+// up into a compact digest — stream counts by state, transition
+// counters, a QoS summary — sent to a regional aggregator. The
+// aggregator merges digests from many leaves into a fleet-wide view,
+// monitors each leaf's digest stream with the same SFD detector
+// machinery the leaves use on their streams (eating our own dogfood),
+// and, when a leaf is declared offline, re-delegates its cohorts to
+// surviving leaves through a deterministic assignment table.
+//
+// The design follows Dobre et al.'s multi-layer detection architecture
+// ("Robust Failure Detection Architecture for Large Scale Distributed
+// Systems"): per-node detection stays at the leaves, inter-node traffic
+// carries aggregates, and the tier above reasons about cohorts. Roll-up
+// bandwidth is O(cohorts), never O(streams): a digest row summarizes a
+// subtree, and per-stream detail is available on demand from the leaf's
+// /watch endpoint (or its bus, in-process).
+package federate
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/clock"
+)
+
+// Wire format. Federation messages share the heartbeat/gossip socket
+// and are discriminated by magic bytes ('F','D'), exactly as gossip
+// digests ('S','G') ride beside heartbeats ('H','B'):
+//
+//	magic 'F','D'  version(1)  kind(1)  body...
+//
+// kindDigest (leaf → aggregator) body:
+//
+//	leafLen(u16) leaf  regionLen(u16) region  inc(u64) seq(u64)
+//	sentAt(u64) weight(f64) assignVersion(u64) cohortCount(u16)
+//	then per cohort:
+//	  filterLen(u16) filter
+//	  streams(u32) trusted(u32) suspected(u32) offline(u32)
+//	  suspects(u64) trusts(u64) offlines(u64) evictions(u64)
+//	  tdSum(f64) mrSum(f64) qapMin(f64) tuned(u32)
+//	  notableCount(u16) omitted(u32)
+//	  then per notable: peerLen(u16) peer type(u8) at(u64) inc(u64)
+//
+// kindAssign (aggregator → leaf) body:
+//
+//	aggLen(u16) agg  version(u64)  entryCount(u16)
+//	then per entry: cohortLen(u16) cohort ownerLen(u16) owner
+//
+// All integers big-endian; floats are IEEE-754 bit patterns. Bounded:
+// names ≤ maxNameLen bytes, cohorts ≤ MaxDigestCohorts per datagram
+// (larger cohort sets are chunked by the leaf), notables ≤
+// MaxNotablePerCohort per cohort, assignment entries ≤ MaxAssignEntries.
+// Transition counters are CUMULATIVE per (leaf incarnation, cohort
+// ownership epoch), not deltas: a lost or reordered datagram can delay
+// the fleet view but can never lose a transition.
+const (
+	wireVersion = 1
+
+	kindDigest uint8 = 1
+	kindAssign uint8 = 2
+
+	maxNameLen = 512
+	// MaxDigestCohorts bounds one datagram's cohort rows; a leaf owning
+	// more chunks its roll-up across several digests (same seq semantics
+	// as gossip chunking).
+	MaxDigestCohorts = 256
+	// MaxNotablePerCohort bounds the per-cohort notable-transition list;
+	// overflow is counted in Omitted, and consumers that need every
+	// transition tap the leaf's /watch stream instead.
+	MaxNotablePerCohort = 32
+	// MaxAssignEntries bounds one assignment datagram's table size.
+	MaxAssignEntries = 1024
+)
+
+var wireMagic = [2]byte{'F', 'D'}
+
+// ErrBadMessage reports an undecodable federation datagram.
+var ErrBadMessage = errors.New("federate: bad message")
+
+// IsFederation reports whether a payload carries the federation magic —
+// the shared-socket dispatch test (cheap, no full decode).
+func IsFederation(payload []byte) bool {
+	return len(payload) >= 2 && payload[0] == wireMagic[0] && payload[1] == wireMagic[1]
+}
+
+// Notable is one noteworthy transition carried in a digest for
+// fleet-level visibility: suspect/offline/trust events with the stream
+// name, bounded per cohort (see MaxNotablePerCohort).
+type Notable struct {
+	Peer string
+	Type uint8 // registry.EventType value
+	At   clock.Time
+	Inc  uint64
+}
+
+// CohortDigest is one cohort's roll-up row: O(1) bytes per cohort
+// regardless of how many streams the cohort holds.
+type CohortDigest struct {
+	// Filter is the cohort's topic filter (e.g. "eu/cluster-3/#").
+	Filter string
+	// Stream counts by state at roll-up time.
+	Streams   uint32
+	Trusted   uint32
+	Suspected uint32
+	Offline   uint32
+	// Cumulative transition counters for this (incarnation, ownership
+	// epoch): monotone, so the aggregator merges by keeping the maximum
+	// and no datagram loss can lose a transition.
+	Suspects  uint64
+	Trusts    uint64
+	Offlines  uint64
+	Evictions uint64
+	// QoS aggregates over the cohort's self-tuning detectors: sums of
+	// the last slot's measured TD (seconds) and MR across the Tuned
+	// streams that had a sample, and the minimum QAP among them (1.0
+	// when none). Sums, not means, so the aggregator can merge cohorts.
+	TDSum  float64
+	MRSum  float64
+	QAPMin float64
+	Tuned  uint32
+	// Notable transitions since the previous digest (bounded; overflow
+	// counted in Omitted).
+	Notable []Notable
+	Omitted uint32
+}
+
+// Digest is one leaf → aggregator roll-up message. Its (Inc, Seq) pair
+// doubles as the leaf's liveness heartbeat: the aggregator feeds it to a
+// registry.Registry, so leaf failure detection uses the exact SFD
+// machinery the leaves apply to their own streams.
+type Digest struct {
+	// Leaf is the sending leaf's identity — a valid hierarchical stream
+	// name (it becomes a monitored stream on the aggregator).
+	Leaf string
+	// Region groups leaves for re-delegation locality.
+	Region string
+	// Inc is the leaf's incarnation (bumped on restart, SWIM-style).
+	Inc uint64
+	// Seq increases with every digest within one incarnation.
+	Seq uint64
+	// SentAt is the leaf's clock at send (the heartbeat timestamp).
+	SentAt clock.Time
+	// Weight is the leaf's self-assessed accuracy in [0,1], fed from its
+	// gossip mistake-rate EWMA when gossip runs (1 otherwise). The
+	// aggregator prefers heavier leaves when re-delegating cohorts.
+	Weight float64
+	// AssignVersion is the newest assignment-table version this leaf has
+	// applied — the aggregator re-pushes the table until digests echo
+	// the current version (anti-entropy, loss-tolerant).
+	AssignVersion uint64
+	// Cohorts are the roll-up rows for every cohort this leaf owns.
+	Cohorts []CohortDigest
+}
+
+// AssignEntry is one row of the assignment table: the cohort and the
+// leaf that owns (monitors and rolls up) it.
+type AssignEntry struct {
+	Cohort string
+	Owner  string
+}
+
+// Assignment is one aggregator → leaf table push. Leaves adopt the
+// cohorts assigned to them and drop the rest; Version ratchets so a
+// reordered datagram cannot roll a leaf back to a stale table.
+type Assignment struct {
+	Agg     string
+	Version uint64
+	Entries []AssignEntry
+}
+
+// Marshal encodes the digest. It panics when a name or count exceeds the
+// wire bounds — a programming error, since the leaf chunks before
+// encoding (same contract as the gossip codec).
+func (d Digest) Marshal() []byte {
+	checkName("leaf id", d.Leaf)
+	checkName("region", d.Region)
+	if len(d.Cohorts) > MaxDigestCohorts {
+		panic(fmt.Sprintf("federate: %d cohorts exceeds %d", len(d.Cohorts), MaxDigestCohorts))
+	}
+	size := 4 + 2 + len(d.Leaf) + 2 + len(d.Region) + 8 + 8 + 8 + 8 + 8 + 2
+	for _, c := range d.Cohorts {
+		checkName("cohort filter", c.Filter)
+		if len(c.Notable) > MaxNotablePerCohort {
+			panic(fmt.Sprintf("federate: %d notables exceeds %d", len(c.Notable), MaxNotablePerCohort))
+		}
+		size += 2 + len(c.Filter) + 4*4 + 4*8 + 3*8 + 4 + 2 + 4
+		for _, n := range c.Notable {
+			checkName("notable peer", n.Peer)
+			size += 2 + len(n.Peer) + 1 + 8 + 8
+		}
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, wireMagic[0], wireMagic[1], wireVersion, kindDigest)
+	buf = appendStr(buf, d.Leaf)
+	buf = appendStr(buf, d.Region)
+	buf = binary.BigEndian.AppendUint64(buf, d.Inc)
+	buf = binary.BigEndian.AppendUint64(buf, d.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(d.SentAt))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.Weight))
+	buf = binary.BigEndian.AppendUint64(buf, d.AssignVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.Cohorts)))
+	for _, c := range d.Cohorts {
+		buf = appendStr(buf, c.Filter)
+		buf = binary.BigEndian.AppendUint32(buf, c.Streams)
+		buf = binary.BigEndian.AppendUint32(buf, c.Trusted)
+		buf = binary.BigEndian.AppendUint32(buf, c.Suspected)
+		buf = binary.BigEndian.AppendUint32(buf, c.Offline)
+		buf = binary.BigEndian.AppendUint64(buf, c.Suspects)
+		buf = binary.BigEndian.AppendUint64(buf, c.Trusts)
+		buf = binary.BigEndian.AppendUint64(buf, c.Offlines)
+		buf = binary.BigEndian.AppendUint64(buf, c.Evictions)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.TDSum))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.MRSum))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.QAPMin))
+		buf = binary.BigEndian.AppendUint32(buf, c.Tuned)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(c.Notable)))
+		buf = binary.BigEndian.AppendUint32(buf, c.Omitted)
+		for _, n := range c.Notable {
+			buf = appendStr(buf, n.Peer)
+			buf = append(buf, n.Type)
+			buf = binary.BigEndian.AppendUint64(buf, uint64(n.At))
+			buf = binary.BigEndian.AppendUint64(buf, n.Inc)
+		}
+	}
+	return buf
+}
+
+// Marshal encodes the assignment table push.
+func (a Assignment) Marshal() []byte {
+	checkName("aggregator id", a.Agg)
+	if len(a.Entries) > MaxAssignEntries {
+		panic(fmt.Sprintf("federate: %d assignment entries exceeds %d", len(a.Entries), MaxAssignEntries))
+	}
+	size := 4 + 2 + len(a.Agg) + 8 + 2
+	for _, e := range a.Entries {
+		checkName("cohort", e.Cohort)
+		checkName("owner", e.Owner)
+		size += 2 + len(e.Cohort) + 2 + len(e.Owner)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, wireMagic[0], wireMagic[1], wireVersion, kindAssign)
+	buf = appendStr(buf, a.Agg)
+	buf = binary.BigEndian.AppendUint64(buf, a.Version)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(a.Entries)))
+	for _, e := range a.Entries {
+		buf = appendStr(buf, e.Cohort)
+		buf = appendStr(buf, e.Owner)
+	}
+	return buf
+}
+
+// Unmarshal decodes a federation datagram into exactly one of digest or
+// assignment. Any malformed input returns ErrBadMessage; no input may
+// panic — the port is open to the world, the same contract as the
+// heartbeat and gossip codecs (see the fuzz target).
+func Unmarshal(b []byte) (*Digest, *Assignment, error) {
+	r := reader{buf: b}
+	m0, _ := r.u8()
+	m1, _ := r.u8()
+	ver, ok := r.u8()
+	if !ok || m0 != wireMagic[0] || m1 != wireMagic[1] {
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrBadMessage)
+	}
+	if ver != wireVersion {
+		return nil, nil, fmt.Errorf("%w: version %d", ErrBadMessage, ver)
+	}
+	kind, ok := r.u8()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: truncated kind", ErrBadMessage)
+	}
+	switch kind {
+	case kindDigest:
+		d, err := unmarshalDigest(&r)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d, nil, nil
+	case kindAssign:
+		a, err := unmarshalAssign(&r)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, a, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: kind %d", ErrBadMessage, kind)
+	}
+}
+
+func unmarshalDigest(r *reader) (*Digest, error) {
+	leaf, ok1 := r.str()
+	region, ok2 := r.str()
+	inc, ok3 := r.u64()
+	seq, ok4 := r.u64()
+	sentAt, ok5 := r.u64()
+	wbits, ok6 := r.u64()
+	av, ok7 := r.u64()
+	count, ok8 := r.u16()
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || !ok6 || !ok7 || !ok8 {
+		return nil, fmt.Errorf("%w: truncated digest header", ErrBadMessage)
+	}
+	if leaf == "" {
+		return nil, fmt.Errorf("%w: empty leaf id", ErrBadMessage)
+	}
+	if int(count) > MaxDigestCohorts {
+		return nil, fmt.Errorf("%w: %d cohorts", ErrBadMessage, count)
+	}
+	d := &Digest{
+		Leaf: leaf, Region: region, Inc: inc, Seq: seq,
+		SentAt: clock.Time(sentAt), Weight: math.Float64frombits(wbits),
+		AssignVersion: av,
+	}
+	if count > 0 {
+		d.Cohorts = make([]CohortDigest, 0, count)
+	}
+	for i := 0; i < int(count); i++ {
+		var c CohortDigest
+		var ok bool
+		if c.Filter, ok = r.str(); !ok || c.Filter == "" {
+			return nil, fmt.Errorf("%w: truncated cohort %d", ErrBadMessage, i)
+		}
+		u32s := [4]*uint32{&c.Streams, &c.Trusted, &c.Suspected, &c.Offline}
+		for _, p := range u32s {
+			if *p, ok = r.u32(); !ok {
+				return nil, fmt.Errorf("%w: truncated cohort %d counts", ErrBadMessage, i)
+			}
+		}
+		u64s := [4]*uint64{&c.Suspects, &c.Trusts, &c.Offlines, &c.Evictions}
+		for _, p := range u64s {
+			if *p, ok = r.u64(); !ok {
+				return nil, fmt.Errorf("%w: truncated cohort %d transitions", ErrBadMessage, i)
+			}
+		}
+		td, okA := r.u64()
+		mr, okB := r.u64()
+		qap, okC := r.u64()
+		tuned, okD := r.u32()
+		nNotable, okE := r.u16()
+		omitted, okF := r.u32()
+		if !okA || !okB || !okC || !okD || !okE || !okF {
+			return nil, fmt.Errorf("%w: truncated cohort %d qos", ErrBadMessage, i)
+		}
+		c.TDSum = math.Float64frombits(td)
+		c.MRSum = math.Float64frombits(mr)
+		c.QAPMin = math.Float64frombits(qap)
+		c.Tuned = tuned
+		c.Omitted = omitted
+		if int(nNotable) > MaxNotablePerCohort {
+			return nil, fmt.Errorf("%w: cohort %d has %d notables", ErrBadMessage, i, nNotable)
+		}
+		for j := 0; j < int(nNotable); j++ {
+			var n Notable
+			if n.Peer, ok = r.str(); !ok {
+				return nil, fmt.Errorf("%w: truncated notable %d/%d", ErrBadMessage, i, j)
+			}
+			typ, okT := r.u8()
+			at, okAt := r.u64()
+			ninc, okI := r.u64()
+			if !okT || !okAt || !okI {
+				return nil, fmt.Errorf("%w: truncated notable %d/%d", ErrBadMessage, i, j)
+			}
+			n.Type, n.At, n.Inc = typ, clock.Time(at), ninc
+			c.Notable = append(c.Notable, n)
+		}
+		d.Cohorts = append(d.Cohorts, c)
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(r.buf)-r.off)
+	}
+	return d, nil
+}
+
+func unmarshalAssign(r *reader) (*Assignment, error) {
+	agg, ok1 := r.str()
+	version, ok2 := r.u64()
+	count, ok3 := r.u16()
+	if !ok1 || !ok2 || !ok3 {
+		return nil, fmt.Errorf("%w: truncated assignment header", ErrBadMessage)
+	}
+	if int(count) > MaxAssignEntries {
+		return nil, fmt.Errorf("%w: %d assignment entries", ErrBadMessage, count)
+	}
+	a := &Assignment{Agg: agg, Version: version}
+	if count > 0 {
+		a.Entries = make([]AssignEntry, 0, count)
+	}
+	for i := 0; i < int(count); i++ {
+		cohort, okC := r.str()
+		owner, okO := r.str()
+		if !okC || !okO || cohort == "" || owner == "" {
+			return nil, fmt.Errorf("%w: truncated assignment entry %d", ErrBadMessage, i)
+		}
+		a.Entries = append(a.Entries, AssignEntry{Cohort: cohort, Owner: owner})
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(r.buf)-r.off)
+	}
+	return a, nil
+}
+
+func checkName(what, s string) {
+	if len(s) > maxNameLen {
+		panic(fmt.Sprintf("federate: %s %d bytes exceeds %d", what, len(s), maxNameLen))
+	}
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// reader is a bounds-checked cursor over a datagram.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) u8() (byte, bool) {
+	if r.off+1 > len(r.buf) {
+		return 0, false
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, true
+}
+
+func (r *reader) u16() (uint16, bool) {
+	if r.off+2 > len(r.buf) {
+		return 0, false
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, true
+}
+
+func (r *reader) u32() (uint32, bool) {
+	if r.off+4 > len(r.buf) {
+		return 0, false
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, true
+}
+
+func (r *reader) u64() (uint64, bool) {
+	if r.off+8 > len(r.buf) {
+		return 0, false
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, true
+}
+
+func (r *reader) str() (string, bool) {
+	n, ok := r.u16()
+	if !ok || int(n) > maxNameLen || r.off+int(n) > len(r.buf) {
+		return "", false
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, true
+}

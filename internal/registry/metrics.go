@@ -73,6 +73,12 @@ func (r *Registry) Metrics() *metrics.Set {
 		set.CounterFunc("sfd_fanout_drops_total",
 			"Events lost by topic subscriptions to drop-oldest backpressure.",
 			r.bus.TopicDropped)
+		set.GaugeFunc("sfd_watch_connections",
+			"Live /watch streaming connections.",
+			func() float64 { return float64(r.watchConns.Load()) })
+		set.CounterFunc("sfd_watch_rejected_total",
+			"/watch requests refused because WatchMaxConns was saturated.",
+			r.watchRejected.Load)
 		set.Sampled(r.sampleShards)
 		if r.opts.MetricsMaxStreams > 0 {
 			set.Sampled(r.sampleStreams)

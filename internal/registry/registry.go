@@ -64,6 +64,11 @@ type Options struct {
 	// scrape enumerate every stream. Default 256; negative disables the
 	// per-stream sampler entirely (aggregate series remain).
 	MetricsMaxStreams int
+	// WatchMaxConns caps concurrent /watch connections; each holds a bus
+	// subscription, so an unbounded count would let one misbehaving
+	// aggregator exhaust the event bus. Saturated requests get 503 with a
+	// Retry-After header. Default 64; negative disables the cap.
+	WatchMaxConns int
 
 	// StateDir enables crash-safe persistence: full snapshots and the
 	// delta journal live here, and Start restores from them (warm
@@ -129,6 +134,12 @@ func (o *Options) normalize() {
 	case o.MetricsMaxStreams < 0:
 		o.MetricsMaxStreams = 0
 	}
+	switch {
+	case o.WatchMaxConns == 0:
+		o.WatchMaxConns = 64
+	case o.WatchMaxConns < 0:
+		o.WatchMaxConns = 0
+	}
 	if o.CheckpointInterval <= 0 {
 		o.CheckpointInterval = 30 * clock.Second
 	}
@@ -163,6 +174,8 @@ type Counters struct {
 	BusDropped    uint64 `json:"bus_dropped"`     // events dropped across subscribers
 	FanoutMatches uint64 `json:"fanout_matches"`  // deliveries routed by the topic trie
 	FanoutDrops   uint64 `json:"fanout_drops"`    // drops charged to topic subscriptions
+	WatchRejected uint64 `json:"watch_rejected"`  // /watch requests refused at WatchMaxConns
+	WatchConns    int    `json:"watch_conns"`     // live /watch connections
 	Streams       int    `json:"streams"`         // currently registered streams
 	WheelEntries  int    `json:"wheel_entries"`   // live wheel entries (incl. stale)
 	Subscribers   int    `json:"bus_subscribers"` // current subscribers (firehose + topic)
@@ -214,6 +227,10 @@ type Registry struct {
 	// that never scrape pay nothing for it.
 	metricsOnce sync.Once
 	metricsSet  *metrics.Set
+
+	// watchConns counts live /watch connections against WatchMaxConns.
+	watchConns    atomic.Int64
+	watchRejected atomic.Uint64
 
 	started atomic.Bool
 	stopped atomic.Bool
@@ -715,6 +732,8 @@ func (r *Registry) Counters() Counters {
 		BusDropped:    drop,
 		FanoutMatches: fs.Matches,
 		FanoutDrops:   r.bus.TopicDropped(),
+		WatchRejected: r.watchRejected.Load(),
+		WatchConns:    int(r.watchConns.Load()),
 		Streams:       r.Len(),
 		WheelEntries:  r.wheel.len(),
 		Subscribers:   r.bus.Subscribers(),

@@ -66,7 +66,21 @@ type watchDoneJSON struct {
 	Dropped   uint64 `json:"dropped"`
 }
 
+// watchRetryAfterSeconds is the Retry-After hint sent with a 503 when
+// WatchMaxConns is saturated.
+const watchRetryAfterSeconds = 5
+
 func (r *Registry) serveWatch(w http.ResponseWriter, req *http.Request) {
+	if max := int64(r.opts.WatchMaxConns); max > 0 {
+		if n := r.watchConns.Add(1); n > max {
+			r.watchConns.Add(-1)
+			r.watchRejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(watchRetryAfterSeconds))
+			http.Error(w, "watch: connection limit reached", http.StatusServiceUnavailable)
+			return
+		}
+		defer r.watchConns.Add(-1)
+	}
 	q := req.URL.Query()
 	filter := q.Get("filter")
 	if filter == "" {

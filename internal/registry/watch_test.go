@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/detector"
+	"repro/internal/heartbeat"
 )
 
 func newWatchTestRegistry(clk clock.Clock) *Registry {
@@ -236,4 +237,114 @@ func TestVarsExposesSubscriptionStats(t *testing.T) {
 	if !ok || tp.Filter != "eu/+" || tp.Delivered != 1 || tp.Buffer != 8 {
 		t.Fatalf("topic stats = %+v", tp)
 	}
+}
+
+// TestWatchMaxConnsSaturation pins the connection cap: with
+// WatchMaxConns=2, a third concurrent /watch gets 503 with a
+// Retry-After header, and closing a stream frees its slot.
+func TestWatchMaxConnsSaturation(t *testing.T) {
+	sim := clock.NewSim(0)
+	reg := New(sim, func(string) detector.Detector {
+		return detector.NewFixed(500*clock.Millisecond, 1)
+	}, Options{OfflineAfter: -1, EvictAfter: -1, MaxSilence: -1, WatchMaxConns: 2})
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	open := func() *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/watch?filter=%23")
+		if err != nil {
+			t.Fatalf("GET /watch: %v", err)
+		}
+		return resp
+	}
+	r1, r2 := open(), open()
+	defer r1.Body.Close()
+	defer r2.Body.Close()
+	if r1.StatusCode != http.StatusOK || r2.StatusCode != http.StatusOK {
+		t.Fatalf("first two connections: %d, %d, want 200s", r1.StatusCode, r2.StatusCode)
+	}
+	waitForTopicSubs(t, reg, 2)
+
+	r3 := open()
+	defer r3.Body.Close()
+	if r3.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("third connection status = %d, want 503", r3.StatusCode)
+	}
+	if ra := r3.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 response missing Retry-After header")
+	}
+	if got := reg.Counters().WatchRejected; got != 1 {
+		t.Fatalf("watch_rejected = %d, want 1", got)
+	}
+
+	// Free a slot: the next connection must be admitted again.
+	r1.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r4, err := http.Get(srv.URL + "/watch?filter=%23")
+		if err != nil {
+			t.Fatalf("GET /watch after close: %v", err)
+		}
+		code := r4.StatusCode
+		r4.Body.Close()
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: still %d", code)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestForEachStream pins the federation roll-up hatch: every registered
+// stream is visited exactly once with its phase and incarnation, and
+// self-tuning QoS fields surface once the detector has adjusted a slot.
+func TestForEachStream(t *testing.T) {
+	sim := clock.NewSim(0)
+	reg := New(sim, func(string) detector.Detector {
+		return detector.NewFixed(100*clock.Millisecond, 1)
+	}, Options{WheelTick: 10 * clock.Millisecond, OfflineAfter: 200 * clock.Millisecond,
+		MaxSilence: -1, EvictAfter: -1})
+	reg.Start()
+
+	now := sim.Now()
+	for i := 0; i < 10; i++ {
+		reg.Observe(heartbeatArrivalAt(fmt.Sprintf("eu/a/s%d", i), 1, now, 3))
+	}
+	// Let half of them expire into suspicion, two all the way offline.
+	sim.Advance(150 * clock.Millisecond)
+	for i := 0; i < 5; i++ {
+		reg.Observe(heartbeatArrivalAt(fmt.Sprintf("eu/a/s%d", i), 2, sim.Now(), 3))
+	}
+	// Unrefreshed streams: suspected ≈ t=100ms, offline ≈ t=300ms.
+	// Refreshed streams: suspected ≈ t=250ms, offline ≈ t=450ms.
+	// At t=350ms the sweep sees 5 offline and 5 suspected.
+	sim.Advance(200 * clock.Millisecond)
+
+	got := make(map[string]StreamView)
+	reg.ForEachStream(func(v StreamView) { got[v.Peer] = v })
+	if len(got) != 10 {
+		t.Fatalf("visited %d streams, want 10", len(got))
+	}
+	offline := 0
+	for peer, v := range got {
+		if !v.Seen {
+			t.Fatalf("%s reported unseen", peer)
+		}
+		if v.Incarnation != 3 {
+			t.Fatalf("%s incarnation = %d, want 3", peer, v.Incarnation)
+		}
+		if v.Phase == StreamOffline {
+			offline++
+		}
+	}
+	if offline != 5 {
+		t.Fatalf("offline phase count = %d, want 5", offline)
+	}
+}
+
+func heartbeatArrivalAt(peer string, seq uint64, now clock.Time, inc uint64) heartbeat.Arrival {
+	return heartbeat.Arrival{From: peer, Seq: seq, Send: now, Recv: now, Inc: inc}
 }

@@ -47,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/fanout"
+	"repro/internal/federate"
 	"repro/internal/gossip"
 	"repro/internal/heartbeat"
 	"repro/internal/metrics"
@@ -518,6 +519,61 @@ const (
 func NewGossiper(ep GossipEndpoint, clk Clock, reg *Registry, peers []string, opts GossipOptions) *Gossiper {
 	return gossip.New(ep, clk, reg, peers, opts)
 }
+
+// Hierarchical federation tier (see internal/federate): leaf monitors
+// own cohorts of heartbeat streams (topic-filter prefixes) and roll
+// compact per-cohort digests up to a regional aggregator over the same
+// unreliable datagram fabric as heartbeats. The aggregator merges
+// digests into a fleet view (GET /fleet), monitors leaf liveness with
+// the same SFD detector machinery (the digest stream is itself a
+// monitored heartbeat stream), and on leaf death re-delegates the dead
+// leaf's cohorts to surviving leaves through a versioned assignment
+// table. Digest bandwidth is O(cohorts), not O(streams).
+type (
+	// FederationLeaf is a leaf monitor's roll-up agent: it sweeps the
+	// local Registry, folds bus transitions into per-cohort digests, and
+	// pushes them to its aggregator every interval.
+	FederationLeaf = federate.Leaf
+	// FederationLeafOptions tunes identity, cohorts, and roll-up cadence.
+	FederationLeafOptions = federate.LeafOptions
+	// FederationLeafCounters is the leaf's counter snapshot.
+	FederationLeafCounters = federate.LeafCounters
+	// FederationAggregator is the regional tier: digest merge, leaf
+	// liveness, cohort re-delegation, and the /fleet query surface.
+	FederationAggregator = federate.Aggregator
+	// FederationAggregatorOptions tunes digest cadence and leaf-liveness
+	// thresholds.
+	FederationAggregatorOptions = federate.AggregatorOptions
+	// FederationAggCounters is the aggregator's counter snapshot.
+	FederationAggCounters = federate.AggCounters
+	// FederationDigest is one leaf→aggregator roll-up datagram.
+	FederationDigest = federate.Digest
+	// FederationCohortDigest is one cohort's row inside a digest.
+	FederationCohortDigest = federate.CohortDigest
+	// FederationAssignment is one aggregator→leaf cohort-ownership table.
+	FederationAssignment = federate.Assignment
+	// FederationRedelegation records one re-delegation round.
+	FederationRedelegation = federate.RedelegationRecord
+)
+
+// NewFederationLeaf attaches a roll-up agent to reg, digesting to the
+// aggregator at agg through ep. Feed received federation datagrams
+// (assignment tables) to HandleDatagram and call Start.
+func NewFederationLeaf(ep GossipEndpoint, clk Clock, reg *Registry, agg string, opts FederationLeafOptions) (*FederationLeaf, error) {
+	return federate.NewLeaf(ep, clk, reg, agg, opts)
+}
+
+// NewFederationAggregator builds a regional aggregator replying through
+// ep. Feed received datagrams to HandleDatagram(from, payload) and call
+// Start; mount Handler() for GET /fleet.
+func NewFederationAggregator(ep GossipEndpoint, clk Clock, opts FederationAggregatorOptions) *FederationAggregator {
+	return federate.NewAggregator(ep, clk, opts)
+}
+
+// IsFederationDatagram reports whether a payload carries the federation
+// magic — the dispatch test when the socket is shared with heartbeats
+// and gossip.
+func IsFederationDatagram(payload []byte) bool { return federate.IsFederation(payload) }
 
 // Instrumentation layer: dependency-free atomic counters, gauges, and
 // fixed-bucket histograms with Prometheus text exposition (see
