@@ -92,6 +92,9 @@ func main() {
 		evict    = flag.Duration("evict", time.Minute, "monitor: drop peers offline this long (<0 = never)")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
 
+		rxQueues = flag.Int("rxqueues", 1, "monitor: parallel ingest queues (rounded up to a power of two)")
+		rxBatch  = flag.Int("rxbatch", 32, "monitor: datagrams per batched socket read (Linux recvmmsg fast path)")
+
 		stateDir   = flag.String("state-dir", "", "monitor: directory for crash-safe state snapshots (empty = no persistence)")
 		checkpoint = flag.Duration("checkpoint", 30*time.Second, "monitor: full-snapshot interval when -state-dir is set")
 
@@ -159,7 +162,7 @@ func main() {
 		}
 		runMonitor(*listen, *serve, *refresh,
 			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration, gc, *pprofOn, chaosSc,
-			*stateDir, *checkpoint, fc)
+			*stateDir, *checkpoint, fc, *rxQueues, *rxBatch)
 	case "aggregate":
 		runAggregate(*listen, *serve, *fedID, *fedInterval, *refresh, *duration, *pprofOn)
 	case "watch":
@@ -264,8 +267,14 @@ func splitPeers(s string) []string {
 	return out
 }
 
-func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration, gc *gossipConfig, pprofOn bool, chaosSc *sfd.ChaosScenario, stateDir string, checkpoint time.Duration, fc *fedConfig) {
-	udp, err := sfd.ListenUDP(listen)
+func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets, evict, duration time.Duration, gc *gossipConfig, pprofOn bool, chaosSc *sfd.ChaosScenario, stateDir string, checkpoint time.Duration, fc *fedConfig, rxQueues, rxBatch int) {
+	// The chaos wrapper pumps only the primary receive channel, so a
+	// scenario forces the transport back to a single ingest queue.
+	if chaosSc != nil && rxQueues > 1 {
+		fmt.Fprintln(os.Stderr, "sfdmon: -chaos forces -rxqueues=1 (the chaos pump drains one queue)")
+		rxQueues = 1
+	}
+	udp, err := sfd.ListenUDPOpts(listen, sfd.UDPOptions{Queues: rxQueues, Batch: rxBatch})
 	if err != nil {
 		fatal(err)
 	}
@@ -361,8 +370,12 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 	}
 	recv.Start()
 
-	// One /metrics page for the whole pipeline: the receiver and gossiper
-	// register their instruments into the registry's set.
+	// One /metrics page for the whole pipeline: the transport, receiver,
+	// and gossiper register their instruments into the registry's set,
+	// and the transport's raw counters land in the /vars "aux" section so
+	// silent datagram drops are observable from both surfaces.
+	udp.InstrumentMetrics(reg.Metrics())
+	reg.RegisterVars("transport", func() any { return udp.Counters() })
 	recv.InstrumentMetrics(reg.Metrics())
 	if gsp != nil {
 		gsp.InstrumentMetrics(reg.Metrics())
@@ -375,6 +388,7 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 	}
 
 	fmt.Printf("sfdmon: monitoring on %s (targets %v)\n", ep.Addr(), targets)
+	fmt.Printf("sfdmon: ingest: %d queue(s), batched reads %v\n", udp.RecvQueues(), udp.Batched())
 	if gsp != nil {
 		fmt.Printf("sfdmon: gossiping as %s with %v (quorum %d, every %v)\n",
 			gsp.ID(), gsp.Peers(), gc.quorum, gsp.Options().Interval)

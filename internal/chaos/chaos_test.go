@@ -173,7 +173,7 @@ func TestTruncateAndDuplicate(t *testing.T) {
 	}
 	got := drain(b.Recv())
 	if len(got) != 1 || string(got[0].Payload) != "abc" {
-		t.Fatalf("truncate delivered %q, want [abc]", got)
+		t.Fatalf("truncate delivered %v, want [abc]", got)
 	}
 	if !ctl.Disarm(trunc) {
 		t.Fatal("Disarm lost the id")

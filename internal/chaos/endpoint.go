@@ -63,6 +63,7 @@ func (e *Endpoint) Start() {
 func (e *Endpoint) Process(in transport.Inbound) {
 	v := e.ctl.decide(DirIn, in.From, len(in.Payload))
 	if v.drop {
+		in.Release() // recycle the pooled receive buffer on injected loss
 		return
 	}
 	if v.truncateTo >= 0 && v.truncateTo < len(in.Payload) {
@@ -84,12 +85,14 @@ func (e *Endpoint) deliver(in transport.Inbound) {
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if e.isClosed {
+		in.Release()
 		return
 	}
 	select {
 	case e.recv <- in:
 	default:
 		e.ctl.overflow.Add(1)
+		in.Release()
 	}
 }
 

@@ -1,0 +1,162 @@
+package federate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fanout"
+)
+
+// linearCohortOf is the reference implementation the trie-backed
+// cohortOfLocked replaced: scan every owned filter, first match in
+// sorted order wins. The equivalence test keeps the two in lockstep.
+func linearCohortOf(cohorts map[string]*cohortState, peer string) *cohortState {
+	var best *cohortState
+	for f, c := range cohorts {
+		if fanout.MatchTopic(f, peer) {
+			if best == nil || f < best.filter {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func leafWithCohorts(t *testing.T, filters []string) *Leaf {
+	t.Helper()
+	l := &Leaf{cohorts: make(map[string]*cohortState, len(filters))}
+	for _, f := range filters {
+		if err := fanout.ValidateFilter(f); err != nil {
+			t.Fatalf("filter %q: %v", f, err)
+		}
+		l.cohorts[f] = &cohortState{filter: f}
+	}
+	l.rebuildTrieLocked()
+	return l
+}
+
+// TestCohortOfMatchesLinearScan drives the trie-backed lookup and the
+// linear reference over overlapping filter sets — including wildcard
+// overlaps where several cohorts match one stream — and demands the
+// same cohort (the min filter string) every time.
+func TestCohortOfMatchesLinearScan(t *testing.T) {
+	filters := []string{
+		"eu/#",
+		"eu/cluster-1/#",
+		"eu/cluster-1/rack-2/#",
+		"eu/+/rack-2/#",
+		"us/cluster-3/#",
+		"+/cluster-1/#",
+		"ap/edge/+/sensor",
+	}
+	l := leafWithCohorts(t, filters)
+
+	topics := []string{
+		"eu/cluster-1/rack-2/node-7", // matches 4 overlapping filters
+		"eu/cluster-1/node-0",
+		"eu/cluster-9/rack-2/node-1",
+		"us/cluster-3/node-5",
+		"us/cluster-1/node-5", // only "+/cluster-1/#"
+		"ap/edge/cam-3/sensor",
+		"ap/edge/cam-3/actuator", // no match
+		"sa/cluster-0/node-0",    // no match
+		"eu",                     // parent of "eu/#": matches per MQTT semantics
+	}
+	for _, topic := range topics {
+		want := linearCohortOf(l.cohorts, topic)
+		got := l.cohortOfLocked(topic)
+		if got != want {
+			t.Errorf("cohortOfLocked(%q) = %v, linear scan = %v", topic, name(got), name(want))
+		}
+	}
+}
+
+// TestCohortOfMatchesLinearScanRandom fuzzes the same equivalence over
+// randomly generated filter sets and topics.
+func TestCohortOfMatchesLinearScanRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	segs := []string{"eu", "us", "ap", "cluster-1", "cluster-2", "rack-1", "rack-2", "node-3", "+"}
+	for trial := 0; trial < 50; trial++ {
+		nf := 1 + rng.Intn(12)
+		fset := make(map[string]bool)
+		for len(fset) < nf {
+			depth := 1 + rng.Intn(4)
+			f := ""
+			for d := 0; d < depth; d++ {
+				if d > 0 {
+					f += "/"
+				}
+				f += segs[rng.Intn(len(segs))]
+			}
+			if rng.Intn(2) == 0 {
+				f += "/#"
+			}
+			if fanout.ValidateFilter(f) == nil {
+				fset[f] = true
+			}
+		}
+		filters := make([]string, 0, len(fset))
+		for f := range fset {
+			filters = append(filters, f)
+		}
+		l := leafWithCohorts(t, filters)
+
+		for i := 0; i < 200; i++ {
+			depth := 1 + rng.Intn(5)
+			topic := ""
+			for d := 0; d < depth; d++ {
+				if d > 0 {
+					topic += "/"
+				}
+				s := segs[rng.Intn(len(segs)-1)] // skip "+": not valid in names
+				topic += s
+			}
+			if fanout.ValidateName(topic) != nil {
+				continue
+			}
+			want := linearCohortOf(l.cohorts, topic)
+			got := l.cohortOfLocked(topic)
+			if got != want {
+				t.Fatalf("trial %d: cohortOfLocked(%q) = %v, linear scan = %v (filters %v)",
+					trial, topic, name(got), name(want), filters)
+			}
+		}
+	}
+}
+
+// TestCohortTrieRebuiltOnAssignment asserts applyAssignment re-indexes
+// the trie: routing must reflect the new cohort set, not the seed's.
+func TestCohortTrieRebuiltOnAssignment(t *testing.T) {
+	l := leafWithCohorts(t, []string{"eu/old/#"})
+	l.opts.ID = "leaf-1"
+
+	if c := l.cohortOfLocked("eu/old/node-1"); c == nil || c.filter != "eu/old/#" {
+		t.Fatalf("seed routing broken: got %v", name(c))
+	}
+
+	l.applyAssignment(&Assignment{
+		Version: 2,
+		Entries: []AssignEntry{
+			{Cohort: "eu/new/#", Owner: "leaf-1"},
+			{Cohort: "eu/other/#", Owner: "leaf-2"},
+		},
+	})
+
+	if c := l.cohortOfLocked("eu/old/node-1"); c != nil {
+		t.Errorf("dropped cohort still routes: %v", name(c))
+	}
+	if c := l.cohortOfLocked("eu/new/node-1"); c == nil || c.filter != "eu/new/#" {
+		t.Errorf("adopted cohort does not route: got %v", name(c))
+	}
+	if c := l.cohortOfLocked("eu/other/node-1"); c != nil {
+		t.Errorf("cohort owned by another leaf routes here: %v", name(c))
+	}
+}
+
+func name(c *cohortState) string {
+	if c == nil {
+		return "<none>"
+	}
+	return fmt.Sprintf("%q", c.filter)
+}

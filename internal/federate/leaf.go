@@ -109,6 +109,16 @@ type Leaf struct {
 	mu sync.Mutex
 	// cohorts maps filter → accumulator for every owned cohort.
 	cohorts map[string]*cohortState
+	// trie indexes the owned cohorts by filter so cohortOfLocked resolves
+	// a stream in O(topic depth) instead of scanning every cohort —
+	// drainBus and sweep call it once per stream, so at 1M streams the
+	// linear scan is the difference between O(streams) and
+	// O(streams × cohorts) per roll-up round. Rebuilt on assignment
+	// changes, which are rare.
+	trie *fanout.Trie[*cohortState]
+	// matchBuf is cohortOfLocked's reusable match buffer (guarded by mu,
+	// like the trie lookups themselves).
+	matchBuf []*cohortState
 	// assignVersion is the newest assignment-table version applied.
 	assignVersion uint64
 	seq           uint64
@@ -159,7 +169,19 @@ func NewLeaf(ep gossip.Endpoint, clk clock.Clock, reg *registry.Registry, agg st
 		}
 		l.cohorts[f] = &cohortState{filter: f}
 	}
+	l.rebuildTrieLocked()
 	return l, nil
+}
+
+// rebuildTrieLocked re-indexes l.cohorts into a fresh trie. Filters in
+// l.cohorts have already been validated, so Subscribe cannot fail; a
+// filter that somehow slipped through falls back to unmatched (counted
+// as foreign), never a panic. Must hold mu (or be pre-publication).
+func (l *Leaf) rebuildTrieLocked() {
+	l.trie = fanout.New[*cohortState]()
+	for f, c := range l.cohorts {
+		_, _ = l.trie.Subscribe(f, c)
+	}
 }
 
 // ID returns the leaf's federation identity.
@@ -306,17 +328,18 @@ func (l *Leaf) drainBusLocked() {
 	}
 }
 
-// cohortOfLocked finds the owned cohort a stream belongs to — a linear
-// scan, fine for the tens of cohorts a leaf owns (the stream fan-out
-// trie handles the million-subscription case; cohort sets are small by
-// construction). First match in sorted order wins when filters overlap.
+// cohortOfLocked finds the owned cohort a stream belongs to via the
+// cohort trie: O(topic depth), independent of how many cohorts the leaf
+// owns. First match in sorted filter order wins when filters overlap —
+// the same tie-break the old linear scan applied, so re-delegation
+// attribution is stable across the index change. The match buffer is
+// reused across calls; nothing allocates on the per-stream path.
 func (l *Leaf) cohortOfLocked(peer string) *cohortState {
+	l.matchBuf = l.trie.MatchAppend(peer, l.matchBuf[:0])
 	var best *cohortState
-	for f, c := range l.cohorts {
-		if fanout.MatchTopic(f, peer) {
-			if best == nil || f < best.filter {
-				best = c
-			}
+	for _, c := range l.matchBuf {
+		if best == nil || c.filter < best.filter {
+			best = c
 		}
 	}
 	return best
@@ -477,6 +500,7 @@ func (l *Leaf) applyAssignment(a *Assignment) {
 		}
 	}
 	l.cohorts = next
+	l.rebuildTrieLocked()
 	l.assignVersion = a.Version
 	l.assignsApplied.Add(1)
 }

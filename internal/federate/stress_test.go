@@ -89,7 +89,21 @@ func TestRollupVsChurnRace(t *testing.T) {
 		for {
 			select {
 			case <-stop:
-				return
+				// Drain what's still queued before exiting: on a
+				// single-CPU box every digest can be sitting in the
+				// hub buffer when stop closes, and the select above
+				// may take the stop arm first.
+				for {
+					select {
+					case in, ok := <-aggEP.Recv():
+						if !ok {
+							return
+						}
+						agg.HandleDatagram(in.From, in.Payload)
+					default:
+						return
+					}
+				}
 			case in, ok := <-aggEP.Recv():
 				if !ok {
 					return

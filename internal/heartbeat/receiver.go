@@ -29,18 +29,24 @@ type Handler func(Arrival)
 // Receiver drains an endpoint, decodes heartbeats, filters stale
 // (out-of-order or duplicate) deliveries per sender, answers pings, and
 // feeds arrivals to the handler — the paper's monitoring process q.
+//
+// On a multi-queue endpoint (transport.QueuedEndpoint with more than
+// one ingest queue) Start runs one drain goroutine per queue, so the
+// handler MUST be safe for concurrent use — registry.Registry.Observe
+// is. The stale filter is sharded by sender to match: per-sender state
+// never crosses shards, so parallel drains contend only when two
+// senders hash together, not on one global mutex.
 type Receiver struct {
 	ep      transport.Endpoint
 	clk     clock.Clock
 	handler Handler
 
-	mu      sync.Mutex
-	last    map[string]incSeq
-	foreign func(transport.Inbound)
+	filters [filterShards]filterShard
+	foreign atomic.Pointer[func(transport.Inbound)]
 
-	// Datagram counters live outside the mutex: the ingest path bumps
-	// them with single atomic adds, and the metrics layer samples them at
-	// scrape time without touching the stale-filter lock.
+	// Datagram counters live outside the filter locks: the ingest path
+	// bumps them with single atomic adds, and the metrics layer samples
+	// them at scrape time without touching any stale-filter lock.
 	received    atomic.Uint64
 	stale       atomic.Uint64
 	foreignSeen atomic.Uint64
@@ -51,6 +57,17 @@ type Receiver struct {
 	decodeSec atomic.Pointer[metrics.Histogram]
 
 	done chan struct{}
+}
+
+// filterShards stripes the per-sender stale filter (power of two). 64
+// stripes keep contention negligible even with a drain goroutine per
+// ingest queue hammering the filter from every core.
+const filterShards = 64
+
+// filterShard is one stale-filter stripe.
+type filterShard struct {
+	mu   sync.Mutex
+	last map[string]incSeq
 }
 
 // incSeq is the per-sender stale-filter state: the highest (incarnation,
@@ -66,30 +83,63 @@ func NewReceiver(ep transport.Endpoint, clk clock.Clock, h Handler) *Receiver {
 	if clk == nil {
 		clk = clock.NewReal()
 	}
-	return &Receiver{
+	r := &Receiver{
 		ep: ep, clk: clk, handler: h,
-		last: make(map[string]incSeq),
 		done: make(chan struct{}),
 	}
+	for i := range r.filters {
+		r.filters[i].last = make(map[string]incSeq)
+	}
+	return r
+}
+
+// filterFor returns the sender's stale-filter stripe.
+func (r *Receiver) filterFor(from string) *filterShard {
+	return &r.filters[fnv32a(from)&(filterShards-1)]
 }
 
 // SetForeign installs a handler for datagrams that are not heartbeat
 // messages (wrong magic/version), letting another protocol — e.g. the
 // gossip dissemination layer — share this endpoint's socket. Call it
-// before Start.
+// before Start. On a multi-queue endpoint the foreign handler, like the
+// arrival handler, may be invoked concurrently.
 func (r *Receiver) SetForeign(h func(transport.Inbound)) {
-	r.mu.Lock()
-	r.foreign = h
-	r.mu.Unlock()
+	if h == nil {
+		r.foreign.Store(nil)
+		return
+	}
+	r.foreign.Store(&h)
 }
 
-// Start launches the receive loop; it exits when the endpoint closes.
+// Start launches the receive loop — one drain goroutine per ingest
+// queue on a multi-queue endpoint, a single goroutine otherwise. It
+// exits (and Wait unblocks) when the endpoint closes every queue. Each
+// datagram's pooled receive buffer is released after dispatch, so
+// handlers must not retain payload slices.
 func (r *Receiver) Start() {
-	go func() {
-		defer close(r.done)
-		for in := range r.ep.Recv() {
-			r.handle(in)
+	queues := []<-chan transport.Inbound{r.ep.Recv()}
+	if qep, ok := r.ep.(transport.QueuedEndpoint); ok {
+		if n := qep.RecvQueues(); n > 1 {
+			queues = queues[:0]
+			for i := 0; i < n; i++ {
+				queues = append(queues, qep.RecvQueue(i))
+			}
 		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(queues))
+	for _, q := range queues {
+		go func(q <-chan transport.Inbound) {
+			defer wg.Done()
+			for in := range q {
+				r.handle(in)
+				in.Release()
+			}
+		}(q)
+	}
+	go func() {
+		wg.Wait()
+		close(r.done)
 	}()
 }
 
@@ -102,11 +152,8 @@ func (r *Receiver) handle(in transport.Inbound) {
 	msg, err := Unmarshal(in.Payload)
 	if err != nil {
 		r.foreignSeen.Add(1)
-		r.mu.Lock()
-		f := r.foreign
-		r.mu.Unlock()
-		if f != nil {
-			f(in)
+		if f := r.foreign.Load(); f != nil {
+			(*f)(in)
 		}
 		return // foreign datagram: not ours
 	}
@@ -117,21 +164,21 @@ func (r *Receiver) handle(in transport.Inbound) {
 		_ = r.ep.Send(in.From, pong.Marshal())
 	case KindHeartbeat:
 		recv := r.clk.Now()
-		r.mu.Lock()
-		last, seen := r.last[in.From]
+		fs := r.filterFor(in.From)
+		fs.mu.Lock()
+		last, seen := fs.last[in.From]
 		// A higher incarnation always supersedes; within one incarnation
 		// the detector needs strictly increasing sequence numbers.
 		if seen && (msg.Inc < last.inc || (msg.Inc == last.inc && msg.Seq <= last.seq)) {
-			r.mu.Unlock()
+			fs.mu.Unlock()
 			r.stale.Add(1)
 			return // duplicate, reordered, or from a dead incarnation
 		}
-		r.last[in.From] = incSeq{inc: msg.Inc, seq: msg.Seq}
-		h := r.handler
-		r.mu.Unlock()
+		fs.last[in.From] = incSeq{inc: msg.Inc, seq: msg.Seq}
+		fs.mu.Unlock()
 		r.received.Add(1)
-		if h != nil {
-			h(Arrival{From: in.From, Seq: msg.Seq, Send: msg.Time, Recv: recv, Inc: msg.Inc})
+		if r.handler != nil {
+			r.handler(Arrival{From: in.From, Seq: msg.Seq, Send: msg.Time, Recv: recv, Inc: msg.Inc})
 		}
 	case KindPong:
 		// Pongs are consumed by Prober instances sharing the endpoint;
@@ -151,17 +198,37 @@ func (r *Receiver) Wait() { <-r.done }
 // that reappears after Forget is accepted from whatever sequence number
 // it resumes at.
 func (r *Receiver) Forget(peer string) {
-	r.mu.Lock()
-	delete(r.last, peer)
-	r.mu.Unlock()
+	fs := r.filterFor(peer)
+	fs.mu.Lock()
+	delete(fs.last, peer)
+	fs.mu.Unlock()
 }
 
 // Tracked returns how many senders currently have stale-filter state —
-// the bound Forget maintains.
+// the bound Forget maintains. It sums the stripes without a global
+// lock, so the count is approximate under concurrent ingest (exact when
+// quiescent).
 func (r *Receiver) Tracked() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.last)
+	n := 0
+	for i := range r.filters {
+		fs := &r.filters[i]
+		fs.mu.Lock()
+		n += len(fs.last)
+		fs.mu.Unlock()
+	}
+	return n
+}
+
+// fnv32a hashes a sender address onto a filter stripe (FNV-1a, inlined
+// to keep the ingest path allocation-free — same idiom as the
+// registry's shard selector).
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }
 
 // Counters returns the number of accepted and stale heartbeats.
@@ -259,6 +326,7 @@ func (p *Prober) Start(interval time.Duration) {
 					return
 				}
 				p.consume(in)
+				in.Release()
 			}
 		}
 	}()

@@ -79,17 +79,42 @@ type varsJSON struct {
 	// topic) with its delivery accounting, so a slow /watch consumer is
 	// diagnosable from the outside by its per-subscription drop count.
 	Subscriptions []SubscriptionStats `json:"subscriptions"`
+	// Aux carries sections registered by RegisterVars — subsystems
+	// outside the registry (transport drop counters, gossip, federation)
+	// that want their accounting on the same endpoint.
+	Aux map[string]any `json:"aux,omitempty"`
+}
+
+// RegisterVars adds a named section to /vars, produced by fn at serve
+// time. Registering the same name again replaces the section. fn must
+// be safe for concurrent use; it is called on the HTTP serving path.
+func (r *Registry) RegisterVars(name string, fn func() any) {
+	r.varsMu.Lock()
+	if r.varsAux == nil {
+		r.varsAux = make(map[string]func() any)
+	}
+	r.varsAux[name] = fn
+	r.varsMu.Unlock()
 }
 
 func (r *Registry) serveVars(w http.ResponseWriter, _ *http.Request) {
 	now := r.clk.Now()
-	writeJSON(w, varsJSON{
+	out := varsJSON{
 		Now:           int64(now),
 		Uptime:        now.Sub(clock.Time(0)).Seconds(),
 		Counters:      r.Counters(),
 		Shards:        r.ShardOccupancy(),
 		Subscriptions: r.bus.SubscriptionStats(),
-	})
+	}
+	r.varsMu.Lock()
+	if len(r.varsAux) > 0 {
+		out.Aux = make(map[string]any, len(r.varsAux))
+		for name, fn := range r.varsAux {
+			out.Aux[name] = fn()
+		}
+	}
+	r.varsMu.Unlock()
+	writeJSON(w, out)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

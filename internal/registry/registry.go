@@ -228,6 +228,11 @@ type Registry struct {
 	metricsOnce sync.Once
 	metricsSet  *metrics.Set
 
+	// varsAux holds /vars sections registered by other subsystems via
+	// RegisterVars (transport, gossip, federation).
+	varsMu  sync.Mutex
+	varsAux map[string]func() any
+
 	// watchConns counts live /watch connections against WatchMaxConns.
 	watchConns    atomic.Int64
 	watchRejected atomic.Uint64

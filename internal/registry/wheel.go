@@ -41,10 +41,31 @@ type expiry struct {
 	gen  uint64
 }
 
-type wheelEntry struct {
-	peer  string
-	gen   uint64
-	ticks int64 // absolute fire tick
+// wheelSlot stores its entries struct-of-arrays: three parallel slices
+// instead of one []struct. advance scans ticks — a dense []int64 — to
+// decide expiry, touching peers/gens only for entries that actually
+// fire or cascade; at 1M streams that keeps the per-tick scan inside a
+// few cache lines instead of striding over 40-byte entries whose
+// string headers the comparison never needs.
+type wheelSlot struct {
+	ticks []int64 // absolute fire tick
+	gens  []uint64
+	peers []string
+}
+
+func (s *wheelSlot) push(tick int64, gen uint64, peer string) {
+	s.ticks = append(s.ticks, tick)
+	s.gens = append(s.gens, gen)
+	s.peers = append(s.peers, peer)
+}
+
+// reset empties the slot, keeping capacity but clearing the string
+// slice so fired peers don't pin their backing memory.
+func (s *wheelSlot) reset() {
+	clear(s.peers)
+	s.ticks = s.ticks[:0]
+	s.gens = s.gens[:0]
+	s.peers = s.peers[:0]
 }
 
 type timerWheel struct {
@@ -53,7 +74,7 @@ type timerWheel struct {
 	start clock.Time
 	cur   int64 // highest tick already processed
 	count int
-	slots [wheelLevels][wheelSlots][]wheelEntry
+	slots [wheelLevels][wheelSlots]wheelSlot
 }
 
 func newTimerWheel(tick clock.Duration, start clock.Time) *timerWheel {
@@ -77,27 +98,27 @@ func (w *timerWheel) ticksAt(t clock.Time) int64 {
 // Instants at or before the current tick land on the next tick.
 func (w *timerWheel) schedule(at clock.Time, peer string, gen uint64) {
 	w.mu.Lock()
-	e := wheelEntry{peer: peer, gen: gen, ticks: w.ticksAt(at)}
-	if e.ticks <= w.cur {
-		e.ticks = w.cur + 1
+	ticks := w.ticksAt(at)
+	if ticks <= w.cur {
+		ticks = w.cur + 1
 	}
-	w.place(e)
+	w.place(ticks, gen, peer)
 	w.count++
 	w.mu.Unlock()
 }
 
 // place files an entry at the innermost level whose span covers its
 // delay. Must hold mu.
-func (w *timerWheel) place(e wheelEntry) {
+func (w *timerWheel) place(ticks int64, gen uint64, peer string) {
 	const maxSpan = int64(1) << (wheelLevels * wheelBits)
-	if e.ticks-w.cur >= maxSpan {
-		e.ticks = w.cur + maxSpan - 1 // clamp: fires early, then re-arms
+	if ticks-w.cur >= maxSpan {
+		ticks = w.cur + maxSpan - 1 // clamp: fires early, then re-arms
 	}
-	delta := e.ticks - w.cur
+	delta := ticks - w.cur
 	for l := 0; l < wheelLevels; l++ {
 		if delta < int64(1)<<uint((l+1)*wheelBits) || l == wheelLevels-1 {
-			idx := (e.ticks >> uint(l*wheelBits)) & wheelMask
-			w.slots[l][idx] = append(w.slots[l][idx], e)
+			idx := (ticks >> uint(l*wheelBits)) & wheelMask
+			w.slots[l][idx].push(ticks, gen, peer)
 			return
 		}
 	}
@@ -112,11 +133,11 @@ func (w *timerWheel) advance(now clock.Time, expired []expiry) []expiry {
 	for w.cur < target {
 		w.cur++
 		slot := &w.slots[0][w.cur&wheelMask]
-		for _, e := range *slot {
-			expired = append(expired, expiry{peer: e.peer, gen: e.gen})
+		for i := range slot.ticks {
+			expired = append(expired, expiry{peer: slot.peers[i], gen: slot.gens[i]})
 			w.count--
 		}
-		*slot = (*slot)[:0]
+		slot.reset()
 		// Each time a level's index wraps to 0 the next outer level's
 		// current slot comes into range: redistribute it inward.
 		for l := 1; l < wheelLevels; l++ {
@@ -124,14 +145,17 @@ func (w *timerWheel) advance(now clock.Time, expired []expiry) []expiry {
 				break
 			}
 			idx := (w.cur >> uint(l*wheelBits)) & wheelMask
-			entries := w.slots[l][idx]
-			w.slots[l][idx] = nil
-			for _, e := range entries {
-				if e.ticks <= w.cur {
-					expired = append(expired, expiry{peer: e.peer, gen: e.gen})
+			src := &w.slots[l][idx]
+			// place may append into this very slot on the innermost
+			// level; detach the arrays before redistributing.
+			ticks, gens, peers := src.ticks, src.gens, src.peers
+			src.ticks, src.gens, src.peers = nil, nil, nil
+			for i := range ticks {
+				if ticks[i] <= w.cur {
+					expired = append(expired, expiry{peer: peers[i], gen: gens[i]})
 					w.count--
 				} else {
-					w.place(e)
+					w.place(ticks[i], gens[i], peers[i])
 				}
 			}
 		}

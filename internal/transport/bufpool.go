@@ -1,0 +1,99 @@
+package transport
+
+import "sync/atomic"
+
+// BufPool is a channel-based pool of fixed-size receive buffers — the
+// allocation backstop of the batched ingest path. The receive loop Gets
+// a buffer per datagram slot; whoever consumes the Inbound Puts it back
+// (Inbound.Release). The channel IS the free list: Get prefers a pooled
+// buffer and falls back to a fresh allocation when the pool runs dry
+// (counted as a miss), Put returns a buffer unless the pool is already
+// full (counted as a discard, and the buffer falls to the GC). The pool
+// therefore never blocks either side and holds at most `buffers`
+// idle buffers; steady-state traffic with prompt releases recirculates
+// the same backing arrays and the hot path stops allocating per
+// datagram.
+//
+// A zero or nil pool is not usable; construct with NewBufPool.
+type BufPool struct {
+	ch   chan []byte
+	size int
+
+	gets     atomic.Uint64
+	misses   atomic.Uint64
+	puts     atomic.Uint64
+	discards atomic.Uint64
+}
+
+// BufPoolStats is a point-in-time counter snapshot.
+type BufPoolStats struct {
+	Gets     uint64 `json:"gets"`     // buffers handed out
+	Misses   uint64 `json:"misses"`   // Gets served by a fresh allocation
+	Puts     uint64 `json:"puts"`     // buffers returned
+	Discards uint64 `json:"discards"` // returns dropped (pool full or wrong size)
+	Idle     int    `json:"idle"`     // buffers currently pooled
+	Cap      int    `json:"cap"`      // pool capacity
+	BufSize  int    `json:"buf_size"` // bytes per buffer
+}
+
+// NewBufPool builds a pool of up to `buffers` buffers of `size` bytes
+// each. Nothing is preallocated: memory is only committed for buffers
+// actually in circulation, so a large cap costs nothing until traffic
+// needs it. Non-positive arguments take defaults (256 buffers, 64 KiB).
+func NewBufPool(buffers, size int) *BufPool {
+	if buffers <= 0 {
+		buffers = 256
+	}
+	if size <= 0 {
+		size = maxDatagram
+	}
+	return &BufPool{ch: make(chan []byte, buffers), size: size}
+}
+
+// BufSize returns the fixed per-buffer size.
+func (p *BufPool) BufSize() int { return p.size }
+
+// Get returns a buffer of exactly BufSize bytes: pooled if one is idle,
+// freshly allocated otherwise.
+func (p *BufPool) Get() []byte {
+	p.gets.Add(1)
+	select {
+	case b := <-p.ch:
+		return b
+	default:
+		p.misses.Add(1)
+		return make([]byte, p.size)
+	}
+}
+
+// Put returns a buffer to the pool. The buffer may have been resliced
+// shorter (payload trimming keeps the backing array); Put restores the
+// full length from its capacity. A buffer whose capacity no longer
+// matches the pool's size — one that was resliced off its base or came
+// from elsewhere — is discarded rather than poisoning the pool, as is
+// any return beyond the pool's capacity.
+func (p *BufPool) Put(b []byte) {
+	if cap(b) != p.size {
+		p.discards.Add(1)
+		return
+	}
+	p.puts.Add(1)
+	select {
+	case p.ch <- b[:p.size]:
+	default:
+		p.discards.Add(1)
+	}
+}
+
+// Stats returns the pool's counter snapshot.
+func (p *BufPool) Stats() BufPoolStats {
+	return BufPoolStats{
+		Gets:     p.gets.Load(),
+		Misses:   p.misses.Load(),
+		Puts:     p.puts.Load(),
+		Discards: p.discards.Load(),
+		Idle:     len(p.ch),
+		Cap:      cap(p.ch),
+		BufSize:  p.size,
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package transport
+
+// raceEnabled gates allocation assertions: the race detector instruments
+// allocations, so zero-alloc tests only run in normal builds.
+const raceEnabled = false

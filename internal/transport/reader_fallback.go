@@ -1,0 +1,12 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package transport
+
+import "net"
+
+// newReader on platforms without the recvmmsg fast path always returns
+// the portable per-datagram reader: still pooled-buffer, still
+// allocation-free in steady state, just one syscall per datagram.
+func newReader(conn *net.UDPConn, pool *BufPool, batch int) (udpReader, bool) {
+	return &singleReader{conn: conn, pool: pool}, false
+}

@@ -276,8 +276,42 @@ type (
 	Prober = heartbeat.Prober
 )
 
-// ListenUDP opens a UDP endpoint (e.g. "127.0.0.1:0").
+// ListenUDP opens a UDP endpoint (e.g. "127.0.0.1:0") with default
+// receive-path options: batched reads where the platform supports them,
+// one ingest queue, a private receive-buffer pool.
 func ListenUDP(addr string) (*transport.UDP, error) { return transport.ListenUDP(addr) }
+
+// Million-stream ingest tuning (see internal/transport): the UDP
+// receive path batches datagram reads (recvmmsg on Linux), lands
+// payloads in pooled buffers, and can shard inbound traffic across
+// several ingest queues drained in parallel by HeartbeatReceiver.
+type (
+	// UDPEndpoint is the concrete UDP endpoint with its receive-path
+	// counters and multi-queue surface.
+	UDPEndpoint = transport.UDP
+	// UDPOptions tunes the batched receive path (queues, batch size,
+	// buffer pool).
+	UDPOptions = transport.UDPOptions
+	// UDPCounters is a UDP endpoint's receive-path counter snapshot,
+	// including datagrams dropped at full ingest queues.
+	UDPCounters = transport.UDPCounters
+	// QueuedEndpoint is the optional multi-queue surface of an endpoint.
+	QueuedEndpoint = transport.QueuedEndpoint
+	// BufPool is a bounded pool of fixed-size receive buffers.
+	BufPool = transport.BufPool
+	// BufPoolStats is a BufPool counter snapshot.
+	BufPoolStats = transport.BufPoolStats
+)
+
+// ListenUDPOpts opens a UDP endpoint with explicit receive-path tuning.
+func ListenUDPOpts(addr string, opts UDPOptions) (*transport.UDP, error) {
+	return transport.ListenUDPOpts(addr, opts)
+}
+
+// NewBufPool builds a receive-buffer pool of up to `buffers` buffers of
+// `size` bytes (defaults: 256 × 64 KiB). Share one pool across
+// endpoints to share its memory bound.
+func NewBufPool(buffers, size int) *BufPool { return transport.NewBufPool(buffers, size) }
 
 // NewHub returns an in-memory datagram switchboard for socket-free use.
 func NewHub(lossRate float64, delay Duration, seed int64) *transport.Hub {
