@@ -1,0 +1,173 @@
+// sfdload is the real-traffic load harness: it boots one or more
+// in-process monitors, aims a fleet of tens of thousands of real UDP
+// heartbeat senders at them (wire-v3 named streams multiplexed over a
+// socket pool), injects scripted kill / restart / NAT-rebind faults on
+// a timeline, optionally shapes each cohort's outbound path with chaos
+// impairments, and scores ground-truth detection latency by marking
+// each injected failure and matching it against the monitors' /watch
+// NDJSON streams. The result is a JSON report with detection-latency
+// p50/p95/p99, TD/MR/QAP aggregates, and send/receive/spurious
+// counters, gated by the scenario's bounds (exit 1 on violation).
+//
+// Usage:
+//
+//	# the three built-in presets:
+//	sfdload -preset datacenter -count 50000
+//	sfdload -preset mobile
+//	sfdload -preset mixed-fleet -duration 3m -json report.json
+//
+//	# scale and pacing overrides:
+//	sfdload -preset datacenter -count 2000 -duration 90s -interval 500ms -jitter 0.05
+//
+//	# a custom scenario from a JSON spec file (the LoadSpec shape):
+//	sfdload -spec scenario.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	sfd "repro"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "datacenter", "built-in scenario: datacenter, mobile, or mixed-fleet")
+		list     = flag.Bool("list", false, "list presets and exit")
+		spec     = flag.String("spec", "", "JSON scenario file (overrides -preset)")
+		count    = flag.Int("count", 0, "override total sender count (0 = preset default)")
+		duration = flag.Duration("duration", 0, "override run duration (0 = preset default)")
+		interval = flag.Duration("interval", 0, "override every cohort's heartbeat interval (0 = keep)")
+		jitter   = flag.Float64("jitter", -1, "override every cohort's jitter fraction in [0,1) (-1 = keep)")
+		ramp     = flag.Duration("ramp", -1, "override every cohort's start ramp (-1 = keep)")
+		monitors = flag.Int("monitors", 0, "override monitor count (0 = preset default)")
+		seed     = flag.Int64("seed", 0, "scenario seed (0 = preset default)")
+		jsonOut  = flag.String("json", "", "write the JSON report here ('-' = stdout; default: stdout summary only)")
+		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range sfd.LoadPresets() {
+			fmt.Println(p)
+		}
+		return
+	}
+
+	var sc sfd.LoadSpec
+	if *spec != "" {
+		b, err := os.ReadFile(*spec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(b, &sc); err != nil {
+			fatal(fmt.Errorf("%s: %w", *spec, err))
+		}
+	} else {
+		var err error
+		if sc, err = sfd.LoadPreset(*preset); err != nil {
+			fatal(err)
+		}
+	}
+	if *count > 0 {
+		sc.Total = *count
+	}
+	if *duration > 0 {
+		sc.Duration = *duration
+	}
+	if *monitors > 0 {
+		sc.Monitors = *monitors
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	for i := range sc.Cohorts {
+		if *interval > 0 {
+			sc.Cohorts[i].Pacer.Interval = *interval
+		}
+		if *jitter >= 0 {
+			sc.Cohorts[i].Pacer.Jitter = *jitter
+		}
+		if *ramp >= 0 {
+			sc.Cohorts[i].Pacer.Ramp = *ramp
+		}
+	}
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	fmt.Fprintf(os.Stderr, "sfdload: scenario %q: %d senders, %d monitor(s), %v\n",
+		sc.Name, sc.Total, max(sc.Monitors, 1), sc.Duration)
+	start := time.Now()
+	rep, err := sfd.RunLoad(sc, progress)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *jsonOut {
+	case "":
+		// summary only
+	case "-":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	default:
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sfdload: report written to %s\n", *jsonOut)
+	}
+
+	gt := rep.Tracker
+	fmt.Printf("sfdload: %s: %d senders for %v (wall %v)\n",
+		rep.Scenario, rep.Total, sc.Duration, time.Since(start).Round(time.Second))
+	fmt.Printf("  injected kills     %d (detected %d, missed %d; rebinds %d, restarts %d)\n",
+		gt.Injected, gt.Detected, gt.Missed, gt.Rebinds, gt.Restarts)
+	fmt.Printf("  spurious           %d (recovered %d)\n", gt.Spurious, gt.Recovered)
+	if gt.Local.Samples > 0 {
+		fmt.Printf("  detection latency  p50=%.2fs p95=%.2fs p99=%.2fs mean=%.2fs max=%.2fs (n=%d)\n",
+			gt.Local.P50, gt.Local.P95, gt.Local.P99, gt.Local.Mean, gt.Local.Max, gt.Local.Samples)
+	}
+	if gt.Global.Samples > 0 {
+		fmt.Printf("  global latency     p50=%.2fs p99=%.2fs (n=%d)\n",
+			gt.Global.P50, gt.Global.P99, gt.Global.Samples)
+	}
+	for _, m := range rep.Monitors {
+		fmt.Printf("  monitor %-21s hb=%d stale=%d suspects=%d trusts=%d offline=%d streams=%d tuned=%d\n",
+			m.Addr, m.Heartbeats, m.Stale, m.Suspects, m.Trusts, m.Offlines,
+			m.QoS.Streams, m.QoS.Tuned)
+		if m.UDPDropped > 0 {
+			fmt.Printf("    udp: received=%d dropped=%d (ingest queue overflow)\n",
+				m.UDPReceived, m.UDPDropped)
+		}
+		if m.QoS.Measured > 0 {
+			fmt.Printf("    qos (n=%d)       TD=%.3fs MR=%.4f/s QAP=%.5f\n",
+				m.QoS.Measured, m.QoS.MeanTDS, m.QoS.MeanMR, m.QoS.MeanQAP)
+		}
+	}
+	if rep.Pass {
+		fmt.Println("  bounds             PASS")
+		return
+	}
+	fmt.Println("  bounds             FAIL")
+	for _, v := range rep.Violations {
+		fmt.Printf("    - %s\n", v)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sfdload: %v\n", err)
+	os.Exit(2)
+}

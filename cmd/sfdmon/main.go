@@ -83,6 +83,9 @@ func main() {
 		to       = flag.String("to", "127.0.0.1:7946", "send: monitor address")
 		listen   = flag.String("listen", ":7946", "monitor: bind address")
 		interval = flag.Duration("interval", 100*time.Millisecond, "send: heartbeat interval")
+		jitter   = flag.Float64("jitter", 0, "send: per-beat uniform jitter fraction in [0,1) (0 = fixed cadence)")
+		ramp     = flag.Duration("ramp", 0, "send: random start delay drawn from [0,ramp) (desynchronizes fleets)")
+		hbName   = flag.String("name", "", "send: logical stream name (wire-v3; the monitor keys the stream by name, surviving address changes)")
 		refresh  = flag.Duration("refresh", time.Second, "monitor: status print interval")
 		maxTD    = flag.Duration("maxtd", 2*time.Second, "monitor: target max detection time")
 		maxMR    = flag.Float64("maxmr", 0.5, "monitor: target max mistake rate")
@@ -134,7 +137,23 @@ func main() {
 
 	switch *mode {
 	case "send":
-		runSender(*to, *interval, *duration, chaosSc)
+		if strings.TrimSpace(*to) == "" {
+			fmt.Fprintln(os.Stderr, "sfdmon: -mode send needs a monitor address: -to host:port")
+			os.Exit(2)
+		}
+		if *interval <= 0 {
+			fmt.Fprintf(os.Stderr, "sfdmon: -interval must be positive (got %v)\n", *interval)
+			os.Exit(2)
+		}
+		if *jitter < 0 || *jitter >= 1 {
+			fmt.Fprintf(os.Stderr, "sfdmon: -jitter must be in [0,1) (got %g)\n", *jitter)
+			os.Exit(2)
+		}
+		if *ramp < 0 {
+			fmt.Fprintf(os.Stderr, "sfdmon: -ramp must be non-negative (got %v)\n", *ramp)
+			os.Exit(2)
+		}
+		runSender(*to, *interval, *jitter, *ramp, *hbName, *duration, chaosSc)
 	case "monitor":
 		var gc *gossipConfig
 		if *gossipOn {
@@ -198,7 +217,7 @@ func loadScenario(spec string, seed int64) (sfd.ChaosScenario, error) {
 	return sc, nil
 }
 
-func runSender(to string, interval, duration time.Duration, chaosSc *sfd.ChaosScenario) {
+func runSender(to string, interval time.Duration, jitter float64, ramp time.Duration, name string, duration time.Duration, chaosSc *sfd.ChaosScenario) {
 	udp, err := sfd.ListenUDP(":0")
 	if err != nil {
 		fatal(err)
@@ -226,9 +245,25 @@ func runSender(to string, interval, duration time.Duration, chaosSc *sfd.ChaosSc
 			chaosSc.Name, ctl.Seed(), len(chaosSc.Steps))
 	}
 
-	snd := sfd.NewHeartbeatSender(ep, to, interval, hbClk)
+	// The paced sender shares the load harness's timing model, so a
+	// hand-run sender paces exactly like a harness fleet member.
+	snd, err := sfd.NewPacedHeartbeatSender(ep, to, name,
+		sfd.LoadPacer{Interval: interval, Jitter: jitter, Ramp: ramp}, 0, hbClk)
+	if err != nil {
+		fatal(err)
+	}
 	snd.Start()
-	fmt.Printf("sfdmon: heartbeating to %s every %v (from %s)\n", to, interval, udp.Addr())
+	how := fmt.Sprintf("every %v", interval)
+	if jitter > 0 {
+		how += fmt.Sprintf(" ±%d%%", int(jitter*100))
+	}
+	if ramp > 0 {
+		how += fmt.Sprintf(" after <%v ramp", ramp)
+	}
+	if name != "" {
+		how += fmt.Sprintf(" as %q", name)
+	}
+	fmt.Printf("sfdmon: heartbeating to %s %s (from %s)\n", to, how, udp.Addr())
 	waitForExit(duration)
 	snd.Stop()
 	fmt.Printf("sfdmon: sent %d heartbeats\n", snd.Sent())

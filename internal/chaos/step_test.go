@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// TestOnStepNotifications: every arm and disarm — manual or scripted —
+// must reach registered step observers with the right polarity.
+func TestOnStepNotifications(t *testing.T) {
+	sim := clock.NewSim(0)
+	c := NewController(sim, 1)
+
+	var mu sync.Mutex
+	var got []StepEvent
+	c.OnStep(func(ev StepEvent) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	})
+
+	id, err := c.Arm(Impairment{Kind: KindLoss, Rate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Disarm(id) {
+		t.Fatal("disarm failed")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("got %d step events, want 2: %+v", len(got), got)
+	}
+	if !got[0].Armed || got[0].ID != id || got[0].Impairment.Kind != KindLoss {
+		t.Fatalf("arm event = %+v", got[0])
+	}
+	if got[1].Armed || got[1].ID != id || got[1].Impairment.Kind != KindLoss {
+		t.Fatalf("disarm event = %+v", got[1])
+	}
+}
+
+// TestOnStepScenario: a played scenario's timed arms/disarms notify too,
+// carrying the scenario name.
+func TestOnStepScenario(t *testing.T) {
+	sim := clock.NewSim(0)
+	c := NewController(sim, 1)
+
+	var mu sync.Mutex
+	var got []StepEvent
+	c.OnStep(func(ev StepEvent) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	})
+
+	sc := Scenario{
+		Name: "drill",
+		Steps: []Step{{
+			At: Span(10 * clock.Millisecond), Duration: Span(20 * clock.Millisecond),
+			Impairment: Impairment{Kind: KindLoss, Rate: 1},
+		}},
+	}
+	if err := c.Play(sc); err != nil {
+		t.Fatal(err)
+	}
+	// Under clock.Sim the scenario timers fire synchronously inside
+	// Advance, so both edges are deterministic.
+	sim.Advance(15 * clock.Millisecond)
+	sim.Advance(30 * clock.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("got %d step events, want 2: %+v", len(got), got)
+	}
+	if got[0].Scenario != "drill" || !got[0].Armed {
+		t.Fatalf("scenario arm = %+v", got[0])
+	}
+	if got[1].Armed {
+		t.Fatalf("scenario disarm = %+v", got[1])
+	}
+	if got[0].At == 0 && got[1].At == 0 {
+		t.Fatalf("step events missing timestamps: %+v", got)
+	}
+}

@@ -1,0 +1,156 @@
+package heartbeat
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/transport"
+)
+
+func TestNamedMessageRoundTrip(t *testing.T) {
+	cases := []Message{
+		{Kind: KindHeartbeat, Seq: 1, Time: 100, Inc: 3, Name: "a"},
+		{Kind: KindHeartbeat, Seq: 9, Time: 7, Inc: 1, Name: "dc/rack-3/web-17"},
+		{Kind: KindHeartbeat, Seq: 0, Time: 0, Inc: 0, Name: strings.Repeat("x", MaxNameLen)},
+	}
+	for _, m := range cases {
+		b := m.Marshal()
+		if want := 29 + len(m.Name); len(b) != want {
+			t.Fatalf("v3 %q: wire size %d, want %d", m.Name, len(b), want)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%q: %v", m.Name, err)
+		}
+		if got != m {
+			t.Fatalf("round trip: %+v → %+v", m, got)
+		}
+	}
+}
+
+func TestUnnamedStaysWireV2(t *testing.T) {
+	m := Message{Kind: KindHeartbeat, Seq: 5, Time: 10, Inc: 2}
+	if b := m.Marshal(); len(b) != 28 {
+		t.Fatalf("empty name must emit v2 (28 bytes), got %d", len(b))
+	}
+}
+
+func TestNamedRejectsBadWire(t *testing.T) {
+	base := (Message{Kind: KindHeartbeat, Name: "peer"}).Marshal()
+	cases := map[string][]byte{
+		"truncated name": base[:len(base)-1],
+		"zero name len": func() []byte {
+			b := append([]byte(nil), base...)
+			b[28] = 0
+			return b[:29]
+		}(),
+		"length overruns": func() []byte {
+			b := append([]byte(nil), base...)
+			b[28] = 200
+			return b
+		}(),
+	}
+	for name, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestAppendToReusesBuffer(t *testing.T) {
+	m := Message{Kind: KindHeartbeat, Seq: 1, Time: 2, Inc: 3, Name: "dc/s-00001"}
+	buf := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = m.AppendTo(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTo into a sized buffer allocated %.1f times/op", allocs)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil || got != m {
+		t.Fatalf("reused-buffer round trip: %+v, %v", got, err)
+	}
+}
+
+func TestMarshalPanicsOnOverlongName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 256-byte name")
+		}
+	}()
+	(&Message{Kind: KindHeartbeat, Name: strings.Repeat("n", MaxNameLen+1)}).Marshal()
+}
+
+// TestReceiverKeysByName is the heart of wire v3: two sockets carrying
+// the same logical name are one stream (seq continues, no reset), and
+// the arrival's From is the name, not the socket address.
+func TestReceiverKeysByName(t *testing.T) {
+	hub := transport.NewHub(0, 0, 1)
+	mon := hub.Endpoint("mon")
+	sockA := hub.Endpoint("sockA")
+	sockB := hub.Endpoint("sockB")
+	clk := clock.NewSim(clock.Time(0))
+
+	var arrivals []Arrival
+	var mu sync.Mutex
+	r := NewReceiver(mon, clk, func(a Arrival) {
+		mu.Lock()
+		arrivals = append(arrivals, a)
+		mu.Unlock()
+	})
+	r.Start()
+	defer mon.Close()
+
+	send := func(ep transport.Endpoint, seq uint64) {
+		m := Message{Kind: KindHeartbeat, Seq: seq, Time: clk.Now(), Inc: 1, Name: "app/db-1"}
+		if err := ep.Send("mon", m.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(sockA, 0)
+	send(sockA, 1)
+	send(sockB, 2) // same stream continues from a new source address
+	send(sockA, 2) // duplicate seq from the old address: stale
+	waitFor(t, "3 named arrivals", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(arrivals) >= 3
+	})
+	time.Sleep(20 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(arrivals) != 3 {
+		t.Fatalf("got %d arrivals, want 3 (dup from old socket must be stale)", len(arrivals))
+	}
+	for i, a := range arrivals {
+		if a.From != "app/db-1" {
+			t.Fatalf("arrival %d keyed by %q, want the logical name", i, a.From)
+		}
+		if a.Seq != uint64(i) {
+			t.Fatalf("arrival %d has seq %d", i, a.Seq)
+		}
+	}
+	if got := r.Tracked(); got != 1 {
+		t.Fatalf("two sockets, one name: tracked=%d, want 1", got)
+	}
+}
+
+// TestReceiverNamedDecodeNoAlloc locks in the alloc-free ingest path for
+// a known stream: Decode returns the name as a sub-slice and the filter
+// map is probed without materializing a string.
+func TestReceiverNamedDecodeNoAlloc(t *testing.T) {
+	m := Message{Kind: KindHeartbeat, Seq: 1, Time: 2, Inc: 1, Name: "dc/s-00042"}
+	b := m.Marshal()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := Decode(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Decode allocated %.1f times/op", allocs)
+	}
+}

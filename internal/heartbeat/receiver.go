@@ -13,6 +13,8 @@ import (
 
 // Arrival is one decoded heartbeat delivery.
 type Arrival struct {
+	// From identifies the stream: the carried logical name for wire-v3
+	// heartbeats, the datagram's source address otherwise.
 	From string
 	Seq  uint64
 	Send clock.Time // sender clock (from the payload)
@@ -71,10 +73,14 @@ type filterShard struct {
 }
 
 // incSeq is the per-sender stale-filter state: the highest (incarnation,
-// sequence) pair accepted so far, ordered lexicographically.
+// sequence) pair accepted so far, ordered lexicographically. For named
+// (wire v3) streams, name holds the canonical interned copy of the
+// stream name so the ingest path reuses it instead of allocating a
+// string per datagram.
 type incSeq struct {
-	inc uint64
-	seq uint64
+	inc  uint64
+	seq  uint64
+	name string
 }
 
 // NewReceiver wraps the endpoint. The handler may be nil (pings are still
@@ -149,7 +155,7 @@ func (r *Receiver) handle(in transport.Inbound) {
 	if hist != nil {
 		start = r.clk.Now()
 	}
-	msg, err := Unmarshal(in.Payload)
+	msg, nameRef, err := Decode(in.Payload)
 	if err != nil {
 		r.foreignSeen.Add(1)
 		if f := r.foreign.Load(); f != nil {
@@ -164,9 +170,33 @@ func (r *Receiver) handle(in transport.Inbound) {
 		_ = r.ep.Send(in.From, pong.Marshal())
 	case KindHeartbeat:
 		recv := r.clk.Now()
-		fs := r.filterFor(in.From)
+		// A v3 heartbeat is identified by its carried stream name, not the
+		// datagram's source address: many logical senders can share one
+		// socket, and a NAT rebind (new source port, same name) continues
+		// the same stream. Nameless (v1/v2) heartbeats key by address.
+		from := in.From
+		var fs *filterShard
+		if len(nameRef) > 0 {
+			fs = &r.filters[fnv32aBytes(nameRef)&(filterShards-1)]
+		} else {
+			fs = r.filterFor(from)
+		}
 		fs.mu.Lock()
-		last, seen := fs.last[in.From]
+		var last incSeq
+		var seen bool
+		if len(nameRef) > 0 {
+			// string(nameRef) in a map index compiles to an alloc-free
+			// lookup; the canonical name string is interned in the entry,
+			// so the steady state allocates nothing per datagram.
+			last, seen = fs.last[string(nameRef)]
+			if seen {
+				from = last.name
+			} else {
+				from = string(nameRef)
+			}
+		} else {
+			last, seen = fs.last[from]
+		}
 		// A higher incarnation always supersedes; within one incarnation
 		// the detector needs strictly increasing sequence numbers.
 		if seen && (msg.Inc < last.inc || (msg.Inc == last.inc && msg.Seq <= last.seq)) {
@@ -174,11 +204,11 @@ func (r *Receiver) handle(in transport.Inbound) {
 			r.stale.Add(1)
 			return // duplicate, reordered, or from a dead incarnation
 		}
-		fs.last[in.From] = incSeq{inc: msg.Inc, seq: msg.Seq}
+		fs.last[from] = incSeq{inc: msg.Inc, seq: msg.Seq, name: from}
 		fs.mu.Unlock()
 		r.received.Add(1)
 		if r.handler != nil {
-			r.handler(Arrival{From: in.From, Seq: msg.Seq, Send: msg.Time, Recv: recv, Inc: msg.Inc})
+			r.handler(Arrival{From: from, Seq: msg.Seq, Send: msg.Time, Recv: recv, Inc: msg.Inc})
 		}
 	case KindPong:
 		// Pongs are consumed by Prober instances sharing the endpoint;
@@ -226,6 +256,17 @@ func fnv32a(s string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(s); i++ {
 		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// fnv32aBytes is fnv32a over a byte slice (the not-yet-interned v3
+// stream name), kept separate so neither path converts.
+func fnv32aBytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
 		h *= 16777619
 	}
 	return h

@@ -20,6 +20,7 @@ type Sender struct {
 
 	seq     uint64 // next sequence number (atomic)
 	inc     atomic.Uint64
+	name    atomic.Pointer[string]
 	crashed atomic.Bool
 	stop    chan struct{}
 	done    chan struct{}
@@ -68,7 +69,34 @@ func (s *Sender) Start() {
 func (s *Sender) emit() {
 	seq := atomic.AddUint64(&s.seq, 1) - 1
 	msg := Message{Kind: KindHeartbeat, Seq: seq, Time: s.clk.Now(), Inc: s.inc.Load()}
+	if n := s.name.Load(); n != nil {
+		msg.Name = *n
+	}
 	_ = s.ep.Send(s.to, msg.Marshal()) // unreliable channel: best effort
+}
+
+// SetName attaches a logical stream name carried in every subsequent
+// heartbeat (wire v3): the monitor then tracks this sender under the
+// name instead of its source address, so the identity survives socket
+// rebinds. Set it before Start so the stream never flip-flops between
+// address and name keys. Empty reverts to nameless v2 heartbeats.
+func (s *Sender) SetName(name string) {
+	if len(name) > MaxNameLen {
+		panic("heartbeat: stream name exceeds 255 bytes")
+	}
+	if name == "" {
+		s.name.Store(nil)
+		return
+	}
+	s.name.Store(&name)
+}
+
+// Name returns the logical stream name ("" when unnamed).
+func (s *Sender) Name() string {
+	if n := s.name.Load(); n != nil {
+		return *n
+	}
+	return ""
 }
 
 // SetIncarnation sets the incarnation number carried in every heartbeat.

@@ -1,0 +1,271 @@
+package load
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+)
+
+// quantSet accumulates one latency population: streaming P² quantiles
+// plus Welford mean/variance and the max.
+type quantSet struct {
+	p50, p95, p99 *stats.P2Quantile
+	n             int
+	mean, m2      float64
+	max           float64
+}
+
+func newQuantSet() *quantSet {
+	return &quantSet{
+		p50: stats.NewP2Quantile(0.50),
+		p95: stats.NewP2Quantile(0.95),
+		p99: stats.NewP2Quantile(0.99),
+	}
+}
+
+func (q *quantSet) add(sec float64) {
+	q.p50.Add(sec)
+	q.p95.Add(sec)
+	q.p99.Add(sec)
+	q.n++
+	d := sec - q.mean
+	q.mean += d / float64(q.n)
+	q.m2 += d * (sec - q.mean)
+	if sec > q.max {
+		q.max = sec
+	}
+}
+
+// LatencySummary is one population's JSON view (seconds).
+type LatencySummary struct {
+	Samples int     `json:"samples"`
+	Mean    float64 `json:"mean_s"`
+	StdDev  float64 `json:"stddev_s"`
+	P50     float64 `json:"p50_s"`
+	P95     float64 `json:"p95_s"`
+	P99     float64 `json:"p99_s"`
+	Max     float64 `json:"max_s"`
+}
+
+func (q *quantSet) summary() LatencySummary {
+	s := LatencySummary{Samples: q.n}
+	if q.n == 0 {
+		return s
+	}
+	s.Mean = q.mean
+	if q.n > 1 {
+		s.StdDev = math.Sqrt(q.m2 / float64(q.n-1))
+	}
+	s.P50, s.P95, s.P99, s.Max = q.p50.Value(), q.p95.Value(), q.p99.Value(), q.max
+	return s
+}
+
+type peerPhase uint8
+
+const (
+	peerAlive peerPhase = iota
+	peerKilled
+	peerDetected // killed and locally suspected
+)
+
+type peerTrack struct {
+	phase      peerPhase
+	killedAt   clock.Time
+	globalDone bool
+	// suspectedWhileAlive marks a live peer currently under (spurious)
+	// suspicion, so a follow-up offline for the same mistake is not
+	// double-counted as a second spurious transition.
+	suspectedWhileAlive bool
+}
+
+// TrackerStats is the tracker's aggregate JSON view.
+type TrackerStats struct {
+	Injected  int `json:"injected_kills"`
+	Detected  int `json:"detected"`
+	Missed    int `json:"missed"`
+	Rebinds   int `json:"rebinds"`
+	Restarts  int `json:"restarts"`
+	Spurious  int `json:"spurious_transitions"`
+	Recovered int `json:"spurious_recovered"`
+	// SpuriousPeers samples up to 16 offenders for the report.
+	SpuriousPeers []string       `json:"spurious_peers,omitempty"`
+	Local         LatencySummary `json:"detection_latency"`
+	// Global summarizes gossip-corroborated (Global*) verdict latency —
+	// zero-sample unless the spec runs multiple monitors.
+	Global LatencySummary `json:"global_detection_latency"`
+}
+
+// Tracker is the ground-truth scorer: the run reports every injected
+// fault to it (MarkKilled / MarkRestarted / NoteRebind), every watch tap
+// feeds it events (OnEvent), and it classifies each transition as a true
+// detection (latency sample against the kill instant), a miss, or a
+// spurious suspicion of a live sender. All monitors share the harness
+// clock, so event timestamps subtract cleanly from fault instants.
+type Tracker struct {
+	mu       sync.Mutex
+	peers    map[string]*peerTrack
+	local    *quantSet
+	global   *quantSet
+	missed   int
+	injected int
+	rebinds  int
+	restarts int
+	spurious int
+	recover_ int
+	offender []string
+	// frozen stops classification (set before teardown so end-of-run
+	// silence never counts).
+	frozen bool
+}
+
+// NewTracker builds an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		peers:  make(map[string]*peerTrack),
+		local:  newQuantSet(),
+		global: newQuantSet(),
+	}
+}
+
+// Register adds a live peer; events for unregistered peers (gossip ids,
+// other tenants) are ignored.
+func (t *Tracker) Register(name string) {
+	t.mu.Lock()
+	t.peers[name] = &peerTrack{}
+	t.mu.Unlock()
+}
+
+// MarkKilled records the exact instant after which peer emitted nothing.
+func (t *Tracker) MarkKilled(peer string, at clock.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[peer]
+	if p == nil || p.phase != peerAlive {
+		return
+	}
+	p.phase = peerKilled
+	p.killedAt = at
+	p.globalDone = false
+	p.suspectedWhileAlive = false
+	t.injected++
+}
+
+// MarkRestarted returns peer to the alive population; a kill still
+// undetected at restart counts as missed.
+func (t *Tracker) MarkRestarted(peer string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[peer]
+	if p == nil || p.phase == peerAlive {
+		return
+	}
+	if p.phase == peerKilled {
+		t.missed++
+	}
+	p.phase = peerAlive
+	p.suspectedWhileAlive = false
+	t.restarts++
+}
+
+// NoteRebind counts an injected rebind (classification is unchanged —
+// a rebind must NOT produce transitions; if it does, they land in the
+// spurious bucket like any other false suspicion).
+func (t *Tracker) NoteRebind(string) {
+	t.mu.Lock()
+	t.rebinds++
+	t.mu.Unlock()
+}
+
+// Freeze stops classification; call before tearing fleets down so the
+// trailing silence is not scored.
+func (t *Tracker) Freeze() {
+	t.mu.Lock()
+	t.frozen = true
+	t.mu.Unlock()
+}
+
+// FinishMissed counts still-undetected kills as missed at run end and
+// returns the tally. Call after taps have drained.
+func (t *Tracker) FinishMissed() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.peers {
+		if p.phase == peerKilled {
+			p.phase = peerDetected
+			t.missed++
+		}
+	}
+	return t.missed
+}
+
+// OnEvent classifies one watch event. Safe for concurrent taps.
+func (t *Tracker) OnEvent(ev WatchEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.frozen {
+		return
+	}
+	p := t.peers[ev.Peer]
+	if p == nil {
+		return
+	}
+	switch ev.Event {
+	case "suspect", "offline":
+		switch p.phase {
+		case peerKilled:
+			// True detection: ground-truth latency from the injection
+			// instant to the monitor's transition timestamp.
+			lat := time.Duration(clock.Time(ev.At).Sub(p.killedAt)).Seconds()
+			if lat < 0 {
+				lat = 0
+			}
+			t.local.add(lat)
+			p.phase = peerDetected
+		case peerAlive:
+			// False suspicion of a live, heartbeating sender. The
+			// suspect→offline escalation of one mistake counts once.
+			if ev.Event == "suspect" || !p.suspectedWhileAlive {
+				t.spurious++
+				p.suspectedWhileAlive = true
+				if len(t.offender) < 16 {
+					t.offender = append(t.offender, ev.Peer+":"+ev.Event)
+				}
+			}
+		}
+	case "trust":
+		if p.phase == peerAlive && p.suspectedWhileAlive {
+			p.suspectedWhileAlive = false
+			t.recover_++
+		}
+	case "global-suspect", "global-offline":
+		if (p.phase == peerKilled || p.phase == peerDetected) && !p.globalDone {
+			lat := time.Duration(clock.Time(ev.At).Sub(p.killedAt)).Seconds()
+			if lat < 0 {
+				lat = 0
+			}
+			t.global.add(lat)
+			p.globalDone = true
+		}
+	}
+}
+
+// Snapshot returns the current aggregates.
+func (t *Tracker) Snapshot() TrackerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TrackerStats{
+		Injected:      t.injected,
+		Detected:      t.local.n,
+		Missed:        t.missed,
+		Rebinds:       t.rebinds,
+		Restarts:      t.restarts,
+		Spurious:      t.spurious,
+		Recovered:     t.recover_,
+		SpuriousPeers: append([]string(nil), t.offender...),
+		Local:         t.local.summary(),
+		Global:        t.global.summary(),
+	}
+}

@@ -1,0 +1,69 @@
+// Package load is the real-traffic harness: it spawns fleets of logical
+// UDP heartbeat senders (wire-v3 named streams multiplexed over a socket
+// pool, so fifty thousand senders fit under the file-descriptor limit),
+// injects scripted kill / restart / NAT-rebind faults on a timeline,
+// attaches per-cohort chaos impairments, and measures ground-truth
+// detection latency by marking each injected failure and tapping the
+// monitor's /watch NDJSON stream for the matching transition. Scenario
+// presets (datacenter, mobile, mixed-fleet) turn the paper's QoS
+// evaluation into a repeatable end-to-end drill over real datagrams.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Pacer shapes one sender's heartbeat timing: a base interval, a
+// proportional per-beat jitter, and a ramp window over which a fleet
+// staggers its first beats so N senders do not fire in phase.
+type Pacer struct {
+	// Interval is the base heartbeat period Δt.
+	Interval time.Duration
+	// Jitter is the half-width of the per-beat uniform jitter as a
+	// fraction of Interval: each gap is drawn from
+	// Interval·[1−Jitter, 1+Jitter]. 0 disables; must be < 1.
+	Jitter float64
+	// Ramp is the window over which a fleet spreads first beats
+	// (StartOffset). 0 starts everyone immediately.
+	Ramp time.Duration
+}
+
+// Validate rejects non-positive intervals, out-of-range jitter, and
+// negative ramps.
+func (p Pacer) Validate() error {
+	if p.Interval <= 0 {
+		return fmt.Errorf("load: pacer interval must be positive (got %v)", p.Interval)
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		return fmt.Errorf("load: pacer jitter must be in [0,1) (got %g)", p.Jitter)
+	}
+	if p.Ramp < 0 {
+		return fmt.Errorf("load: pacer ramp must be non-negative (got %v)", p.Ramp)
+	}
+	return nil
+}
+
+// StartOffset deterministically spreads sender i of n across the ramp
+// window: sender i first beats at i·Ramp/n after fleet start.
+func (p Pacer) StartOffset(i, n int) time.Duration {
+	if p.Ramp <= 0 || n <= 1 || i <= 0 {
+		return 0
+	}
+	return time.Duration(int64(p.Ramp) / int64(n) * int64(i))
+}
+
+// Next draws the gap to the following heartbeat: Interval, jittered
+// uniformly by ±Jitter·Interval when jitter is enabled and rng non-nil.
+func (p Pacer) Next(rng *rand.Rand) time.Duration {
+	if p.Jitter <= 0 || rng == nil {
+		return p.Interval
+	}
+	f := 1 + p.Jitter*(2*rng.Float64()-1)
+	d := time.Duration(f * float64(p.Interval))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}

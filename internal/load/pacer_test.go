@@ -1,0 +1,69 @@
+package load
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPacerValidate(t *testing.T) {
+	bad := []Pacer{
+		{},
+		{Interval: -time.Second},
+		{Interval: time.Second, Jitter: 1},
+		{Interval: time.Second, Jitter: -0.1},
+		{Interval: time.Second, Ramp: -time.Second},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v validated", p)
+		}
+	}
+	if err := (Pacer{Interval: time.Second, Jitter: 0.99, Ramp: time.Minute}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacerNextStaysInJitterBand(t *testing.T) {
+	p := Pacer{Interval: time.Second, Jitter: 0.2}
+	rng := rand.New(rand.NewSource(1))
+	lo, hi := p.Interval, p.Interval
+	for i := 0; i < 1000; i++ {
+		d := p.Next(rng)
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if lo < 800*time.Millisecond || hi > 1200*time.Millisecond {
+		t.Fatalf("gaps [%v, %v] escape ±20%% band", lo, hi)
+	}
+	if hi-lo < 100*time.Millisecond {
+		t.Fatalf("gaps [%v, %v] barely vary; jitter not applied", lo, hi)
+	}
+	// Jitter off: fixed cadence.
+	fixed := Pacer{Interval: time.Second}
+	if d := fixed.Next(rng); d != time.Second {
+		t.Fatalf("jitterless gap = %v", d)
+	}
+}
+
+func TestPacerStartOffsetSpreadsRamp(t *testing.T) {
+	p := Pacer{Interval: time.Second, Ramp: 10 * time.Second}
+	if off := p.StartOffset(0, 100); off != 0 {
+		t.Fatalf("first sender offset = %v", off)
+	}
+	mid := p.StartOffset(50, 100)
+	if mid < 4*time.Second || mid > 6*time.Second {
+		t.Fatalf("middle sender offset = %v, want ≈5s", mid)
+	}
+	last := p.StartOffset(99, 100)
+	if last >= p.Ramp || last <= mid {
+		t.Fatalf("last sender offset = %v", last)
+	}
+	if off := (Pacer{Interval: time.Second}).StartOffset(5, 10); off != 0 {
+		t.Fatalf("no-ramp offset = %v", off)
+	}
+}

@@ -1,0 +1,153 @@
+package load
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestRunEndToEnd drives a miniature scenario through the full harness:
+// real UDP, a kill wave with restarts, a rebind wave, the /watch taps,
+// and bounds evaluation. Short intervals keep it CI-sized.
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second end-to-end run")
+	}
+	spec := Spec{
+		Name:         "e2e",
+		Total:        60,
+		Duration:     12 * time.Second,
+		Monitors:     1,
+		OfflineAfter: 2 * time.Second,
+		MaxSilence:   6 * time.Second,
+		Cohorts: []CohortSpec{{
+			Name:  "mini",
+			Frac:  1,
+			Pacer: Pacer{Interval: 200 * time.Millisecond, Jitter: 0.05, Ramp: time.Second},
+			Targets: core.Targets{
+				MaxTD: 2 * time.Second, MaxMR: 1, MinQAP: 0.9,
+			},
+			Margin:         600 * time.Millisecond,
+			WindowSize:     16,
+			SlotHeartbeats: 10,
+			Faults: []FaultSpec{
+				{Kind: FaultKill, Frac: 0.2, At: 0.4, Spread: 0.1, RestartAfter: 4 * time.Second},
+				{Kind: FaultRebind, Frac: 0.3, At: 0.3},
+			},
+		}},
+		Bounds: Bounds{MaxSpurious: 0, MaxMissed: 0, MaxP99: 4 * time.Second, MinDetected: 5},
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := rep.Tracker
+	if gt.Injected < 10 {
+		t.Fatalf("injected %d kills, want ≥10", gt.Injected)
+	}
+	if gt.Detected != gt.Injected {
+		t.Fatalf("detected %d of %d kills (missed %d)", gt.Detected, gt.Injected, gt.Missed)
+	}
+	if gt.Rebinds < 15 {
+		t.Fatalf("rebinds = %d", gt.Rebinds)
+	}
+	if gt.Spurious != 0 {
+		t.Fatalf("spurious transitions: %d (%v)", gt.Spurious, gt.SpuriousPeers)
+	}
+	if gt.Local.P50 <= 0 || gt.Local.P99 > 4 {
+		t.Fatalf("latency quantiles out of range: %+v", gt.Local)
+	}
+	if !rep.Pass {
+		t.Fatalf("bounds failed: %v", rep.Violations)
+	}
+	if len(rep.Monitors) != 1 || rep.Monitors[0].Heartbeats == 0 {
+		t.Fatalf("monitor report empty: %+v", rep.Monitors)
+	}
+	if rep.Monitors[0].WatchEvents == 0 {
+		t.Fatal("watch tap saw no events")
+	}
+	// The registry-side histogram and the tracker must agree on sample
+	// count (both fed by the same ground truth marks).
+	if reg := rep.Monitors[0].Detection; int(reg.Samples) != gt.Detected {
+		t.Fatalf("registry histogram has %d samples, tracker %d", reg.Samples, gt.Detected)
+	}
+}
+
+// TestRunMixedFleetSoak is the CI soak: the mixed-fleet preset scaled to
+// ~2k senders for about a minute under -race, asserting the preset's own
+// bounds (zero missed kills, bounded spurious, p99 in bound). Gated
+// behind SFD_LOAD_SOAK=1 because it holds a minute of wall clock.
+func TestRunMixedFleetSoak(t *testing.T) {
+	if os.Getenv("SFD_LOAD_SOAK") == "" {
+		t.Skip("set SFD_LOAD_SOAK=1 to run the load soak")
+	}
+	spec, err := Preset("mixed-fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Total = 2000
+	spec.Duration = 90 * time.Second
+	rep, err := Run(spec, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("soak bounds failed: %v", rep.Violations)
+	}
+	if rep.Tracker.Detected == 0 || rep.Tracker.Global.Samples == 0 {
+		t.Fatalf("soak measured nothing: %+v", rep.Tracker)
+	}
+}
+
+func TestPresetsResolve(t *testing.T) {
+	for _, name := range Presets() {
+		spec, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.normalize(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sum := 0
+		for _, c := range spec.Cohorts {
+			sum += c.Count
+		}
+		if sum != spec.Total {
+			t.Fatalf("%s: cohort counts sum to %d, total %d", name, sum, spec.Total)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("unknown preset resolved")
+	}
+}
+
+func TestSpecNormalizeRejects(t *testing.T) {
+	base := func() Spec {
+		return Spec{
+			Total: 10, Duration: time.Second,
+			Cohorts: []CohortSpec{{Frac: 1, Pacer: Pacer{Interval: time.Second}}},
+		}
+	}
+	cases := map[string]func(*Spec){
+		"zero total":     func(s *Spec) { s.Total = 0 },
+		"zero duration":  func(s *Spec) { s.Duration = 0 },
+		"no cohorts":     func(s *Spec) { s.Cohorts = nil },
+		"bad pacer":      func(s *Spec) { s.Cohorts[0].Pacer.Interval = 0 },
+		"slash in name":  func(s *Spec) { s.Cohorts[0].Name = "a/b" },
+		"bad fault kind": func(s *Spec) { s.Cohorts[0].Faults = []FaultSpec{{Kind: "explode"}} },
+		"fault overflow": func(s *Spec) { s.Cohorts[0].Faults = []FaultSpec{{Kind: FaultKill, At: 0.9, Spread: 0.2}} },
+	}
+	for name, mut := range cases {
+		s := base()
+		mut(&s)
+		if err := s.normalize(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	s := base()
+	if err := s.normalize(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}

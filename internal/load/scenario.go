@@ -1,0 +1,322 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// FaultKind names a scripted fault.
+type FaultKind string
+
+const (
+	// FaultKill stops victims' heartbeats abruptly (process crash).
+	FaultKill FaultKind = "kill"
+	// FaultRebind moves victims to a new source address with an
+	// incarnation bump (NAT rebind / DHCP lease churn).
+	FaultRebind FaultKind = "rebind"
+)
+
+// FaultSpec schedules one fault wave over a cohort. Instants are
+// fractions of the run duration so a preset scales when -duration is
+// overridden.
+type FaultSpec struct {
+	Kind FaultKind `json:"kind"`
+	// Frac is the fraction of the cohort hit (victims are drawn by the
+	// run seed, deterministic per seed).
+	Frac float64 `json:"frac"`
+	// At is when the first victim is hit, as a fraction of the run.
+	At float64 `json:"at"`
+	// Spread staggers victims uniformly over this fraction of the run
+	// after At (0 = all at once).
+	Spread float64 `json:"spread,omitempty"`
+	// RestartAfter revives killed victims this long after their kill
+	// (incarnation bump, sequence reset). 0 = stay dead. Ignored for
+	// rebind.
+	RestartAfter time.Duration `json:"restart_after,omitempty"`
+}
+
+// CohortSpec is one homogeneous slice of the fleet: a name, a share of
+// the total sender count, a pacing model, optional chaos impairments on
+// its outbound path, per-cohort detector QoS targets, and fault waves.
+type CohortSpec struct {
+	Name string `json:"name"`
+	// Frac is this cohort's share of Spec.Total (shares are normalized;
+	// the last cohort absorbs rounding remainder).
+	Frac float64 `json:"frac"`
+	// Count is the resolved sender count (set by normalize).
+	Count int   `json:"count"`
+	Pacer Pacer `json:"pacer"`
+	// Chaos is an internal/chaos DSL scenario armed on this cohort's
+	// outbound sockets (empty = clean path).
+	Chaos string `json:"chaos,omitempty"`
+	// Targets are the QoS targets for this cohort's detectors.
+	Targets core.Targets `json:"targets"`
+	// Margin is the detectors' initial safety margin. While the slot
+	// verdict stays Stable the tuner leaves it alone, so sizing it at
+	// k·Interval buys tolerance of k consecutive lost heartbeats
+	// without spurious suspicion. Default 2.5×Interval.
+	Margin time.Duration `json:"margin,omitempty"`
+	// WindowSize / SlotHeartbeats shrink the detector's sampling window
+	// and tuning slot so self-tuning engages within a short run
+	// (defaults 64 and 20; the paper's 1000/500 need hours at mobile
+	// intervals).
+	WindowSize     int `json:"window_size,omitempty"`
+	SlotHeartbeats int `json:"slot_heartbeats,omitempty"`
+	// Sockets sizes this cohort's UDP pool (default: fleet default).
+	Sockets int         `json:"sockets,omitempty"`
+	Faults  []FaultSpec `json:"faults,omitempty"`
+}
+
+// Bounds are the pass/fail gates evaluated over the report — what the
+// CI soak asserts.
+type Bounds struct {
+	// MaxSpurious is the most suspect/offline transitions tolerated for
+	// peers that were alive and heartbeating (<0 = unchecked).
+	MaxSpurious int `json:"max_spurious"`
+	// MaxMissed is the most injected kills tolerated undetected by
+	// restart time or run end (<0 = unchecked).
+	MaxMissed int `json:"max_missed"`
+	// MaxP99 bounds the ground-truth detection-latency p99
+	// (0 = unchecked).
+	MaxP99 time.Duration `json:"max_p99,omitempty"`
+	// MinDetected requires at least this many latency samples — guards
+	// against a run that vacuously passes because nothing was measured.
+	MinDetected int `json:"min_detected,omitempty"`
+}
+
+// Spec is a complete load-harness scenario.
+type Spec struct {
+	Name string `json:"name"`
+	// Total is the fleet size across cohorts.
+	Total int `json:"total"`
+	// Duration is how long senders run before teardown.
+	Duration time.Duration `json:"duration"`
+	// Seed drives victim selection, jitter, and chaos (0 means 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Monitors is how many monitor nodes observe the fleet; >1 forms a
+	// gossip mesh and every sender dual-sends to all of them.
+	Monitors int `json:"monitors"`
+	// GossipQuorum is the concurring-monitor count for Global* verdicts
+	// (default 2, only meaningful with Monitors > 1).
+	GossipQuorum int `json:"gossip_quorum,omitempty"`
+	// Persist checkpoints monitor state to a temp dir (exercises the
+	// persistence write path under load).
+	Persist bool `json:"persist,omitempty"`
+	// OfflineAfter / MaxSilence are registry-level knobs shared by all
+	// cohorts (zero = scenario defaults).
+	OfflineAfter time.Duration `json:"offline_after,omitempty"`
+	MaxSilence   time.Duration `json:"max_silence,omitempty"`
+	Cohorts      []CohortSpec  `json:"cohorts"`
+	Bounds       Bounds        `json:"bounds"`
+}
+
+func (s *Spec) normalize() error {
+	if s.Name == "" {
+		s.Name = "custom"
+	}
+	if s.Total <= 0 {
+		return fmt.Errorf("load: spec total must be positive (got %d)", s.Total)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("load: spec duration must be positive (got %v)", s.Duration)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Monitors <= 0 {
+		s.Monitors = 1
+	}
+	if s.GossipQuorum <= 0 {
+		s.GossipQuorum = 2
+	}
+	if s.OfflineAfter <= 0 {
+		s.OfflineAfter = 10 * time.Second
+	}
+	if s.MaxSilence == 0 {
+		s.MaxSilence = 30 * time.Second
+	}
+	if len(s.Cohorts) == 0 {
+		return fmt.Errorf("load: spec needs at least one cohort")
+	}
+	var fracSum float64
+	for i := range s.Cohorts {
+		c := &s.Cohorts[i]
+		if c.Name == "" {
+			c.Name = fmt.Sprintf("c%d", i)
+		}
+		if strings.ContainsAny(c.Name, "/+#") {
+			return fmt.Errorf("load: cohort name %q may not contain '/', '+', or '#'", c.Name)
+		}
+		if c.Frac < 0 {
+			return fmt.Errorf("load: cohort %s frac must be non-negative", c.Name)
+		}
+		if err := c.Pacer.Validate(); err != nil {
+			return fmt.Errorf("load: cohort %s: %w", c.Name, err)
+		}
+		if c.Margin <= 0 {
+			c.Margin = c.Pacer.Interval * 5 / 2
+		}
+		if c.WindowSize <= 0 {
+			c.WindowSize = 64
+		}
+		if c.SlotHeartbeats <= 0 {
+			c.SlotHeartbeats = 20
+		}
+		for j, f := range c.Faults {
+			switch f.Kind {
+			case FaultKill, FaultRebind:
+			default:
+				return fmt.Errorf("load: cohort %s fault %d: unknown kind %q", c.Name, j, f.Kind)
+			}
+			if f.Frac < 0 || f.Frac > 1 {
+				return fmt.Errorf("load: cohort %s fault %d: frac must be in [0,1]", c.Name, j)
+			}
+			if f.At < 0 || f.At > 1 || f.Spread < 0 || f.At+f.Spread > 1 {
+				return fmt.Errorf("load: cohort %s fault %d: at/spread must fit in [0,1]", c.Name, j)
+			}
+		}
+		fracSum += c.Frac
+	}
+	if fracSum <= 0 {
+		return fmt.Errorf("load: cohort fracs sum to zero")
+	}
+	// Largest-share-last remainder absorption keeps counts summing to
+	// Total exactly.
+	assigned := 0
+	for i := range s.Cohorts {
+		c := &s.Cohorts[i]
+		if i == len(s.Cohorts)-1 {
+			c.Count = s.Total - assigned
+		} else {
+			c.Count = int(float64(s.Total) * (c.Frac / fracSum))
+			assigned += c.Count
+		}
+		if c.Count <= 0 {
+			return fmt.Errorf("load: cohort %s resolves to zero senders (total %d too small)", c.Name, s.Total)
+		}
+	}
+	return nil
+}
+
+// presetNames in listing order.
+var presetNames = []string{"datacenter", "mobile", "mixed-fleet"}
+
+// Presets lists the built-in scenario names.
+func Presets() []string {
+	out := make([]string, len(presetNames))
+	copy(out, presetNames)
+	sort.Strings(out)
+	return out
+}
+
+// Preset returns a built-in scenario. Total and Duration carry defaults
+// the caller may override before Run.
+func Preset(name string) (Spec, error) {
+	switch name {
+	case "datacenter":
+		// LAN fleet: short intervals, tiny jitter, rare random loss.
+		// One kill wave mid-run measures detection latency at scale; the
+		// second half of the wave restarts to exercise recovery.
+		return Spec{
+			Name:     "datacenter",
+			Total:    10000,
+			Duration: 2 * time.Minute,
+			Monitors: 1,
+			Cohorts: []CohortSpec{{
+				Name:  "dc",
+				Frac:  1,
+				Pacer: Pacer{Interval: time.Second, Jitter: 0.02, Ramp: 10 * time.Second},
+				Chaos: "0s+24h:loss(rate=0.001)",
+				Targets: core.Targets{
+					MaxTD: 4 * time.Second, MaxMR: 0.5, MinQAP: 0.98,
+				},
+				Faults: []FaultSpec{
+					{Kind: FaultKill, Frac: 0.01, At: 0.55, Spread: 0.1},
+					{Kind: FaultKill, Frac: 0.01, At: 0.55, Spread: 0.1,
+						RestartAfter: 20 * time.Second},
+				},
+			}},
+			Bounds: Bounds{MaxSpurious: 0, MaxMissed: 0, MaxP99: 8 * time.Second, MinDetected: 5},
+		}, nil
+	case "mobile":
+		// Cellular-ish fleet: long jittered intervals, Gilbert–Elliott
+		// deep loss bursts plus variable delay, NAT rebinds mid-run
+		// (incarnation churn must not read as crashes), then a kill wave.
+		return Spec{
+			Name:         "mobile",
+			Total:        2000,
+			Duration:     3 * time.Minute,
+			Monitors:     1,
+			OfflineAfter: 15 * time.Second,
+			Cohorts: []CohortSpec{{
+				Name:  "mob",
+				Frac:  1,
+				Pacer: Pacer{Interval: 2 * time.Second, Jitter: 0.25, Ramp: 15 * time.Second},
+				Chaos: "0s+24h:loss(rate=0.06,burst=6);0s+24h:delay(delay=60ms,jitter=50ms)",
+				Targets: core.Targets{
+					MaxTD: 12 * time.Second, MaxMR: 2, MinQAP: 0.9,
+				},
+				Margin:         6 * time.Second,
+				WindowSize:     48,
+				SlotHeartbeats: 16,
+				Faults: []FaultSpec{
+					{Kind: FaultRebind, Frac: 0.15, At: 0.35, Spread: 0.1},
+					{Kind: FaultKill, Frac: 0.03, At: 0.6, Spread: 0.1},
+				},
+			}},
+			// Deep loss bursts make some false suspicion unavoidable at
+			// mobile QoS; the bound asserts it stays rare, not zero.
+			Bounds: Bounds{MaxSpurious: 40, MaxMissed: 0, MaxP99: 30 * time.Second, MinDetected: 5},
+		}, nil
+	case "mixed-fleet":
+		// Everything at once: a clean datacenter cohort and an impaired
+		// edge cohort, observed by two gossiping monitors (dual-send)
+		// with persistence on — the closest drill to production shape.
+		return Spec{
+			Name:     "mixed-fleet",
+			Total:    5000,
+			Duration: 3 * time.Minute,
+			Monitors: 2,
+			Persist:  true,
+			Cohorts: []CohortSpec{
+				{
+					Name:  "dc",
+					Frac:  0.7,
+					Pacer: Pacer{Interval: time.Second, Jitter: 0.02, Ramp: 10 * time.Second},
+					Chaos: "0s+24h:loss(rate=0.001)",
+					Targets: core.Targets{
+						MaxTD: 4 * time.Second, MaxMR: 0.5, MinQAP: 0.98,
+					},
+					Faults: []FaultSpec{
+						{Kind: FaultKill, Frac: 0.02, At: 0.55, Spread: 0.1,
+							RestartAfter: 25 * time.Second},
+					},
+				},
+				{
+					Name:  "edge",
+					Frac:  0.3,
+					Pacer: Pacer{Interval: 2 * time.Second, Jitter: 0.2, Ramp: 15 * time.Second},
+					Chaos: "0s+24h:loss(rate=0.04,burst=5);0s+24h:delay(delay=40ms,jitter=40ms)",
+					Targets: core.Targets{
+						MaxTD: 12 * time.Second, MaxMR: 2, MinQAP: 0.9,
+					},
+					Margin:         6 * time.Second,
+					WindowSize:     48,
+					SlotHeartbeats: 16,
+					Faults: []FaultSpec{
+						{Kind: FaultRebind, Frac: 0.1, At: 0.4, Spread: 0.05},
+						{Kind: FaultKill, Frac: 0.03, At: 0.65, Spread: 0.1},
+					},
+				},
+			},
+			Bounds: Bounds{MaxSpurious: 30, MaxMissed: 0, MaxP99: 25 * time.Second, MinDetected: 10},
+		}, nil
+	default:
+		return Spec{}, fmt.Errorf("load: unknown preset %q (have %s)",
+			name, strings.Join(Presets(), ", "))
+	}
+}

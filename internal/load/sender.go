@@ -1,0 +1,122 @@
+package load
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/heartbeat"
+	"repro/internal/transport"
+)
+
+// PacedSender is a single heartbeat sender driven by a Pacer: jittered
+// inter-beat gaps and an initial ramp delay drawn uniformly from
+// [0, Ramp). It is the one-process form of the fleet scheduler —
+// `sfdmon -mode send -jitter -ramp` and the harness share the same
+// timing model, so a hand-run sender paces exactly like a harness one.
+type PacedSender struct {
+	ep    transport.Endpoint
+	to    string
+	name  string
+	pacer Pacer
+	clk   clock.Clock
+	rng   *rand.Rand
+
+	seq  atomic.Uint64
+	inc  atomic.Uint64
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewPacedSender builds a paced sender emitting to `to` through ep. A
+// non-empty name sends wire-v3 named heartbeats. The pacer must
+// validate; seed drives the jitter stream (0 means 1). A nil clock
+// defaults to the real clock.
+func NewPacedSender(ep transport.Endpoint, to, name string, pacer Pacer, seed int64, clk clock.Clock) (*PacedSender, error) {
+	if err := pacer.Validate(); err != nil {
+		return nil, err
+	}
+	if len(name) > heartbeat.MaxNameLen {
+		return nil, errNameTooLong(name)
+	}
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &PacedSender{
+		ep: ep, to: to, name: name, pacer: pacer, clk: clk,
+		rng:  rand.New(rand.NewSource(seed)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// SetIncarnation sets the incarnation carried in subsequent heartbeats.
+func (s *PacedSender) SetIncarnation(inc uint64) { s.inc.Store(inc) }
+
+// Sent returns how many heartbeats have been emitted.
+func (s *PacedSender) Sent() uint64 { return s.seq.Load() }
+
+// Start launches the send loop: an initial ramp delay, then one
+// heartbeat per jittered gap until Stop.
+func (s *PacedSender) Start() {
+	go func() {
+		defer close(s.done)
+		if s.pacer.Ramp > 0 {
+			delay := time.Duration(s.rng.Int63n(int64(s.pacer.Ramp)))
+			if !s.sleep(delay) {
+				return
+			}
+		}
+		for {
+			s.emit()
+			if !s.sleep(s.pacer.Next(s.rng)) {
+				return
+			}
+		}
+	}()
+}
+
+func (s *PacedSender) emit() {
+	seq := s.seq.Add(1) - 1
+	msg := heartbeat.Message{
+		Kind: heartbeat.KindHeartbeat,
+		Seq:  seq,
+		Time: s.clk.Now(),
+		Inc:  s.inc.Load(),
+		Name: s.name,
+	}
+	_ = s.ep.Send(s.to, msg.Marshal()) // unreliable channel: best effort
+}
+
+// sleep waits d or until Stop; it reports whether the loop should keep
+// running.
+func (s *PacedSender) sleep(d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-s.stop:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// Stop terminates the loop and waits for it to exit.
+func (s *PacedSender) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}

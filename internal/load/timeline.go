@@ -1,0 +1,73 @@
+package load
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// faultOp is one scheduled fault against one sender, resolved to an
+// absolute offset from run start.
+type faultOp struct {
+	at     time.Duration
+	cohort int
+	idx    int // sender index within the cohort's fleet
+	kind   FaultKind
+	// restart marks a revival of an earlier kill rather than a fresh
+	// fault.
+	restart bool
+}
+
+// buildTimeline expands every cohort's fault waves into a sorted op
+// list. Victim selection is seeded: the same spec and seed reproduce
+// the same timeline. Kill waves never pick a sender already scheduled
+// to die (so injected-kill counts stay exact); rebinds draw freely.
+func buildTimeline(spec *Spec, rng *rand.Rand) []faultOp {
+	var ops []faultOp
+	dur := spec.Duration
+	for ci := range spec.Cohorts {
+		c := &spec.Cohorts[ci]
+		killed := make(map[int]bool)
+		for _, f := range c.Faults {
+			n := int(float64(c.Count)*f.Frac + 0.5)
+			if n <= 0 {
+				continue
+			}
+			if n > c.Count {
+				n = c.Count
+			}
+			perm := rng.Perm(c.Count)
+			victims := make([]int, 0, n)
+			for _, v := range perm {
+				if len(victims) == n {
+					break
+				}
+				if f.Kind == FaultKill && killed[v] {
+					continue
+				}
+				victims = append(victims, v)
+			}
+			base := time.Duration(float64(dur) * f.At)
+			spread := time.Duration(float64(dur) * f.Spread)
+			for i, v := range victims {
+				at := base
+				if spread > 0 && len(victims) > 1 {
+					at += spread * time.Duration(i) / time.Duration(len(victims))
+				}
+				ops = append(ops, faultOp{at: at, cohort: ci, idx: v, kind: f.Kind})
+				if f.Kind == FaultKill {
+					killed[v] = true
+					if f.RestartAfter > 0 {
+						ops = append(ops, faultOp{
+							at: at + f.RestartAfter, cohort: ci, idx: v,
+							kind: FaultKill, restart: true,
+						})
+						killed[v] = false // restarted: a later wave may re-kill
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].at < ops[j].at })
+	return ops
+}

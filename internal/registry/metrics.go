@@ -79,6 +79,13 @@ func (r *Registry) Metrics() *metrics.Set {
 		set.CounterFunc("sfd_watch_rejected_total",
 			"/watch requests refused because WatchMaxConns was saturated.",
 			r.watchRejected.Load)
+		r.detLatHist.Store(set.Histogram("sfd_detection_latency_seconds",
+			"Ground-truth injection-to-suspect latency for peers marked via MarkFailure.",
+			DetectionLatencyBuckets))
+		set.GaugeFunc("sfd_detection_marks_pending",
+			"Injected failures marked but not yet detected.",
+			func() float64 { return float64(r.markCount.Load()) })
+		set.Sampled(r.sampleDetectionLatency)
 		set.Sampled(r.sampleShards)
 		if r.opts.MetricsMaxStreams > 0 {
 			set.Sampled(r.sampleStreams)
@@ -130,6 +137,20 @@ func (r *Registry) instrumentPersist(set *metrics.Set) {
 	set.GaugeFunc("sfd_persist_restored_streams",
 		"Streams recovered by the warm restart (0 on cold start).",
 		func() float64 { n, _ := r.RestoredStreams(); return float64(n) })
+}
+
+// sampleDetectionLatency emits scrape-time quantile gauges from the
+// stats.Histogram behind the ground-truth tap — the tail summary a
+// dashboard wants without reconstructing it from cumulative buckets.
+func (r *Registry) sampleDetectionLatency(em *metrics.Emitter) {
+	d := r.DetectionLatency()
+	if d.Samples == 0 {
+		return
+	}
+	em.Gauge("sfd_detection_latency_p50_seconds", d.P50)
+	em.Gauge("sfd_detection_latency_p95_seconds", d.P95)
+	em.Gauge("sfd_detection_latency_p99_seconds", d.P99)
+	em.Gauge("sfd_detection_latency_mean_seconds", d.Mean)
 }
 
 // sampleShards emits one occupancy gauge per lock stripe — the load

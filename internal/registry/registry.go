@@ -28,6 +28,7 @@ import (
 	"repro/internal/heartbeat"
 	"repro/internal/metrics"
 	"repro/internal/persist"
+	"repro/internal/stats"
 )
 
 // Factory builds a fresh detector for a newly registered stream.
@@ -227,6 +228,14 @@ type Registry struct {
 	// that never scrape pay nothing for it.
 	metricsOnce sync.Once
 	metricsSet  *metrics.Set
+
+	// Ground-truth failure marks (see groundtruth.go). markCount gates the
+	// hot-path checks so a registry with no marks pays one atomic load.
+	marksMu    sync.Mutex
+	marks      map[string]clock.Time
+	markCount  atomic.Int64
+	detLat     *stats.Histogram                  // quantile summary, under marksMu
+	detLatHist atomic.Pointer[metrics.Histogram] // /metrics exposition
 
 	// varsAux holds /vars sections registered by other subsystems via
 	// RegisterVars (transport, gossip, federation).
@@ -505,6 +514,9 @@ func (r *Registry) Observe(a heartbeat.Arrival) {
 	sh.mu.Unlock()
 
 	r.heartbeats.Add(1)
+	if r.markCount.Load() > 0 {
+		r.clearMark(a.From, a.Recv)
+	}
 	for i := 0; i < nev; i++ {
 		r.publish(evs[i])
 	}
@@ -567,6 +579,9 @@ func (r *Registry) expire(now clock.Time, x expiry) {
 		ev = Event{Type: EventEvicted, Peer: st.peer, At: now, Incarnation: st.inc}
 	}
 	sh.mu.Unlock()
+	if ev.Type == EventSuspect && r.markCount.Load() > 0 {
+		r.noteDetection(ev.Peer, now)
+	}
 	r.publish(ev)
 }
 

@@ -132,6 +132,13 @@ type UDPOptions struct {
 	// FromCacheCap bounds the sender-address string cache (default 64k
 	// entries; the cache resets wholesale when it overflows).
 	FromCacheCap int
+	// ReadBuffer requests a kernel receive buffer (SO_RCVBUF) of this
+	// many bytes when > 0. The kernel caps the request at
+	// net.core.rmem_max; at tens of thousands of heartbeats per second
+	// the ~208 KiB default holds only a few milliseconds of traffic, so
+	// any scheduling stall sheds datagrams before the read loop ever
+	// sees them.
+	ReadBuffer int
 }
 
 func (o *UDPOptions) normalize() {
@@ -260,6 +267,9 @@ func ListenUDPOpts(addr string, opts UDPOptions) (*UDP, error) {
 		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
 	}
 	u := newUDP(opts)
+	if u.opts.ReadBuffer > 0 {
+		_ = conn.SetReadBuffer(u.opts.ReadBuffer) // best effort; kernel caps at rmem_max
+	}
 	u.conn = conn
 	u.reader, u.batched = newReader(conn, u.pool, u.opts.Batch)
 	go u.readLoop()
