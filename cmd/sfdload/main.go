@@ -11,10 +11,15 @@
 //
 // Usage:
 //
-//	# the three built-in presets:
+//	# the built-in presets:
 //	sfdload -preset datacenter -count 50000
 //	sfdload -preset mobile
 //	sfdload -preset mixed-fleet -duration 3m -json report.json
+//
+//	# the federation-HA tier: leaves + an aggregator pair under load,
+//	# the active aggregator killed and restarted mid-run, scored for
+//	# /fleet availability gap, promotion latency, and lost transitions:
+//	sfdload -preset federation-ha -count 500 -duration 45s
 //
 //	# scale and pacing overrides:
 //	sfdload -preset datacenter -count 2000 -duration 90s -interval 500ms -jitter 0.05
@@ -55,6 +60,14 @@ func main() {
 		for _, p := range sfd.LoadPresets() {
 			fmt.Println(p)
 		}
+		fmt.Println("federation-ha")
+		return
+	}
+
+	// The federation-HA scenario has its own topology-shaped spec and
+	// report; it dispatches before the flat-fleet path.
+	if *spec == "" && *preset == "federation-ha" {
+		runFederation(*count, *duration, *interval, *seed, *jsonOut, *quiet)
 		return
 	}
 
@@ -155,6 +168,78 @@ func main() {
 			fmt.Printf("    qos (n=%d)       TD=%.3fs MR=%.4f/s QAP=%.5f\n",
 				m.QoS.Measured, m.QoS.MeanTDS, m.QoS.MeanMR, m.QoS.MeanQAP)
 		}
+	}
+	if rep.Pass {
+		fmt.Println("  bounds             PASS")
+		return
+	}
+	fmt.Println("  bounds             FAIL")
+	for _, v := range rep.Violations {
+		fmt.Printf("    - %s\n", v)
+	}
+	os.Exit(1)
+}
+
+// runFederation drives the federation-HA preset: -count overrides the
+// per-leaf stream count, -interval the heartbeat period; the digest
+// interval, kill timeline, and bounds come from the preset.
+func runFederation(count int, duration, interval time.Duration, seed int64, jsonOut string, quiet bool) {
+	sc := sfd.LoadFederationPreset()
+	if count > 0 {
+		sc.StreamsPerLeaf = count
+	}
+	if duration > 0 {
+		sc.Duration = duration
+	}
+	if interval > 0 {
+		sc.Interval = interval
+	}
+	if seed != 0 {
+		sc.Seed = seed
+	}
+	var progress io.Writer = os.Stderr
+	if quiet {
+		progress = nil
+	}
+	fmt.Fprintf(os.Stderr, "sfdload: scenario %q: %d regions × %d leaves × %d streams, %v\n",
+		sc.Name, sc.Regions, sc.LeavesPerRegion, sc.StreamsPerLeaf, sc.Duration)
+	rep, err := sfd.RunLoadFederation(sc, progress)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch jsonOut {
+	case "":
+	case "-":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	default:
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sfdload: report written to %s\n", jsonOut)
+	}
+
+	fmt.Printf("sfdload: %s: %d streams across %d leaves for %v\n",
+		rep.Scenario, rep.TotalStreams, rep.Regions*rep.LeavesPerRegion, sc.Duration)
+	fmt.Printf("  aggregator kill    %s (restart %.1fs after)\n", rep.KilledAgg, rep.RestartAfterS)
+	fmt.Printf("  promotion          %.2fs (bound %v); failback %.2fs; final leader %s\n",
+		rep.PromotionS, rep.Bounds.MaxPromotion, rep.FailbackS, rep.FinalLeader)
+	fmt.Printf("  /fleet polls       %d served / %d; longest gap %.2fs (bound %v)\n",
+		rep.Served, rep.Polls, rep.FleetGapS, rep.Bounds.MaxFleetGap)
+	fmt.Printf("  transitions        pre-kill %d, at promotion %d, final %d (injected kills %d, lost %d)\n",
+		rep.OfflinesPreKill, rep.OfflinesAtPromotion, rep.OfflinesFinal,
+		rep.InjectedStreamKills, rep.LostTransitions)
+	if rep.Detection.Samples > 0 {
+		fmt.Printf("  leaf detection     p50=%.2fs p99=%.2fs (n=%d)\n",
+			rep.Detection.P50, rep.Detection.P99, rep.Detection.Samples)
 	}
 	if rep.Pass {
 		fmt.Println("  bounds             PASS")

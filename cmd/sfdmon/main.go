@@ -118,10 +118,13 @@ func main() {
 		watchRetry  = flag.Bool("retry", false, "watch: reconnect with capped exponential backoff instead of exiting")
 
 		fedAgg      = flag.String("federate", "", "monitor: aggregator address to roll cohort digests up to (empty = no federation)")
+		fedAggs     = flag.String("fed-aggs", "", "monitor: comma-separated ordered aggregator addresses (HA pair; supersedes -federate)")
 		fedID       = flag.String("fed-id", "", "monitor: federation leaf identity (default: the bound address)")
 		fedRegion   = flag.String("fed-region", "", "monitor/aggregate: region label")
 		fedCohorts  = flag.String("fed-cohorts", "", "monitor: comma-separated cohort topic filters this leaf owns (e.g. 'eu/cluster-3/#')")
 		fedInterval = flag.Duration("fed-interval", time.Second, "monitor/aggregate: digest roll-up interval")
+		fedPeer     = flag.String("fed-peer", "", "aggregate: comma-separated HA peer aggregator addresses (empty = standalone)")
+		fedInc      = flag.Uint64("fed-inc", 1, "aggregate: incarnation, bumped on restart so HA peers reset this instance's beat stream")
 	)
 	flag.Parse()
 
@@ -170,20 +173,24 @@ func main() {
 			}
 		}
 		var fc *fedConfig
-		if *fedAgg != "" {
+		if *fedAgg != "" || *fedAggs != "" {
 			fc = &fedConfig{
 				agg:      *fedAgg,
+				aggs:     splitPeers(*fedAggs),
 				id:       *fedID,
 				region:   *fedRegion,
 				cohorts:  splitPeers(*fedCohorts),
 				interval: *fedInterval,
+			}
+			if fc.agg == "" && len(fc.aggs) > 0 {
+				fc.agg = fc.aggs[0]
 			}
 		}
 		runMonitor(*listen, *serve, *refresh,
 			sfd.Targets{MaxTD: *maxTD, MaxMR: *maxMR, MinQAP: *minQAP}, *evict, *duration, gc, *pprofOn, chaosSc,
 			*stateDir, *checkpoint, fc, *rxQueues, *rxBatch)
 	case "aggregate":
-		runAggregate(*listen, *serve, *fedID, *fedInterval, *refresh, *duration, *pprofOn)
+		runAggregate(*listen, *serve, *fedID, *fedRegion, splitPeers(*fedPeer), *fedInc, *fedInterval, *refresh, *duration, *pprofOn)
 	case "watch":
 		runWatch(*watchURL, *watchFilter, *watchBuf, *watchMax, *duration, *watchRetry)
 	case "demo":
@@ -286,6 +293,7 @@ type gossipConfig struct {
 // fedConfig carries the -federate/-fed-* flags into runMonitor.
 type fedConfig struct {
 	agg      string
+	aggs     []string // ordered HA list; supersedes agg when set
 	id       string
 	region   string
 	cohorts  []string
@@ -381,6 +389,7 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 			Region:   fc.region,
 			Cohorts:  fc.cohorts,
 			Interval: fc.interval,
+			Aggs:     fc.aggs,
 		}
 		if gsp != nil {
 			opts.WeightFn = gsp.Weight // gossip accuracy feeds re-delegation preference
@@ -397,7 +406,7 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 		recv.SetForeign(func(in sfd.Inbound) {
 			switch {
 			case leaf != nil && sfd.IsFederationDatagram(in.Payload):
-				leaf.HandleDatagram(in.Payload)
+				leaf.HandleDatagramFrom(in.From, in.Payload)
 			case gsp != nil:
 				gsp.HandleDatagram(in.Payload)
 			}
@@ -429,8 +438,8 @@ func runMonitor(listen, serve string, refresh time.Duration, targets sfd.Targets
 			gsp.ID(), gsp.Peers(), gc.quorum, gsp.Options().Interval)
 	}
 	if leaf != nil {
-		fmt.Printf("sfdmon: federating as leaf %s to %s (%d cohorts, every %v)\n",
-			leaf.ID(), fc.agg, len(leaf.Cohorts()), leaf.Options().Interval)
+		fmt.Printf("sfdmon: federating as leaf %s to %v (%d cohorts, every %v)\n",
+			leaf.ID(), leaf.Aggregators(), len(leaf.Cohorts()), leaf.Options().Interval)
 	}
 
 	// Log every failure-bus transition; eviction also clears the
@@ -519,9 +528,13 @@ loop:
 // digests over UDP, merges them into the fleet view, tracks leaf
 // liveness with the same detector machinery the leaves use for their
 // streams, and re-delegates a dead leaf's cohorts to survivors. With
-// -serve it exposes GET /fleet (merged fleet + re-delegation history)
-// alongside the leaf-liveness registry's /status, /vars, /metrics.
-func runAggregate(listen, serve, id string, interval, refresh, duration time.Duration, pprofOn bool) {
+// -fed-peer it runs as one half of an HA pair: peer beats and state
+// mirrors flow to the listed addresses, the lowest alive id leads, and
+// a restarted instance (bump -fed-inc) rejoins as standby and catches
+// up by anti-entropy. With -serve it exposes GET /fleet (merged fleet,
+// HA role, peers, re-delegation history) alongside the leaf-liveness
+// registry's /status, /vars, /metrics.
+func runAggregate(listen, serve, id, region string, peers []string, inc uint64, interval, refresh, duration time.Duration, pprofOn bool) {
 	udp, err := sfd.ListenUDP(listen)
 	if err != nil {
 		fatal(err)
@@ -534,6 +547,9 @@ func runAggregate(listen, serve, id string, interval, refresh, duration time.Dur
 	}
 	agg := sfd.NewFederationAggregator(udp, clk, sfd.FederationAggregatorOptions{
 		ID:             id,
+		Region:         region,
+		Peers:          peers,
+		Incarnation:    inc,
 		DigestInterval: interval,
 	})
 	agg.Start()
@@ -541,6 +557,9 @@ func runAggregate(listen, serve, id string, interval, refresh, duration time.Dur
 	go sfd.Pump(udp, func(in sfd.Inbound) { agg.HandleDatagram(in.From, in.Payload) })
 
 	fmt.Printf("sfdmon: aggregating on %s as %s (digest interval %v)\n", udp.Addr(), id, interval)
+	if len(peers) > 0 {
+		fmt.Printf("sfdmon: HA pair with %v (incarnation %d, lowest alive id leads)\n", peers, inc)
+	}
 
 	if serve != "" {
 		liveness := agg.Liveness()
@@ -571,8 +590,8 @@ loop:
 			break loop
 		case <-ticker.C:
 			c := agg.Counters()
-			fmt.Printf("fed: leaves=%d/%d cohorts=%d (orphans=%d) streams=%d digests=%d stale=%d bad=%d redelegations=%d assign-v%d\n",
-				c.LiveLeaves, c.Leaves, c.Cohorts, c.OrphanedCohorts, c.FleetStreams,
+			fmt.Printf("fed: role=%s leaves=%d/%d cohorts=%d (orphans=%d) streams=%d digests=%d stale=%d bad=%d redelegations=%d assign-v%d\n",
+				agg.Role(), c.LiveLeaves, c.Leaves, c.Cohorts, c.OrphanedCohorts, c.FleetStreams,
 				c.DigestsReceived, c.DigestsStale, c.DigestsBad, c.Redelegations, agg.AssignVersion())
 		}
 	}

@@ -6,6 +6,12 @@
 // registry transition counters, per-shard occupancy, and the per-stream
 // detector QoS gauges (margin, tuning state, last slot's TD/MR/QAP: the
 // paper's Fig. 3 numbers, live).
+//
+// It also exercises the ground-truth detection-latency tap: one sender
+// is killed and the kill instant handed to Registry.MarkFailure, so the
+// registry's next suspect transition for that stream lands a sample in
+// the sfd_detection_latency_seconds histogram — the same wiring the
+// load harness (cmd/sfdload) uses to measure latency at fleet scale.
 package main
 
 import (
@@ -54,7 +60,23 @@ func main() {
 
 	start := time.Now()
 	fmt.Println("observability: 3 senders → lossy hub → receiver → registry; scraping in 2s...")
-	time.Sleep(2 * time.Second)
+	time.Sleep(1 * time.Second)
+
+	// Kill web-2 and hand the registry the ground-truth instant: when the
+	// detector next suspects that stream, the injection→suspect latency is
+	// observed into sfd_detection_latency_seconds.
+	senders[1].Stop()
+	reg.MarkFailure("web-2", clk.Now())
+	fmt.Println("observability: killed web-2; waiting for the suspect transition...")
+	deadline := time.Now().Add(3 * time.Second)
+	for reg.DetectionLatency().Samples == 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if dl := reg.DetectionLatency(); dl.Samples > 0 {
+		fmt.Printf("observability: web-2 detected %.0fms after the kill\n", dl.Mean*1000)
+	}
+
+	time.Sleep(1 * time.Second)
 	demoUptime.Set(time.Since(start).Seconds())
 	for _, snd := range senders {
 		snd.Stop()

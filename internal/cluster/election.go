@@ -7,6 +7,15 @@ import (
 	"repro/internal/clock"
 )
 
+// StatusSource is the suspicion oracle an Elector consults: anything
+// that can classify a peer at an instant. *Monitor satisfies it, and so
+// does the registry's StatusOf — the federation tier elects its active
+// aggregator straight off the liveness registry its peers heartbeat
+// into (digest-as-heartbeat, no second detector stack).
+type StatusSource interface {
+	StatusOf(peer string, now clock.Time) (Status, bool)
+}
+
 // Elector implements Ω — eventual leader election — by the classic
 // reduction from an eventually-perfect failure detector: the leader is
 // the smallest-ranked candidate the local monitor does not currently
@@ -16,7 +25,7 @@ import (
 // flapping, which the elector counts for observability.
 type Elector struct {
 	self       string
-	mon        *Monitor
+	mon        StatusSource
 	candidates []string // sorted ranking, includes self
 
 	mu          sync.Mutex
@@ -28,7 +37,7 @@ type Elector struct {
 // NewElector builds an elector for the given candidate set. self is this
 // process's own name (never suspected locally); mon must watch every
 // other candidate. Candidate ranking is lexicographic.
-func NewElector(self string, mon *Monitor, candidates []string) *Elector {
+func NewElector(self string, mon StatusSource, candidates []string) *Elector {
 	cs := append([]string(nil), candidates...)
 	sort.Strings(cs)
 	return &Elector{self: self, mon: mon, candidates: cs}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/clock"
+	"repro/internal/heartbeat"
 	"repro/internal/netsim"
 )
 
@@ -125,5 +126,97 @@ func TestElectionConvergesAcrossSimCluster(t *testing.T) {
 		if l != want {
 			t.Fatalf("elector %d picked %q after crash, want %q", i, l, want)
 		}
+	}
+}
+
+// TestElectorOnChangePromotionDemotion drives the promotion/demotion
+// arc the federation HA tier hangs off OnChange: a node promotes when
+// the transition's new leader is itself, demotes when the old one was.
+// The arc here is the failover-and-failback cycle: self leads while the
+// lower-ranked peer is unknown, demotes when that peer appears, promotes
+// when it goes silent, and demotes again when it recovers.
+func TestElectorOnChangePromotionDemotion(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(100*msK), Options{})
+	e := NewElector("b", m, []string{"a", "b"})
+	var promotions, demotions int
+	e.OnChange(func(old, new string, at clock.Time) {
+		if new == "b" {
+			promotions++
+		}
+		if old == "b" {
+			demotions++
+		}
+	})
+
+	// "a" has never been heard from: "b" leads (first promotion).
+	if l := e.Leader(clock.Time(100 * msK)); l != "b" {
+		t.Fatalf("leader = %q, want b", l)
+	}
+	if promotions != 1 || demotions != 0 {
+		t.Fatalf("after cold start: promotions=%d demotions=%d, want 1/0", promotions, demotions)
+	}
+
+	// "a" (lower rank) starts heartbeating: "b" demotes.
+	last := feedMonitor(m, "a", 60, 100*msK)
+	if l := e.Leader(last.Add(10 * msK)); l != "a" {
+		t.Fatalf("leader = %q, want a", l)
+	}
+	if promotions != 1 || demotions != 1 {
+		t.Fatalf("after a appears: promotions=%d demotions=%d, want 1/1", promotions, demotions)
+	}
+
+	// "a" goes silent: "b" promotes again.
+	silentAt := last.Add(clock.Second)
+	if l := e.Leader(silentAt); l != "b" {
+		t.Fatalf("leader = %q, want b after a's silence", l)
+	}
+	if promotions != 2 || demotions != 1 {
+		t.Fatalf("after a's silence: promotions=%d demotions=%d, want 2/1", promotions, demotions)
+	}
+
+	// "a" recovers (resumed heartbeats at the old cadence): "b" demotes —
+	// the deterministic failback the HA aggregator pair relies on.
+	resume := silentAt.Add(clock.Second)
+	var lastResumed clock.Time
+	for i := 0; i < 60; i++ {
+		send := resume.Add(clock.Duration(i) * 100 * msK)
+		lastResumed = send.Add(2 * msK)
+		m.Observe(heartbeat.Arrival{From: "a", Seq: uint64(100 + i), Send: send, Recv: lastResumed})
+	}
+	if l := e.Leader(lastResumed.Add(10 * msK)); l != "a" {
+		t.Fatalf("leader = %q, want a after recovery", l)
+	}
+	if promotions != 2 || demotions != 2 {
+		t.Fatalf("after a recovers: promotions=%d demotions=%d, want 2/2", promotions, demotions)
+	}
+	if e.Changes() != 4 {
+		t.Fatalf("changes = %d, want 4", e.Changes())
+	}
+}
+
+// TestElectorOnChangeStability pins down two contract details promotion
+// hooks depend on: a steady leader fires no callbacks no matter how
+// often Leader is polled, and every registered subscriber sees every
+// transition exactly once.
+func TestElectorOnChangeStability(t *testing.T) {
+	m := NewMonitor(clock.NewSim(0), chenFactory(100*msK), Options{})
+	last := feedMonitor(m, "a", 60, 100*msK)
+	e := NewElector("b", m, []string{"a", "b"})
+	var first, second int
+	e.OnChange(func(old, new string, at clock.Time) { first++ })
+	e.OnChange(func(old, new string, at clock.Time) { second++ })
+
+	now := last.Add(10 * msK)
+	for i := 0; i < 10; i++ {
+		if l := e.Leader(now); l != "a" {
+			t.Fatalf("leader = %q, want a", l)
+		}
+	}
+	if first != 1 || second != 1 {
+		t.Fatalf("steady leader fired callbacks %d/%d times, want 1/1", first, second)
+	}
+	e.Leader(last.Add(clock.Second)) // a silent → b
+	if first != 2 || second != 2 {
+		t.Fatalf("transition fired callbacks %d/%d times, want 2/2", first, second)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/clock"
+	"repro/internal/cluster"
 	"repro/internal/gossip"
 	"repro/internal/heartbeat"
 	"repro/internal/registry"
@@ -15,8 +16,24 @@ import (
 // defaults.
 type AggregatorOptions struct {
 	// ID identifies this aggregator in assignment pushes (default: the
-	// endpoint address).
+	// endpoint address). In HA mode the id doubles as the election rank:
+	// lowest id alive leads.
 	ID string
+	// Region labels this aggregator in peer beats (optional).
+	Region string
+	// Peers lists the HA peer aggregator addresses. Empty means
+	// standalone (no beats, no mirroring, always leader). Non-empty turns
+	// on HA: peer beats and anti-entropy mirrors go to every address each
+	// round, and leadership is elected over the learned peer set.
+	Peers []string
+	// Incarnation distinguishes restarts of the same aggregator id in
+	// peer beats (default 1; bump on restart).
+	Incarnation uint64
+	// JoinGrace is how long a freshly started HA aggregator defers
+	// leadership while waiting to hear from (and catch up with) an
+	// established peer before concluding it is a cold start (default:
+	// 3 × DigestInterval).
+	JoinGrace clock.Duration
 	// DigestInterval is the leaves' expected roll-up period; it drives
 	// the liveness-registry defaults and the anti-entropy cadence
 	// (default 1 s). Re-delegation completes within ≤ 3 digest intervals
@@ -58,6 +75,12 @@ func (o *AggregatorOptions) normalize(ep gossip.Endpoint) {
 	if o.LeafEvictAfter <= 0 {
 		o.LeafEvictAfter = 600 * clock.Second
 	}
+	if o.Incarnation == 0 {
+		o.Incarnation = 1
+	}
+	if o.JoinGrace <= 0 {
+		o.JoinGrace = 3 * o.DigestInterval
+	}
 	if o.MaxNotable <= 0 {
 		o.MaxNotable = 16
 	}
@@ -78,6 +101,19 @@ type AggCounters struct {
 	AssignsSent     uint64 `json:"assigns_sent"`
 	LeafOfflines    uint64 `json:"leaf_offlines"`
 	LeafRecoveries  uint64 `json:"leaf_recoveries"`
+
+	// HA counters (all zero outside HA mode).
+	PeerBeatsSent     uint64 `json:"peer_beats_sent,omitempty"`
+	PeerBeatsReceived uint64 `json:"peer_beats_received,omitempty"`
+	PeerBeatsStale    uint64 `json:"peer_beats_stale,omitempty"`
+	MirrorsSent       uint64 `json:"mirrors_sent,omitempty"`
+	MirrorsReceived   uint64 `json:"mirrors_received,omitempty"`
+	MirrorConflicts   uint64 `json:"mirror_conflicts,omitempty"`
+	AcksSent          uint64 `json:"acks_sent,omitempty"`
+	Promotions        uint64 `json:"promotions,omitempty"`
+	Demotions         uint64 `json:"demotions,omitempty"`
+	LeadershipChanges uint64 `json:"leadership_changes,omitempty"`
+
 	Leaves          int    `json:"leaves"`         // gauge
 	LiveLeaves      int    `json:"live_leaves"`    // gauge
 	Cohorts         int    `json:"cohorts"`        // gauge
@@ -196,6 +232,17 @@ type Aggregator struct {
 	assignVersion uint64
 	history       []RedelegationRecord
 
+	// HA state (peer.go, mirror.go). assignVersionFrom records which peer
+	// the current table version was adopted from by mirror ("" when this
+	// instance issued it), so equal-version continuation chunks are told
+	// apart from split-brain divergence.
+	peers             map[string]*peerState
+	elector           *cluster.Elector
+	leaderID          string
+	assignVersionFrom string
+	startedAt         clock.Time
+	peerSeq           uint64
+
 	digestsReceived atomic.Uint64
 	digestsBad      atomic.Uint64
 	digestsStale    atomic.Uint64
@@ -206,6 +253,20 @@ type Aggregator struct {
 	assignsSent     atomic.Uint64
 	leafOfflines    atomic.Uint64
 	leafRecoveries  atomic.Uint64
+
+	leaderFlag        atomic.Bool
+	joining           atomic.Bool
+	peerBeatsSent     atomic.Uint64
+	peerBeatsReceived atomic.Uint64
+	peerBeatsStale    atomic.Uint64
+	mirrorsSent       atomic.Uint64
+	mirrorsReceived   atomic.Uint64
+	mirrorConflicts   atomic.Uint64
+	acksSent          atomic.Uint64
+	promotions        atomic.Uint64
+	demotions         atomic.Uint64
+	leadershipChanges atomic.Uint64
+	lastMirrorRecv    atomic.Int64
 
 	started atomic.Bool
 	stopped atomic.Bool
@@ -227,7 +288,7 @@ func NewAggregator(ep gossip.Endpoint, clk clock.Clock, opts AggregatorOptions) 
 		MaxSilence:   opts.LeafMaxSilence,
 		EvictAfter:   opts.LeafEvictAfter,
 	})
-	return &Aggregator{
+	a := &Aggregator{
 		ep:       ep,
 		clk:      clk,
 		opts:     opts,
@@ -235,8 +296,19 @@ func NewAggregator(ep gossip.Endpoint, clk clock.Clock, opts AggregatorOptions) 
 		sub:      liveness.Subscribe(4096),
 		leaves:   make(map[string]*leafState),
 		cohorts:  make(map[string]*cohortMerge),
+		peers:    make(map[string]*peerState),
 		stopc:    make(chan struct{}),
 	}
+	if a.haMode() {
+		// Start deferent: follow an established peer until caught up (or
+		// JoinGrace decides this is a cold start). See peer.go.
+		a.joining.Store(true)
+		a.rebuildElectorLocked()
+	} else {
+		a.leaderID = opts.ID
+		a.leaderFlag.Store(true)
+	}
+	return a
 }
 
 // ID returns the aggregator's identity.
@@ -256,6 +328,9 @@ func (a *Aggregator) Start() {
 	if !a.started.CompareAndSwap(false, true) {
 		return
 	}
+	a.mu.Lock()
+	a.startedAt = a.clk.Now()
+	a.mu.Unlock()
 	a.liveness.Start()
 	if af, ok := a.clk.(afterFuncer); ok {
 		a.armSim(af)
@@ -305,32 +380,39 @@ func (a *Aggregator) runReal() {
 	}
 }
 
-// Round executes one maintenance round at instant now: absorb liveness
-// transitions (a leaf declared offline triggers re-delegation; orphaned
-// cohorts retry when a leaf recovers or joins) and re-push the
-// assignment table to live leaves that have not echoed the current
-// version yet (anti-entropy — a lost push converges next round). Start
-// drives it automatically; tests step it by hand.
+// Round executes one maintenance round at instant now: reconcile HA
+// leadership, absorb liveness transitions (a leaf declared offline
+// triggers re-delegation — leader only; orphaned cohorts retry when a
+// leaf recovers or joins), re-push the assignment table to live leaves
+// that have not echoed the current version yet (anti-entropy — a lost
+// push converges next round, leader only), and ship peer beats plus
+// state mirrors to HA peers. Start drives it automatically; tests step
+// it by hand.
 func (a *Aggregator) Round(now clock.Time) {
+	a.reconcileLeadership(now)
 	var pushes []push
 	a.mu.Lock()
 	a.drainLivenessLocked(now)
-	pushes = a.antiEntropyLocked()
+	if a.leaderFlag.Load() {
+		pushes = a.antiEntropyLocked()
+	}
+	pushes = append(pushes, a.buildPeerTrafficLocked(now)...)
 	a.mu.Unlock()
 	a.send(pushes)
 }
 
-// push is one outbound assignment datagram (built under the lock, sent
-// outside it).
+// push is one outbound datagram (built under the lock, sent outside
+// it). sent, when non-nil, is the counter credited on successful send.
 type push struct {
 	to      string
 	payload []byte
+	sent    *atomic.Uint64
 }
 
 func (a *Aggregator) send(pushes []push) {
 	for _, p := range pushes {
-		if a.ep.Send(p.to, p.payload) == nil {
-			a.assignsSent.Add(1)
+		if a.ep.Send(p.to, p.payload) == nil && p.sent != nil {
+			p.sent.Add(1)
 		}
 	}
 }
@@ -364,7 +446,11 @@ func (a *Aggregator) drainLivenessLocked(now clock.Time) {
 				if ls.live != leafDead {
 					ls.live = leafDead
 					a.leafOfflines.Add(1)
-					a.redelegateLocked(ev.Peer, now)
+					// A standby records the death but defers the handoff to
+					// its promotion sweep — only the leader issues tables.
+					if a.leaderFlag.Load() {
+						a.redelegateLocked(ev.Peer, now)
+					}
 				}
 			case registry.EventEvicted:
 				// Long-dead leaf: forget the record entirely. Its cohorts
@@ -372,7 +458,7 @@ func (a *Aggregator) drainLivenessLocked(now clock.Time) {
 				delete(a.leaves, ev.Peer)
 			}
 		default:
-			if recovered {
+			if recovered && a.leaderFlag.Load() {
 				a.adoptOrphansLocked(now)
 			}
 			return
@@ -382,22 +468,27 @@ func (a *Aggregator) drainLivenessLocked(now clock.Time) {
 
 // HandleDatagram ingests one received federation datagram with its
 // source address (transport.Pump and netsim deliveries both carry it;
-// assignment pushes go back to the same address). Non-federation
-// payloads are ignored silently; malformed federation traffic is
-// counted.
+// assignment pushes and acks go back to the same address).
+// Non-federation payloads are ignored silently; malformed federation
+// traffic is counted.
 func (a *Aggregator) HandleDatagram(from string, payload []byte) {
 	if !IsFederation(payload) {
 		return
 	}
-	d, _, err := Unmarshal(payload)
+	msg, err := Decode(payload)
 	if err != nil {
 		a.digestsBad.Add(1)
 		return
 	}
-	if d == nil {
-		return // an assignment push: not addressed to aggregators
+	switch {
+	case msg.Digest != nil:
+		a.ingestDigest(from, msg.Digest)
+	case msg.PeerBeat != nil:
+		a.ingestPeerBeat(from, msg.PeerBeat)
+	case msg.Mirror != nil:
+		a.ingestMirror(from, msg.Mirror)
+		// Assignments and acks address leaves, not aggregators: ignore.
 	}
-	a.ingestDigest(from, d)
 }
 
 // ingestDigest merges one leaf digest: update the leaf record, feed the
@@ -418,6 +509,9 @@ func (a *Aggregator) ingestDigest(from string, d *Digest) {
 	if d.Inc < ls.inc || (d.Inc == ls.inc && d.Seq <= ls.lastSeq && ls.lastSeq != 0) {
 		a.mu.Unlock()
 		a.digestsStale.Add(1)
+		// Still ack: staleness here can simply mean a peer's mirror beat
+		// the direct datagram in — the leaf is reachable either way.
+		a.ackDigest(from, d.Seq, now)
 		return
 	}
 	ls.addr = from
@@ -450,6 +544,26 @@ func (a *Aggregator) ingestDigest(from string, d *Digest) {
 		Recv: now,
 		Inc:  d.Inc,
 	})
+	a.ackDigest(from, d.Seq, now)
+}
+
+// ackDigest sends the digest receipt leaves use to track per-aggregator
+// reachability (and, through the Leader flag, to learn which aggregator
+// is active).
+func (a *Aggregator) ackDigest(to string, seq uint64, now clock.Time) {
+	a.mu.Lock()
+	av := a.assignVersion
+	a.mu.Unlock()
+	ack := Ack{
+		Agg:           a.opts.ID,
+		Leader:        a.leaderFlag.Load(),
+		AssignVersion: av,
+		EchoSeq:       seq,
+		SentAt:        now,
+	}
+	if a.ep.Send(to, ack.Marshal()) == nil {
+		a.acksSent.Add(1)
+	}
 }
 
 // mergeRowLocked folds one cohort row into the merged view.
@@ -529,6 +643,7 @@ func (a *Aggregator) redelegateLocked(dead string, now clock.Time) {
 	}
 
 	a.assignVersion++
+	a.assignVersionFrom = "" // locally issued version
 	rec := RedelegationRecord{Version: a.assignVersion, At: now, Dead: dead}
 	for i, f := range moved {
 		c := a.cohorts[f]
@@ -628,7 +743,7 @@ func (a *Aggregator) antiEntropyLocked() []push {
 			entries = entries[:MaxAssignEntries]
 		}
 		msg := Assignment{Agg: a.opts.ID, Version: a.assignVersion, Entries: entries}
-		out = append(out, push{to: ls.addr, payload: msg.Marshal()})
+		out = append(out, push{to: ls.addr, payload: msg.Marshal(), sent: &a.assignsSent})
 	}
 	return out
 }
@@ -700,6 +815,18 @@ func (a *Aggregator) Counters() AggCounters {
 		AssignsSent:     a.assignsSent.Load(),
 		LeafOfflines:    a.leafOfflines.Load(),
 		LeafRecoveries:  a.leafRecoveries.Load(),
+
+		PeerBeatsSent:     a.peerBeatsSent.Load(),
+		PeerBeatsReceived: a.peerBeatsReceived.Load(),
+		PeerBeatsStale:    a.peerBeatsStale.Load(),
+		MirrorsSent:       a.mirrorsSent.Load(),
+		MirrorsReceived:   a.mirrorsReceived.Load(),
+		MirrorConflicts:   a.mirrorConflicts.Load(),
+		AcksSent:          a.acksSent.Load(),
+		Promotions:        a.promotions.Load(),
+		Demotions:         a.demotions.Load(),
+		LeadershipChanges: a.leadershipChanges.Load(),
+
 		Leaves:          leaves,
 		LiveLeaves:      live,
 		Cohorts:         cohorts,

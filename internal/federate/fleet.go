@@ -65,9 +65,12 @@ type fleetCohortJSON struct {
 // fleetJSON is the /fleet document.
 type fleetJSON struct {
 	Aggregator    string               `json:"aggregator"`
+	Role          string               `json:"role"`
+	LeaderID      string               `json:"leader_id,omitempty"`
 	NowNs         clock.Time           `json:"now_ns"`
 	AssignVersion uint64               `json:"assign_version"`
 	Counters      AggCounters          `json:"counters"`
+	Peers         []PeerInfo           `json:"peers,omitempty"`
 	Leaves        []fleetLeafJSON      `json:"leaves"`
 	Cohorts       []fleetCohortJSON    `json:"cohorts"`
 	History       []RedelegationRecord `json:"redelegations,omitempty"`
@@ -140,9 +143,12 @@ func (a *Aggregator) Fleet() fleetJSON {
 	sort.Slice(cohorts, func(i, j int) bool { return cohorts[i].Cohort < cohorts[j].Cohort })
 	return fleetJSON{
 		Aggregator:    a.opts.ID,
+		Role:          a.Role(),
+		LeaderID:      a.LeaderID(),
 		NowNs:         now,
 		AssignVersion: av,
 		Counters:      counters,
+		Peers:         a.Peers(),
 		Leaves:        leaves,
 		Cohorts:       cohorts,
 		History:       history,

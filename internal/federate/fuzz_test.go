@@ -76,3 +76,80 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecode covers the full five-kind federation surface (digests,
+// assignments, peer beats, mirrors, acks) through the unified decoder
+// the HA aggregator actually uses: no input may panic, an accepted
+// message decodes into exactly one arm within the wire bounds, and it
+// re-encodes to the exact input bytes.
+func FuzzDecode(f *testing.F) {
+	pb := PeerBeat{Agg: "agg-a", Region: "eu", Inc: 2, Seq: 17, SentAt: 1 << 40,
+		AssignVersion: 3, Leader: true, Ready: true, Leaves: 6, Cohorts: 24, FleetStreams: 10_000}.Marshal()
+	mi := Mirror{Agg: "agg-a", Inc: 2, Seq: 18, SentAt: 1 << 40, AssignVersion: 3,
+		Leaves: []MirrorLeaf{{ID: "eu/leaf-1", Addr: "eu/leaf-1", Region: "eu", Weight: 1,
+			Inc: 1, LastSeq: 40, LastAt: 1<<40 - 5, EchoedAV: 3, Live: 1}},
+		Cohorts: []MirrorCohort{{Filter: "eu/cluster-3/#", Owner: "eu/leaf-1", Orphaned: true,
+			EpochLeaf: "eu/leaf-1", EpochInc: 1, CarriedSuspects: 4, CarriedOfflines: 2,
+			Last: CohortDigest{Filter: "eu/cluster-3/#", Streams: 500, QAPMin: 0.9}, UpdatedAt: 1<<40 - 9}},
+		History: []RedelegationRecord{{Version: 3, At: 1<<40 - 99, Dead: "eu/leaf-0",
+			Moved: []AssignEntry{{Cohort: "eu/cluster-1/#", Owner: "eu/leaf-1"}}}}}.Marshal()
+	ak := Ack{Agg: "agg-a", Leader: true, AssignVersion: 3, EchoSeq: 41, SentAt: 1 << 40}.Marshal()
+
+	f.Add(pb)
+	f.Add(mi)
+	f.Add(ak)
+	f.Add((Digest{Leaf: "l"}).Marshal())
+	f.Add((Assignment{Agg: "a", Version: 1}).Marshal())
+	f.Add(pb[:len(pb)-1])
+	f.Add(mi[:len(mi)/2])
+	f.Add(append(append([]byte(nil), ak...), 0)) // trailing byte
+	flagFlip := append([]byte(nil), pb...)
+	flagFlip[len(flagFlip)-17] ^= 0xfc // somewhere near the flags byte
+	f.Add(flagFlip)
+	f.Add(append(append([]byte(nil), pb...), mi...)) // fused datagrams
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		msg, err := Decode(b)
+		if err != nil {
+			return // rejected garbage is fine; panicking is not
+		}
+		arms := 0
+		var out []byte
+		if msg.Digest != nil {
+			arms++
+			if len(msg.Digest.Cohorts) > MaxDigestCohorts {
+				t.Fatalf("accepted digest with %d cohorts", len(msg.Digest.Cohorts))
+			}
+			out = msg.Digest.Marshal()
+		}
+		if msg.Assign != nil {
+			arms++
+			if len(msg.Assign.Entries) > MaxAssignEntries {
+				t.Fatalf("accepted assignment with %d entries", len(msg.Assign.Entries))
+			}
+			out = msg.Assign.Marshal()
+		}
+		if msg.PeerBeat != nil {
+			arms++
+			out = msg.PeerBeat.Marshal()
+		}
+		if msg.Mirror != nil {
+			arms++
+			m := msg.Mirror
+			if len(m.Leaves) > MaxMirrorLeaves || len(m.Cohorts) > MaxMirrorCohorts || len(m.History) > MaxMirrorHistory {
+				t.Fatalf("accepted mirror over bounds: %d/%d/%d", len(m.Leaves), len(m.Cohorts), len(m.History))
+			}
+			out = m.Marshal()
+		}
+		if msg.Ack != nil {
+			arms++
+			out = msg.Ack.Marshal()
+		}
+		if arms != 1 {
+			t.Fatalf("accepted message decodes into %d arms", arms)
+		}
+		if !bytes.Equal(out, b) {
+			t.Fatalf("accepted message is not canonical:\n in  %x\n out %x", b, out)
+		}
+	})
+}

@@ -1,0 +1,459 @@
+package federate
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/detector"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+)
+
+// The HA acceptance drill from the issue: the same 2 regions × 3 leaves
+// × 10k streams fleet as the single-aggregator scenario, but under an
+// active/standby aggregator pair. Killing the active mid-load must
+// promote the standby within the election bound with the promoted
+// aggregator serving a /fleet view that lost no cohort transition and
+// issued no duplicate re-delegation; the restarted old active must
+// rejoin as a follower, catch up by anti-entropy, and only then take
+// leadership back (deterministic lowest-id failback).
+
+// fedElectionBound is the promotion-latency budget: three election
+// periods (peer beats go every round, two rounds per digest interval;
+// the liveness silence bound plus one round of election lag fits well
+// inside three intervals).
+const fedElectionBound = 3 * fedInterval
+
+// haAggHost is one aggregator machine on the netsim fabric. The pump
+// keeps draining the node even while dead — datagrams sent to a downed
+// machine are simply lost — so a restart starts with a clean inbox.
+type haAggHost struct {
+	id   string
+	node *netsim.Node
+	agg  *Aggregator
+	dead bool
+}
+
+func (ah *haAggHost) pump(sim *clock.Sim) {
+	sim.AfterFunc(25*clock.Millisecond, func(clock.Time) {
+		ins := ah.node.Drain()
+		if !ah.dead {
+			for _, in := range ins {
+				ah.agg.HandleDatagram(in.From, in.Payload)
+			}
+		}
+		ah.pump(sim)
+	})
+}
+
+// haLeafHost is one leaf machine; unlike the single-aggregator drill's
+// fedLeaf it dispatches with the source address so acks attribute to
+// the right half of the pair.
+type haLeafHost struct {
+	id   string
+	node *netsim.Node
+	reg  *registry.Registry
+	leaf *Leaf
+	dead bool
+}
+
+func (hl *haLeafHost) pump(sim *clock.Sim) {
+	sim.AfterFunc(25*clock.Millisecond, func(clock.Time) {
+		ins := hl.node.Drain()
+		if !hl.dead {
+			for _, in := range ins {
+				hl.leaf.HandleDatagramFrom(in.From, in.Payload)
+			}
+		}
+		hl.pump(sim)
+	})
+}
+
+func haAggOptions(id, peer string, inc uint64) AggregatorOptions {
+	return AggregatorOptions{
+		ID:               id,
+		Region:           "global",
+		Peers:            []string{peer},
+		Incarnation:      inc,
+		DigestInterval:   fedInterval,
+		LeafMaxSilence:   fedInterval + fedInterval/5, // 1.2 × interval
+		LeafOfflineAfter: 2 * fedInterval / 5,         // 0.4 × interval
+	}
+}
+
+func TestNetsimAggregatorFailover(t *testing.T) {
+	sim := clock.NewSim(0)
+	net := netsim.New(sim, netsim.LinkParams{
+		DelayBase:  5 * clock.Millisecond,
+		JitterMean: 1 * clock.Millisecond,
+		JitterStd:  1 * clock.Millisecond,
+	}, 42)
+
+	// The aggregator pair. Lowest id ("agg-a") is the deterministic
+	// steady-state active.
+	nodeA := net.AddNode("agg-a", 8192)
+	nodeB := net.AddNode("agg-b", 8192)
+	hostA := &haAggHost{id: "agg-a", node: nodeA,
+		agg: NewAggregator(nodeA, sim, haAggOptions("agg-a", "agg-b", 1))}
+	hostB := &haAggHost{id: "agg-b", node: nodeB,
+		agg: NewAggregator(nodeB, sim, haAggOptions("agg-b", "agg-a", 1))}
+	hostA.agg.Start()
+	hostB.agg.Start()
+	hostA.pump(sim)
+	hostB.pump(sim)
+
+	// Leaves: 2 regions × 3, dual-homed on the pair.
+	regions := []string{"eu", "us"}
+	var cohorts []string
+	cohortOwner := make(map[string]string)
+	leafByID := make(map[string]*haLeafHost)
+	var leafHosts []*haLeafHost
+	for _, region := range regions {
+		for i := 0; i < fedLeavesPer; i++ {
+			id := fmt.Sprintf("%s/leaf-%d", region, i)
+			var owned []string
+			for c := 0; c < fedCohortsPerLeaf; c++ {
+				f := fmt.Sprintf("%s/cl-%d-%d/#", region, i, c)
+				owned = append(owned, f)
+				cohorts = append(cohorts, f)
+				cohortOwner[f] = id
+			}
+			reg := registry.New(sim,
+				func(string) detector.Detector {
+					return detector.NewChen(16, fedBeat, 200*clock.Millisecond)
+				},
+				registry.Options{
+					WheelTick:    50 * clock.Millisecond,
+					OfflineAfter: 300 * clock.Millisecond,
+					MaxSilence:   600 * clock.Millisecond,
+					EvictAfter:   -1,
+				})
+			reg.Start()
+			node := net.AddNode(id, 4096)
+			leaf, err := NewLeaf(node, sim, reg, "", LeafOptions{
+				ID:       id,
+				Region:   region,
+				Cohorts:  owned,
+				Interval: fedInterval,
+				Aggs:     []string{"agg-a", "agg-b"},
+			})
+			if err != nil {
+				t.Fatalf("NewLeaf(%s): %v", id, err)
+			}
+			leaf.Start()
+			hl := &haLeafHost{id: id, node: node, reg: reg, leaf: leaf}
+			hl.pump(sim)
+			leafHosts = append(leafHosts, hl)
+			leafByID[id] = hl
+		}
+	}
+
+	// Streams and the heartbeat driver, as in the single-aggregator drill.
+	streamsByCohort := make(map[string][]*fedStream, len(cohorts))
+	for i := 0; i < fedStreams; i++ {
+		f := cohorts[i%len(cohorts)]
+		name := fmt.Sprintf("%s/s%05d", f[:len(f)-2], i)
+		streamsByCohort[f] = append(streamsByCohort[f], &fedStream{name: name, alive: true})
+	}
+	var beat func()
+	beat = func() {
+		sim.AfterFunc(fedBeat, func(now clock.Time) {
+			for _, f := range cohorts {
+				hl := leafByID[cohortOwner[f]]
+				if hl == nil || hl.dead {
+					continue
+				}
+				for _, s := range streamsByCohort[f] {
+					if !s.alive {
+						continue
+					}
+					s.seq++
+					hl.reg.Observe(arrival(s.name, s.seq, now))
+				}
+			}
+			beat()
+		})
+	}
+	beat()
+
+	// Phase 1 — warmup. The pair settles on agg-a (lowest id) as active;
+	// the standby's dual-sent fleet view matches the active's.
+	sim.Advance(3 * clock.Second)
+	if r := hostA.agg.Role(); r != "leader" {
+		t.Fatalf("warmup: agg-a role %q, want leader", r)
+	}
+	if r := hostB.agg.Role(); r != "standby" {
+		t.Fatalf("warmup: agg-b role %q, want standby", r)
+	}
+	if la, lb := hostA.agg.LeaderID(), hostB.agg.LeaderID(); la != "agg-a" || lb != "agg-a" {
+		t.Fatalf("warmup: leader ids %q/%q, want agg-a/agg-a", la, lb)
+	}
+	for _, host := range []*haAggHost{hostA, hostB} {
+		c := host.agg.Counters()
+		if c.Leaves != fedRegions*fedLeavesPer || c.LiveLeaves != fedRegions*fedLeavesPer {
+			t.Fatalf("warmup: %s sees %d leaves (%d live), want %d", host.id, c.Leaves, c.LiveLeaves, fedRegions*fedLeavesPer)
+		}
+		if c.Cohorts != len(cohorts) || c.FleetStreams != fedStreams {
+			t.Fatalf("warmup: %s sees %d cohorts / %d streams, want %d / %d",
+				host.id, c.Cohorts, c.FleetStreams, len(cohorts), fedStreams)
+		}
+	}
+	for _, hl := range leafHosts {
+		if c := hl.leaf.Counters(); c.AggsReachable != 2 || c.AggUnreachable != 0 {
+			t.Fatalf("warmup: %s reachable=%d flips=%d, want 2/0", hl.id, c.AggsReachable, c.AggUnreachable)
+		}
+	}
+	// Cold start may promote/demote agg-b transiently before agg-a's
+	// first ready beat lands; steady-state assertions use deltas.
+	basePromotions := hostB.agg.Counters().Promotions
+	baseDemotions := hostB.agg.Counters().Demotions
+
+	// Phase 2 — a leaf dies under the active. The active re-delegates
+	// within the handoff bound; the standby replicates the new table
+	// within a round WITHOUT issuing anything itself.
+	victim1 := leafByID["eu/leaf-1"]
+	victim1Cohorts := victim1.leaf.Cohorts()
+	victim1.dead = true
+	victim1.leaf.Stop()
+	killAt := sim.Now()
+	for hostA.agg.AssignVersion() == 0 {
+		if sim.Now().Sub(killAt) > fedHandoffBound {
+			t.Fatalf("active never re-delegated within %v", fedHandoffBound)
+		}
+		sim.Advance(50 * clock.Millisecond)
+	}
+	sim.Advance(clock.Second) // one round of mirroring
+	if va, vb := hostA.agg.AssignVersion(), hostB.agg.AssignVersion(); va != 1 || vb != 1 {
+		t.Fatalf("post-handoff versions: active %d standby %d, want 1/1", va, vb)
+	}
+	if r := hostB.agg.Counters().Redelegations; r != 0 {
+		t.Fatalf("standby issued %d re-delegations while following", r)
+	}
+	for _, f := range victim1Cohorts {
+		oa, ob := hostA.agg.OwnerOf(f), hostB.agg.OwnerOf(f)
+		if oa == victim1.id || oa != ob {
+			t.Fatalf("cohort %s: active owner %q, standby owner %q", f, oa, ob)
+		}
+		cohortOwner[f] = oa
+	}
+	sim.Advance(2 * clock.Second) // new owners absorb the re-routed streams
+	if got := hostA.agg.Counters().FleetStreams; got != fedStreams {
+		t.Fatalf("post-handoff fleet streams %d, want %d", got, fedStreams)
+	}
+
+	// Phase 3 — crash 50 streams in a re-delegated cohort. The offline
+	// transitions must land in BOTH aggregators' merged totals (the
+	// standby via dual-send and mirroring).
+	crashCohort := victim1Cohorts[0]
+	for _, s := range streamsByCohort[crashCohort][:50] {
+		s.alive = false
+	}
+	sim.Advance(3 * clock.Second)
+	for _, host := range []*haAggHost{hostA, hostB} {
+		if _, _, off, _, ok := host.agg.CohortTotals(crashCohort); !ok || off != 50 {
+			t.Fatalf("%s: crash cohort offline total %d (ok=%v), want 50", host.id, off, ok)
+		}
+	}
+
+	// Phase 4 — kill the ACTIVE mid-load. The standby must promote
+	// within the election bound, serve /fleet with zero lost transitions,
+	// and issue zero duplicate re-delegations (the promotion sweep finds
+	// every dead leaf's cohorts already moved).
+	hostA.dead = true
+	hostA.agg.Stop()
+	killAt = sim.Now()
+	for !hostB.agg.Leader() {
+		if sim.Now().Sub(killAt) > fedElectionBound {
+			t.Fatalf("standby not promoted within %v (role %q)", fedElectionBound, hostB.agg.Role())
+		}
+		sim.Advance(25 * clock.Millisecond)
+	}
+	promotion := sim.Now().Sub(killAt)
+	t.Logf("standby promoted in %v (bound %v)", promotion, fedElectionBound)
+
+	cb := hostB.agg.Counters()
+	if cb.Promotions != basePromotions+1 {
+		t.Fatalf("promotions = %d, want %d", cb.Promotions, basePromotions+1)
+	}
+	if cb.Redelegations != 0 || hostB.agg.AssignVersion() != 1 {
+		t.Fatalf("promotion issued duplicates: redelegations=%d version=%d, want 0/1",
+			cb.Redelegations, hostB.agg.AssignVersion())
+	}
+	srv := httptest.NewServer(hostB.agg.Handler())
+	res, err := srv.Client().Get(srv.URL + "/fleet")
+	if err != nil {
+		t.Fatalf("GET /fleet on promoted standby: %v", err)
+	}
+	var fleet struct {
+		Role     string `json:"role"`
+		LeaderID string `json:"leader_id"`
+		Cohorts  []struct {
+			Cohort   string `json:"cohort"`
+			Offlines uint64 `json:"offlines_total"`
+		} `json:"cohorts"`
+		Redelegations []RedelegationRecord `json:"redelegations"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&fleet); err != nil {
+		t.Fatalf("decode /fleet: %v", err)
+	}
+	res.Body.Close()
+	srv.Close()
+	if fleet.Role != "leader" || fleet.LeaderID != "agg-b" {
+		t.Fatalf("/fleet role=%q leader=%q, want leader/agg-b", fleet.Role, fleet.LeaderID)
+	}
+	crashTotalsServed := false
+	for _, row := range fleet.Cohorts {
+		if row.Cohort == crashCohort {
+			crashTotalsServed = row.Offlines == 50
+		}
+	}
+	if !crashTotalsServed {
+		t.Fatal("/fleet on promoted standby lost crash-cohort transitions")
+	}
+	if len(fleet.Redelegations) != 1 {
+		t.Fatalf("/fleet history has %d records, want the replicated 1", len(fleet.Redelegations))
+	}
+
+	// Leaves notice the dead aggregator's ack silence and flip it
+	// unreachable, dropping to probe cadence.
+	sim.Advance(5 * fedInterval)
+	for _, hl := range leafHosts {
+		if hl.dead {
+			continue
+		}
+		c := hl.leaf.Counters()
+		if c.AggsReachable != 1 || c.AggUnreachable < 1 {
+			t.Fatalf("%s: reachable=%d flips=%d after active death, want 1/≥1", hl.id, c.AggsReachable, c.AggUnreachable)
+		}
+		if !hl.leaf.AggReachable("agg-b") || hl.leaf.AggReachable("agg-a") {
+			t.Fatalf("%s: reachability inverted", hl.id)
+		}
+	}
+
+	// Phase 5 — a second leaf dies under the NEW active: the promoted
+	// standby owns the full re-delegation duty, and every moved cohort
+	// moves exactly once.
+	victim2 := leafByID["us/leaf-0"]
+	victim2Cohorts := make(map[string]bool)
+	for f, owner := range cohortOwner {
+		if owner == victim2.id {
+			victim2Cohorts[f] = true
+		}
+	}
+	victim2.dead = true
+	victim2.leaf.Stop()
+	killAt = sim.Now()
+	for hostB.agg.AssignVersion() != 2 {
+		if sim.Now().Sub(killAt) > fedHandoffBound {
+			t.Fatalf("promoted active never re-delegated within %v", fedHandoffBound)
+		}
+		sim.Advance(50 * clock.Millisecond)
+	}
+	hist := hostB.agg.History()
+	if len(hist) != 2 || hist[1].Dead != victim2.id || hist[1].Version != 2 {
+		t.Fatalf("history after second death = %+v", hist)
+	}
+	movedOnce := make(map[string]bool)
+	for _, e := range hist[1].Moved {
+		if movedOnce[e.Cohort] {
+			t.Fatalf("cohort %s moved twice in one re-delegation", e.Cohort)
+		}
+		movedOnce[e.Cohort] = true
+		if !victim2Cohorts[e.Cohort] {
+			t.Fatalf("cohort %s moved but %s did not own it", e.Cohort, victim2.id)
+		}
+	}
+	if len(movedOnce) != len(victim2Cohorts) {
+		t.Fatalf("moved %d cohorts, want all %d of the dead leaf's", len(movedOnce), len(victim2Cohorts))
+	}
+	for f := range victim2Cohorts {
+		cohortOwner[f] = hostB.agg.OwnerOf(f)
+	}
+	sim.Advance(2 * clock.Second)
+	if got := hostB.agg.Counters().FleetStreams; got != fedStreams {
+		t.Fatalf("after second handoff: fleet streams %d, want %d", got, fedStreams)
+	}
+
+	// Phase 6 — the old active restarts blank with a bumped incarnation.
+	// It must rejoin as a FOLLOWER, catch up by anti-entropy, and only
+	// then take leadership back (lowest id) — without re-issuing anything.
+	hostA.agg = NewAggregator(nodeA, sim, haAggOptions("agg-a", "agg-b", 2))
+	hostA.dead = false
+	hostA.agg.Start()
+	restartAt := sim.Now()
+	sawFollower := false
+	for !(hostA.agg.Leader() && !hostB.agg.Leader()) {
+		if role := hostA.agg.Role(); (role == "joining" || role == "standby") && hostB.agg.Leader() {
+			sawFollower = true
+		}
+		if sim.Now().Sub(restartAt) > 4*clock.Second {
+			t.Fatalf("failback incomplete: agg-a role %q, agg-b leader %v",
+				hostA.agg.Role(), hostB.agg.Leader())
+		}
+		sim.Advance(25 * clock.Millisecond)
+	}
+	failback := sim.Now().Sub(restartAt)
+	t.Logf("old active rejoined and took leadership back in %v", failback)
+	if !sawFollower {
+		t.Fatal("restarted aggregator never passed through a follower phase")
+	}
+	if d := hostB.agg.Counters().Demotions; d != baseDemotions+1 {
+		t.Fatalf("agg-b demotions = %d, want %d", d, baseDemotions+1)
+	}
+
+	// Catch-up is complete and issued nothing: same version, same owners,
+	// same history, same totals — and the promotion sweep on failback was
+	// a no-op because every dead leaf's cohorts were already moved.
+	ca := hostA.agg.Counters()
+	if ca.Redelegations != 0 || hostA.agg.AssignVersion() != 2 {
+		t.Fatalf("failback re-issued: redelegations=%d version=%d, want 0/2",
+			ca.Redelegations, hostA.agg.AssignVersion())
+	}
+	if ca.Leaves != fedRegions*fedLeavesPer {
+		t.Fatalf("restarted active sees %d leaves, want %d", ca.Leaves, fedRegions*fedLeavesPer)
+	}
+	if h := hostA.agg.History(); len(h) != 2 {
+		t.Fatalf("restarted active has %d history records, want 2", len(h))
+	}
+	for _, f := range cohorts {
+		if oa, ob := hostA.agg.OwnerOf(f), hostB.agg.OwnerOf(f); oa != ob {
+			t.Fatalf("cohort %s: owners diverge after failback (%q vs %q)", f, oa, ob)
+		}
+	}
+	if _, _, off, _, ok := hostA.agg.CohortTotals(crashCohort); !ok || off != 50 {
+		t.Fatalf("restarted active: crash cohort offline total %d (ok=%v), want 50 (transitions lost in catch-up)", off, ok)
+	}
+
+	// The leaves see the pair whole again once the revived aggregator
+	// acks a probe (probe backoff caps at 16 intervals).
+	sim.Advance(9 * clock.Second)
+	for _, hl := range leafHosts {
+		if hl.dead {
+			continue
+		}
+		if c := hl.leaf.Counters(); c.AggsReachable != 2 {
+			t.Fatalf("%s: aggs reachable = %d after revival, want 2", hl.id, c.AggsReachable)
+		}
+	}
+
+	// And the revived active serves /fleet as leader.
+	srv = httptest.NewServer(hostA.agg.Handler())
+	defer srv.Close()
+	res, err = srv.Client().Get(srv.URL + "/fleet")
+	if err != nil {
+		t.Fatalf("GET /fleet on revived active: %v", err)
+	}
+	defer res.Body.Close()
+	var fleet2 struct {
+		Role string `json:"role"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&fleet2); err != nil {
+		t.Fatalf("decode /fleet: %v", err)
+	}
+	if fleet2.Role != "leader" {
+		t.Fatalf("revived active /fleet role %q, want leader", fleet2.Role)
+	}
+}

@@ -1,0 +1,357 @@
+package federate
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/detector"
+	"repro/internal/registry"
+	"repro/internal/transport"
+)
+
+// haSeedDigest builds a one-cohort digest for a fake leaf.
+func haSeedDigest(leaf, filter string, seq uint64, now clock.Time) []byte {
+	return Digest{
+		Leaf: leaf, Region: "r", Inc: 1, Seq: seq, SentAt: now, Weight: 1,
+		Cohorts: []CohortDigest{{Filter: filter, Streams: 5, Trusted: 5, QAPMin: 1}},
+	}.Marshal()
+}
+
+// drainEP empties a hub endpoint's receive buffer, returning how many
+// datagrams were queued.
+func drainEP(ep *transport.MemEndpoint) int {
+	n := 0
+	for {
+		select {
+		case <-ep.Recv():
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// TestSplitBrainEqualVersionResolution is the assignment-table
+// version-conflict regression: two aggregators that were briefly both
+// leader during a partition each issued a re-delegation at the same
+// version with different owners. On heal the conflict must resolve
+// deterministically — the lower-id aggregator's table wins, the loser
+// adopts it and never bumps the version itself, and the winner
+// re-issues at a fresh version so ratcheted leaves converge too.
+func TestSplitBrainEqualVersionResolution(t *testing.T) {
+	sim := clock.NewSim(0)
+	hub := transport.NewHub(0, 0, 1)
+	epA := hub.Endpoint("agg-a")
+	epB := hub.Endpoint("agg-b")
+	epL1 := hub.Endpoint("l1")
+	epL2 := hub.Endpoint("l2")
+	defer epA.Close()
+	defer epB.Close()
+	defer epL1.Close()
+	defer epL2.Close()
+
+	aggA := NewAggregator(epA, sim, AggregatorOptions{
+		ID: "agg-a", Region: "r", Peers: []string{"agg-b"}, DigestInterval: clock.Second})
+	aggB := NewAggregator(epB, sim, AggregatorOptions{
+		ID: "agg-b", Region: "r", Peers: []string{"agg-a"}, DigestInterval: clock.Second})
+
+	// Identical pre-partition state: l1 owns r/c1/#, l2 owns r/c2/#.
+	now := sim.Now()
+	for _, agg := range []*Aggregator{aggA, aggB} {
+		agg.HandleDatagram("l1", haSeedDigest("l1", "r/c1/#", 1, now))
+		agg.HandleDatagram("l2", haSeedDigest("l2", "r/c2/#", 1, now))
+	}
+
+	// Partition: both sides claim leadership and each re-delegates a
+	// different "dead" leaf, landing on the same table version with
+	// divergent owners.
+	aggA.joining.Store(false)
+	aggA.setLeader("agg-a", now)
+	aggB.joining.Store(false)
+	aggB.setLeader("agg-b", now)
+
+	aggA.mu.Lock()
+	aggA.leaves["l1"].live = leafDead
+	aggA.redelegateLocked("l1", now)
+	aggA.mu.Unlock()
+	aggB.mu.Lock()
+	aggB.leaves["l2"].live = leafDead
+	aggB.redelegateLocked("l2", now)
+	aggB.mu.Unlock()
+
+	if va, vb := aggA.AssignVersion(), aggB.AssignVersion(); va != 1 || vb != 1 {
+		t.Fatalf("diverged versions = %d/%d, want 1/1", va, vb)
+	}
+	if oa, ob := aggA.OwnerOf("r/c1/#"), aggB.OwnerOf("r/c1/#"); oa == ob {
+		t.Fatalf("setup failed to diverge owners: both say %q", oa)
+	}
+
+	// Heal: mirrors built before either side has heard the other (the
+	// simultaneous-exchange worst case), then cross-delivered.
+	aggA.mu.Lock()
+	chunksA := aggA.buildMirrorChunksLocked(now)
+	aggA.mu.Unlock()
+	aggB.mu.Lock()
+	chunksB := aggB.buildMirrorChunksLocked(now)
+	aggB.mu.Unlock()
+	for _, c := range chunksA {
+		aggB.HandleDatagram("agg-a", c)
+	}
+	for _, c := range chunksB {
+		aggA.HandleDatagram("agg-b", c)
+	}
+
+	// Both detected the conflict. B (higher id) adopted A's owners at the
+	// contested version without issuing anything; A (lower id, leader)
+	// kept its owners and re-issued at version 2.
+	if got := aggA.Counters().MirrorConflicts; got != 1 {
+		t.Fatalf("aggA mirror conflicts = %d, want 1", got)
+	}
+	if got := aggB.Counters().MirrorConflicts; got != 1 {
+		t.Fatalf("aggB mirror conflicts = %d, want 1", got)
+	}
+	if v := aggA.AssignVersion(); v != 2 {
+		t.Fatalf("winner's re-issued version = %d, want 2", v)
+	}
+	if v := aggB.AssignVersion(); v != 1 {
+		t.Fatalf("loser's version = %d, want 1 (must not self-bump)", v)
+	}
+	for _, f := range []string{"r/c1/#", "r/c2/#"} {
+		if oa, ob := aggA.OwnerOf(f), aggB.OwnerOf(f); oa != ob {
+			t.Fatalf("owners of %s still diverge after heal: %q vs %q", f, oa, ob)
+		}
+	}
+	if rb := aggB.Counters().Redelegations; rb != 1 {
+		t.Fatalf("loser issued %d re-delegations, want its original 1 only", rb)
+	}
+
+	// Next round's mirror from A carries the re-issued version; B ratchets
+	// onto it and the pair is fully converged.
+	aggA.mu.Lock()
+	chunksA = aggA.buildMirrorChunksLocked(now.Add(clock.Second))
+	aggA.mu.Unlock()
+	for _, c := range chunksA {
+		aggB.HandleDatagram("agg-a", c)
+	}
+	if va, vb := aggA.AssignVersion(), aggB.AssignVersion(); va != 2 || vb != 2 {
+		t.Fatalf("post-heal versions = %d/%d, want 2/2", va, vb)
+	}
+	for _, f := range []string{"r/c1/#", "r/c2/#"} {
+		if oa, ob := aggA.OwnerOf(f), aggB.OwnerOf(f); oa != ob {
+			t.Fatalf("owners of %s diverge after ratchet: %q vs %q", f, oa, ob)
+		}
+	}
+}
+
+// TestStandbyDefersRedelegationUntilPromotion drives a standby through
+// the full deferral arc: follow the active's leadership claim, record a
+// leaf death WITHOUT re-delegating, then — when the active's beats go
+// silent — get elected, promote, and sweep the deferred re-delegation.
+func TestStandbyDefersRedelegationUntilPromotion(t *testing.T) {
+	const interval = 200 * clock.Millisecond
+	sim := clock.NewSim(0)
+	hub := transport.NewHub(0, 0, 1)
+	epB := hub.Endpoint("agg-b")
+	epA := hub.Endpoint("agg-a") // absorbs aggB's beats and mirrors
+	epL1 := hub.Endpoint("l1")
+	epL2 := hub.Endpoint("l2")
+	defer epB.Close()
+	defer epA.Close()
+	defer epL1.Close()
+	defer epL2.Close()
+
+	aggB := NewAggregator(epB, sim, AggregatorOptions{
+		ID: "agg-b", Region: "r", Peers: []string{"agg-a"}, DigestInterval: interval})
+	aggB.Start()
+	defer aggB.Stop()
+
+	// Scripted drivers: fake active "agg-a" beats twice per interval;
+	// fake leaves l1 and l2 digest every interval. Flags flip phases.
+	beatsOn, l1On := true, true
+	var beatSeq, l1Seq, l2Seq uint64
+	var pump func(clock.Time)
+	pump = func(now clock.Time) {
+		if beatsOn {
+			beatSeq++
+			aggB.HandleDatagram("agg-a", PeerBeat{
+				Agg: "agg-a", Region: "r", Inc: 1, Seq: beatSeq, SentAt: now,
+				AssignVersion: 0, Leader: true, Ready: true,
+			}.Marshal())
+		}
+		// Digest cadence: every other pump tick (one per interval).
+		if beatSeq%2 == 0 {
+			if l1On {
+				l1Seq++
+				aggB.HandleDatagram("l1", haSeedDigest("l1", "r/c1/#", l1Seq, now))
+			}
+			l2Seq++
+			aggB.HandleDatagram("l2", haSeedDigest("l2", "r/c2/#", l2Seq, now))
+		}
+		drainEP(epA)
+		drainEP(epL1)
+		drainEP(epL2)
+		sim.AfterFunc(interval/2, pump)
+	}
+	sim.AfterFunc(interval/2, pump)
+
+	// Phase 1: with the active beating, aggB follows it. One mirror from
+	// the active ends the joining phase (catch-up complete).
+	sim.Advance(3 * interval)
+	aggB.HandleDatagram("agg-a", Mirror{Agg: "agg-a", Inc: 1, Seq: 1, SentAt: sim.Now()}.Marshal())
+	sim.Advance(2 * interval)
+	if role := aggB.Role(); role != "standby" {
+		t.Fatalf("role with live active = %q, want standby", role)
+	}
+	if id := aggB.LeaderID(); id != "agg-a" {
+		t.Fatalf("leader id = %q, want agg-a", id)
+	}
+	if aggB.Leader() {
+		t.Fatal("standby claims leadership")
+	}
+
+	// Phase 2: l1 dies. The standby must record the death but defer the
+	// re-delegation to the (hypothetical) active.
+	l1On = false
+	sim.Advance(6 * interval)
+	c := aggB.Counters()
+	if c.LeafOfflines != 1 {
+		t.Fatalf("leaf offlines = %d, want 1", c.LeafOfflines)
+	}
+	if c.Redelegations != 0 || c.AssignVersion != 0 {
+		t.Fatalf("standby re-delegated: redelegations=%d version=%d, want 0/0",
+			c.Redelegations, c.AssignVersion)
+	}
+	if owner := aggB.OwnerOf("r/c1/#"); owner != "l1" {
+		t.Fatalf("owner of r/c1/# = %q, want l1 (deferred)", owner)
+	}
+
+	// Phase 3: the active's beats stop. The elector promotes aggB, and
+	// the promotion sweep re-delegates the deferred death to l2.
+	beatsOn = false
+	sim.Advance(12 * interval)
+	if !aggB.Leader() || aggB.Role() != "leader" {
+		t.Fatalf("no promotion after active silence: role=%q", aggB.Role())
+	}
+	c = aggB.Counters()
+	if c.Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", c.Promotions)
+	}
+	if c.Redelegations != 1 || c.AssignVersion != 1 {
+		t.Fatalf("promotion sweep: redelegations=%d version=%d, want 1/1",
+			c.Redelegations, c.AssignVersion)
+	}
+	if owner := aggB.OwnerOf("r/c1/#"); owner != "l2" {
+		t.Fatalf("owner of r/c1/# after promotion = %q, want l2", owner)
+	}
+	hist := aggB.History()
+	if len(hist) != 1 || hist[0].Dead != "l1" || hist[0].Version != 1 {
+		t.Fatalf("history = %+v, want one version-1 record for l1", hist)
+	}
+}
+
+// TestLeafAggregatorFailover walks a leaf's per-aggregator reachability
+// machine: dual-send while both ack, flip one unreachable after ack
+// silence, probe it with capped exponential backoff instead of every
+// round, revive it on the next ack — and keep sending to everyone when
+// no aggregator is reachable (the digest is the leaf's heartbeat).
+func TestLeafAggregatorFailover(t *testing.T) {
+	const interval = clock.Second // UnreachableAfter defaults to 3s
+	sim := clock.NewSim(0)
+	hub := transport.NewHub(0, 0, 1)
+	epL := hub.Endpoint("leaf-1")
+	epA := hub.Endpoint("agg-a")
+	epB := hub.Endpoint("agg-b")
+	defer epL.Close()
+	defer epA.Close()
+	defer epB.Close()
+
+	reg := registry.New(sim,
+		func(string) detector.Detector { return detector.NewChen(8, clock.Millisecond, clock.Millisecond) },
+		registry.Options{EvictAfter: -1})
+	leaf, err := NewLeaf(epL, sim, reg, "", LeafOptions{
+		ID: "leaf-1", Region: "r", Cohorts: []string{"r/c1/#"},
+		Interval: interval, Aggs: []string{"agg-a", "agg-b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ack := func(agg string, now clock.Time) {
+		leaf.HandleDatagramFrom(agg, Ack{Agg: agg, Leader: agg == "agg-a", EchoSeq: 1, SentAt: now}.Marshal())
+	}
+
+	// tick advances one interval, rolls up, drains both aggregator
+	// inboxes, and returns how many digests each received this round.
+	tick := func() (toA, toB int) {
+		sim.Advance(interval)
+		leaf.Rollup(sim.Now())
+		return drainEP(epA), drainEP(epB)
+	}
+
+	type round struct {
+		ackA, ackB   bool
+		wantA, wantB int
+	}
+	script := []round{
+		1:  {ackA: true, ackB: true, wantA: 1, wantB: 1},
+		2:  {ackA: true, ackB: true, wantA: 1, wantB: 1},
+		3:  {ackB: true, wantA: 1, wantB: 1}, // agg-a dies: silence 1s
+		4:  {ackB: true, wantA: 1, wantB: 1}, // silence 2s
+		5:  {ackB: true, wantA: 1, wantB: 1}, // silence 3s — at the bound, not past it
+		6:  {ackB: true, wantA: 1, wantB: 1}, // flips unreachable, immediate probe
+		7:  {ackB: true, wantA: 0, wantB: 1}, // backing off (next probe t=8s)
+		8:  {ackB: true, wantA: 1, wantB: 1}, // probe (backoff doubles, next t=12s)
+		9:  {ackA: true, ackB: true, wantA: 0, wantB: 1}, // probe answered after the round
+		10: {ackA: true, ackB: true, wantA: 1, wantB: 1}, // reachable again: full dual-send
+		11: {ackA: true, ackB: true, wantA: 1, wantB: 1},
+		12: {ackA: true, ackB: true, wantA: 1, wantB: 1},
+		13: {wantA: 1, wantB: 1}, // both die
+		14: {wantA: 1, wantB: 1},
+		15: {wantA: 1, wantB: 1},
+		16: {wantA: 1, wantB: 1}, // both flip; nothing reachable → mandatory sends
+		17: {wantA: 1, wantB: 1}, // heartbeat path: every round despite backoff
+		18: {wantA: 1, wantB: 1},
+	}
+	for k := 1; k < len(script); k++ {
+		r := script[k]
+		gotA, gotB := tick()
+		if gotA != r.wantA || gotB != r.wantB {
+			t.Fatalf("round %d: digests a=%d b=%d, want a=%d b=%d", k, gotA, gotB, r.wantA, r.wantB)
+		}
+		now := sim.Now()
+		if r.ackA {
+			ack("agg-a", now)
+		}
+		if r.ackB {
+			ack("agg-b", now)
+		}
+		switch k {
+		case 5:
+			if !leaf.AggReachable("agg-a") {
+				t.Fatal("agg-a unreachable before the silence bound")
+			}
+		case 6:
+			if leaf.AggReachable("agg-a") {
+				t.Fatal("agg-a still reachable past the silence bound")
+			}
+			if c := leaf.Counters(); c.AggUnreachable != 1 || c.AggsReachable != 1 {
+				t.Fatalf("after flip: unreachable=%d reachable=%d, want 1/1", c.AggUnreachable, c.AggsReachable)
+			}
+		case 9:
+			if !leaf.AggReachable("agg-a") {
+				t.Fatal("ack did not revive agg-a")
+			}
+		case 16:
+			if c := leaf.Counters(); c.AggsReachable != 0 {
+				t.Fatalf("both silent: aggs reachable = %d, want 0", c.AggsReachable)
+			}
+		}
+	}
+	c := leaf.Counters()
+	if c.AggUnreachable != 3 { // agg-a once, then both on the double outage
+		t.Fatalf("unreachable transitions = %d, want 3", c.AggUnreachable)
+	}
+	if c.AcksReceived == 0 || c.SendErrors != 0 {
+		t.Fatalf("acks=%d sendErrors=%d", c.AcksReceived, c.SendErrors)
+	}
+}

@@ -46,6 +46,17 @@ type LeafOptions struct {
 	// transition counters (default 4096; drop-oldest beyond that, with
 	// drops visible in the registry's fanout accounting).
 	BusBuf int
+	// Aggs is the ordered aggregator address list for HA deployments;
+	// when set it supersedes the constructor's agg argument. The leaf
+	// dual-sends every digest to each address (the standby's fleet view
+	// stays within one round of the active's) and tracks per-aggregator
+	// reachability from digest acks: an aggregator silent past
+	// UnreachableAfter is counted unreachable and probed with capped
+	// backoff instead of on every round, until an ack revives it.
+	Aggs []string
+	// UnreachableAfter is the ack-silence bound before an aggregator is
+	// counted unreachable (default: 3 × Interval).
+	UnreachableAfter clock.Duration
 }
 
 func (o *LeafOptions) normalize(ep gossip.Endpoint) {
@@ -64,6 +75,9 @@ func (o *LeafOptions) normalize(ep gossip.Endpoint) {
 	if o.BusBuf <= 0 {
 		o.BusBuf = 4096
 	}
+	if o.UnreachableAfter <= 0 {
+		o.UnreachableAfter = 3 * o.Interval
+	}
 }
 
 // LeafCounters is the leaf's monotonic counter snapshot.
@@ -75,6 +89,9 @@ type LeafCounters struct {
 	AssignsStale   uint64 `json:"assigns_stale"`
 	BadDatagrams   uint64 `json:"bad_datagrams"`
 	NotableOmitted uint64 `json:"notable_omitted"`
+	AcksReceived   uint64 `json:"acks_received"`
+	AggUnreachable uint64 `json:"agg_unreachable"`  // reachable→unreachable transitions
+	AggsReachable  int    `json:"aggs_reachable"`   // gauge
 	CohortsOwned   int    `json:"cohorts_owned"`   // gauge
 	AssignVersion  uint64 `json:"assign_version"`  // gauge
 	StreamsRolled  uint64 `json:"streams_rolled"`  // streams matched into cohorts, cumulative
@@ -95,15 +112,28 @@ type cohortState struct {
 	omitted   uint32
 }
 
+// aggState is the leaf's reachability record for one aggregator in its
+// ordered list, maintained from digest acks.
+type aggState struct {
+	addr        string
+	id          string // learned from acks
+	leader      bool   // last ack's leadership claim
+	firstSentAt clock.Time
+	lastAckAt   clock.Time
+	unreachable bool
+	probeAt     clock.Time     // next probe while unreachable
+	backoff     clock.Duration // current probe backoff
+}
+
 // Leaf is one monitor's membership in the federation tier: it owns a set
-// of cohorts, rolls them up to the regional aggregator every Interval,
-// and adopts re-delegated cohorts from the aggregator's assignment
-// table. All methods are safe for concurrent use.
+// of cohorts, rolls them up to the regional aggregator(s) every
+// Interval, and adopts re-delegated cohorts from the aggregators'
+// assignment table. All methods are safe for concurrent use.
 type Leaf struct {
 	ep   gossip.Endpoint
 	clk  clock.Clock
 	reg  *registry.Registry
-	agg  string
+	aggs []*aggState // ordered; guarded by mu (slice fixed, records mutate)
 	opts LeafOptions
 
 	mu sync.Mutex
@@ -132,6 +162,8 @@ type Leaf struct {
 	assignsStale   atomic.Uint64
 	badDatagrams   atomic.Uint64
 	notableOmitted atomic.Uint64
+	acksReceived   atomic.Uint64
+	aggUnreachable atomic.Uint64
 	streamsRolled  atomic.Uint64
 	streamsForeign atomic.Uint64
 
@@ -141,9 +173,11 @@ type Leaf struct {
 }
 
 // NewLeaf builds a Leaf that rolls reg's streams up to the aggregator at
-// address agg over ep. A nil clock defaults to the real clock. Call
+// address agg over ep (or the ordered opts.Aggs list, which supersedes
+// agg, for HA pairs). A nil clock defaults to the real clock. Call
 // Start to begin roll-up rounds and feed received datagrams (assignment
-// pushes) to HandleDatagram — the same shared-socket pattern as gossip.
+// pushes and acks) to HandleDatagramFrom — the same shared-socket
+// pattern as gossip.
 func NewLeaf(ep gossip.Endpoint, clk clock.Clock, reg *registry.Registry, agg string, opts LeafOptions) (*Leaf, error) {
 	if clk == nil {
 		clk = clock.NewReal()
@@ -152,11 +186,19 @@ func NewLeaf(ep gossip.Endpoint, clk clock.Clock, reg *registry.Registry, agg st
 	if err := fanout.ValidateName(opts.ID); err != nil {
 		return nil, err
 	}
+	addrs := opts.Aggs
+	if len(addrs) == 0 {
+		addrs = []string{agg}
+	}
+	aggs := make([]*aggState, 0, len(addrs))
+	for _, addr := range addrs {
+		aggs = append(aggs, &aggState{addr: addr})
+	}
 	l := &Leaf{
 		ep:      ep,
 		clk:     clk,
 		reg:     reg,
-		agg:     agg,
+		aggs:    aggs,
 		opts:    opts,
 		cohorts: make(map[string]*cohortState, len(opts.Cohorts)),
 		stopc:   make(chan struct{}),
@@ -267,16 +309,72 @@ func (l *Leaf) Rollup(now clock.Time) {
 	l.drainBusLocked()
 	rows := l.sweepLocked()
 	digests := l.buildDigestsLocked(now, rows)
+	targets := l.targetsLocked(now)
 	l.mu.Unlock()
 
 	l.rollups.Add(1)
 	for _, d := range digests {
-		if l.ep.Send(l.agg, d) == nil {
-			l.digestsSent.Add(1)
-		} else {
-			l.sendErrors.Add(1)
+		for _, to := range targets {
+			if l.ep.Send(to, d) == nil {
+				l.digestsSent.Add(1)
+			} else {
+				l.sendErrors.Add(1)
+			}
 		}
 	}
+}
+
+// targetsLocked picks this round's send targets and updates per-
+// aggregator reachability. Every reachable aggregator gets the digests
+// (dual-send — both halves of an HA pair stay one round fresh); an
+// aggregator whose acks have been silent past UnreachableAfter flips
+// unreachable (counted once per transition) and is probed with capped
+// exponential backoff instead of every round. With a single configured
+// aggregator — or when every aggregator is unreachable — digests keep
+// flowing to all of them regardless: the digest is the leaf's
+// heartbeat, and someone has to hear a recovery.
+func (l *Leaf) targetsLocked(now clock.Time) []string {
+	for _, as := range l.aggs {
+		if as.unreachable || as.firstSentAt == 0 {
+			continue
+		}
+		ref := as.lastAckAt
+		if ref == 0 {
+			ref = as.firstSentAt
+		}
+		if now.Sub(ref) > l.opts.UnreachableAfter {
+			as.unreachable = true
+			as.backoff = l.opts.Interval
+			as.probeAt = now // probe immediately this round, then back off
+			l.aggUnreachable.Add(1)
+		}
+	}
+	out := make([]string, 0, len(l.aggs))
+	anyReachable := false
+	for _, as := range l.aggs {
+		if !as.unreachable {
+			anyReachable = true
+		}
+	}
+	for _, as := range l.aggs {
+		switch {
+		case !as.unreachable, len(l.aggs) == 1, !anyReachable:
+			// routine send (or mandatory heartbeat path)
+		case now >= as.probeAt:
+			as.backoff *= 2
+			if limit := 16 * l.opts.Interval; as.backoff > limit {
+				as.backoff = limit
+			}
+			as.probeAt = now.Add(as.backoff)
+		default:
+			continue // backing off
+		}
+		if as.firstSentAt == 0 {
+			as.firstSentAt = now
+		}
+		out = append(out, as.addr)
+	}
+	return out
 }
 
 // drainBusLocked folds transition events since the last round into the
@@ -454,23 +552,78 @@ func (l *Leaf) buildDigestsLocked(now clock.Time, rows map[string]*cohortRow) []
 	return out
 }
 
-// HandleDatagram ingests one received federation datagram — for a leaf,
-// assignment-table pushes. Non-federation payloads (wrong magic) are
-// ignored silently so the leaf shares a socket with the heartbeat and
-// gossip stacks; malformed federation traffic is counted.
-func (l *Leaf) HandleDatagram(payload []byte) {
+// HandleDatagramFrom ingests one received federation datagram with its
+// source address — for a leaf, assignment-table pushes and digest acks
+// (the source address attributes an ack to its aggregator).
+// Non-federation payloads (wrong magic) are ignored silently so the
+// leaf shares a socket with the heartbeat and gossip stacks; malformed
+// federation traffic is counted.
+func (l *Leaf) HandleDatagramFrom(from string, payload []byte) {
 	if !IsFederation(payload) {
 		return
 	}
-	_, a, err := Unmarshal(payload)
+	msg, err := Decode(payload)
 	if err != nil {
 		l.badDatagrams.Add(1)
 		return
 	}
-	if a == nil {
-		return // a digest: not addressed to leaves
+	switch {
+	case msg.Assign != nil:
+		l.applyAssignment(msg.Assign)
+	case msg.Ack != nil:
+		l.ingestAck(from, msg.Ack)
+		// Digests, peer beats, and mirrors address aggregators: ignore.
 	}
-	l.applyAssignment(a)
+}
+
+// HandleDatagram is HandleDatagramFrom without a source address, kept
+// for single-aggregator embedders; acks then attribute by the sender id
+// learned from earlier acks (or trivially, with one aggregator).
+func (l *Leaf) HandleDatagram(payload []byte) {
+	l.HandleDatagramFrom("", payload)
+}
+
+// ingestAck records a digest receipt: refresh the aggregator's
+// reachability and note its leadership claim.
+func (l *Leaf) ingestAck(from string, ack *Ack) {
+	now := l.clk.Now()
+	l.acksReceived.Add(1)
+	l.mu.Lock()
+	if as := l.aggLocked(from, ack.Agg); as != nil {
+		as.id = ack.Agg
+		as.leader = ack.Leader
+		as.lastAckAt = now
+		if as.unreachable {
+			as.unreachable = false
+			as.backoff = 0
+			as.probeAt = 0
+		}
+	}
+	l.mu.Unlock()
+}
+
+// aggLocked resolves an ack to its aggState: by source address first,
+// then by the aggregator id learned from earlier acks, then — with a
+// single configured aggregator — trivially.
+func (l *Leaf) aggLocked(from, id string) *aggState {
+	if from != "" {
+		for _, as := range l.aggs {
+			if as.addr == from {
+				return as
+			}
+		}
+	}
+	if id != "" {
+		for _, as := range l.aggs {
+			if as.id == id {
+				return as
+			}
+		}
+	}
+	if len(l.aggs) == 1 {
+		return l.aggs[0]
+	}
+	return nil
 }
 
 // applyAssignment adopts a newer assignment table: cohorts assigned to
@@ -505,11 +658,41 @@ func (l *Leaf) applyAssignment(a *Assignment) {
 	l.assignsApplied.Add(1)
 }
 
+// Aggregators returns the configured aggregator addresses in order.
+func (l *Leaf) Aggregators() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.aggs))
+	for _, as := range l.aggs {
+		out = append(out, as.addr)
+	}
+	return out
+}
+
+// AggReachable reports whether the aggregator at the given address is
+// currently considered reachable (unknown addresses report false).
+func (l *Leaf) AggReachable(addr string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, as := range l.aggs {
+		if as.addr == addr {
+			return !as.unreachable
+		}
+	}
+	return false
+}
+
 // Counters returns the leaf's counter snapshot.
 func (l *Leaf) Counters() LeafCounters {
 	l.mu.Lock()
 	owned := len(l.cohorts)
 	av := l.assignVersion
+	reachable := 0
+	for _, as := range l.aggs {
+		if !as.unreachable {
+			reachable++
+		}
+	}
 	l.mu.Unlock()
 	return LeafCounters{
 		Rollups:        l.rollups.Load(),
@@ -519,6 +702,9 @@ func (l *Leaf) Counters() LeafCounters {
 		AssignsStale:   l.assignsStale.Load(),
 		BadDatagrams:   l.badDatagrams.Load(),
 		NotableOmitted: l.notableOmitted.Load(),
+		AcksReceived:   l.acksReceived.Load(),
+		AggUnreachable: l.aggUnreachable.Load(),
+		AggsReachable:  reachable,
 		CohortsOwned:   owned,
 		AssignVersion:  av,
 		StreamsRolled:  l.streamsRolled.Load(),

@@ -1,6 +1,7 @@
 package federate
 
 import (
+	"repro/internal/clock"
 	"repro/internal/metrics"
 )
 
@@ -22,6 +23,13 @@ func (l *Leaf) InstrumentMetrics(set *metrics.Set) {
 		"Malformed federation datagrams received.", l.badDatagrams.Load)
 	set.CounterFunc("sfd_fed_leaf_notable_omitted_total",
 		"Notable transitions dropped by the per-cohort digest bound.", l.notableOmitted.Load)
+	set.CounterFunc("sfd_fed_leaf_acks_received_total",
+		"Digest acks received from aggregators.", l.acksReceived.Load)
+	set.CounterFunc("sfd_fed_leaf_agg_unreachable_total",
+		"Aggregator reachable→unreachable transitions (ack silence past the bound).", l.aggUnreachable.Load)
+	set.GaugeFunc("sfd_fed_leaf_aggs_reachable",
+		"Configured aggregators currently considered reachable.",
+		func() float64 { return float64(l.Counters().AggsReachable) })
 	set.GaugeFunc("sfd_fed_leaf_cohorts",
 		"Cohorts this leaf currently owns.",
 		func() float64 { return float64(l.Counters().CohortsOwned) })
@@ -72,4 +80,43 @@ func (a *Aggregator) InstrumentMetrics(set *metrics.Set) {
 	set.GaugeFunc("sfd_fed_fleet_streams",
 		"Sum of stream counts across every cohort's newest digest.",
 		func() float64 { return float64(a.Counters().FleetStreams) })
+
+	// HA series (flat at zero outside HA mode).
+	set.GaugeFunc("sfd_fed_ha_is_leader",
+		"1 while this aggregator holds HA leadership, else 0.",
+		func() float64 {
+			if a.Leader() {
+				return 1
+			}
+			return 0
+		})
+	set.CounterFunc("sfd_fed_ha_leadership_changes_total",
+		"Leadership transitions observed by this aggregator.", a.leadershipChanges.Load)
+	set.CounterFunc("sfd_fed_ha_promotions_total",
+		"Times this aggregator was promoted to leader.", a.promotions.Load)
+	set.CounterFunc("sfd_fed_ha_demotions_total",
+		"Times this aggregator was demoted to standby.", a.demotions.Load)
+	set.CounterFunc("sfd_fed_ha_peer_beats_sent_total",
+		"Peer state heartbeats sent to HA peers.", a.peerBeatsSent.Load)
+	set.CounterFunc("sfd_fed_ha_peer_beats_received_total",
+		"Peer state heartbeats received and accepted.", a.peerBeatsReceived.Load)
+	set.CounterFunc("sfd_fed_ha_peer_beats_stale_total",
+		"Peer beats dropped as duplicate, reordered, or from a dead incarnation.", a.peerBeatsStale.Load)
+	set.CounterFunc("sfd_fed_ha_mirrors_sent_total",
+		"Anti-entropy state mirrors sent to HA peers.", a.mirrorsSent.Load)
+	set.CounterFunc("sfd_fed_ha_mirrors_received_total",
+		"Anti-entropy state mirrors received and merged.", a.mirrorsReceived.Load)
+	set.CounterFunc("sfd_fed_ha_mirror_conflicts_total",
+		"Equal-version assignment-table divergences resolved by the id tiebreak.", a.mirrorConflicts.Load)
+	set.CounterFunc("sfd_fed_ha_acks_sent_total",
+		"Digest acks sent back to leaves.", a.acksSent.Load)
+	set.GaugeFunc("sfd_fed_ha_mirror_lag_seconds",
+		"Seconds since the last mirror was received from any peer (0 before the first).",
+		func() float64 {
+			last := a.lastMirrorRecv.Load()
+			if last == 0 {
+				return 0
+			}
+			return a.clk.Now().Sub(clock.Time(last)).Seconds()
+		})
 }

@@ -50,6 +50,9 @@ import (
 //	aggLen(u16) agg  version(u64)  entryCount(u16)
 //	then per entry: cohortLen(u16) cohort ownerLen(u16) owner
 //
+// The aggregator-HA records (kindPeerBeat, kindMirror, kindAck) are
+// documented in wire_ha.go.
+//
 // All integers big-endian; floats are IEEE-754 bit patterns. Bounded:
 // names ≤ maxNameLen bytes, cohorts ≤ MaxDigestCohorts per datagram
 // (larger cohort sets are chunked by the leaf), notables ≤
@@ -254,9 +257,11 @@ func (a Assignment) Marshal() []byte {
 }
 
 // Unmarshal decodes a federation datagram into exactly one of digest or
-// assignment. Any malformed input returns ErrBadMessage; no input may
-// panic — the port is open to the world, the same contract as the
-// heartbeat and gossip codecs (see the fuzz target).
+// assignment — the two original kinds. The HA kinds added in wire_ha.go
+// (peer beats, mirrors, acks) return ErrBadMessage here; use Decode for
+// the full message set. Any malformed input returns ErrBadMessage; no
+// input may panic — the port is open to the world, the same contract as
+// the heartbeat and gossip codecs (see the fuzz target).
 func Unmarshal(b []byte) (*Digest, *Assignment, error) {
 	r := reader{buf: b}
 	m0, _ := r.u8()

@@ -1,0 +1,546 @@
+package federate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/clock"
+)
+
+// HA wire records. Three kinds join the original digest/assignment pair
+// on the same 'F','D' magic (see wire.go for the framing):
+//
+// kindPeerBeat (aggregator → aggregator) body — the digest-as-heartbeat
+// trick applied one tier up: a compact state summary that doubles as
+// the sender's liveness heartbeat in the receiver's SFD registry:
+//
+//	aggLen(u16) agg  regionLen(u16) region  inc(u64) seq(u64)
+//	sentAt(u64) assignVersion(u64) flags(u8: bit0 leader, bit1 ready)
+//	leaves(u32) cohorts(u32) fleetStreams(u64)
+//
+// kindMirror (aggregator → aggregator) body — one anti-entropy chunk of
+// the merged fleet view (leaf records, per-cohort epoch counters, the
+// versioned assignment table implied by cohort owners, re-delegation
+// history). Chunked like digests: the first chunk of a round carries
+// leaves and history, later chunks carry overflow cohorts only:
+//
+//	aggLen(u16) agg  inc(u64) seq(u64) sentAt(u64) assignVersion(u64)
+//	leafCount(u16) cohortCount(u16) histCount(u16)
+//	then per leaf:   idLen(u16) id addrLen(u16) addr regionLen(u16) region
+//	                 weight(f64) inc(u64) lastSeq(u64) lastAt(u64)
+//	                 echoedAV(u64) live(u8)
+//	then per cohort: filterLen(u16) filter ownerLen(u16) owner
+//	                 flags(u8: bit0 orphaned)
+//	                 epochLeafLen(u16) epochLeaf epochInc(u64)
+//	                 carried suspects/trusts/offlines/evictions(4×u64)
+//	                 streams/trusted/suspected/offline(4×u32)
+//	                 suspects/trusts/offlines/evictions(4×u64)
+//	                 tdSum(f64) mrSum(f64) qapMin(f64) tuned(u32)
+//	                 omitted(u32) updatedAt(u64)
+//	then per hist:   version(u64) at(u64) deadLen(u16) dead movedCount(u16)
+//	                 then per moved: cohortLen(u16) cohort ownerLen(u16) owner
+//
+// kindAck (aggregator → leaf) body — a tiny per-digest receipt so leaves
+// get liveness feedback on their fire-and-forget digest sends:
+//
+//	aggLen(u16) agg  flags(u8: bit0 leader) assignVersion(u64)
+//	echoSeq(u64) sentAt(u64)
+const (
+	kindPeerBeat uint8 = 3
+	kindMirror   uint8 = 4
+	kindAck      uint8 = 5
+
+	// MaxMirrorLeaves bounds one mirror chunk's leaf records.
+	MaxMirrorLeaves = 128
+	// MaxMirrorCohorts bounds one mirror chunk's cohort records; larger
+	// fleet views are chunked across datagrams (merging is monotone, so
+	// partial application converges on the next round).
+	MaxMirrorCohorts = 128
+	// MaxMirrorHistory bounds one mirror chunk's re-delegation records.
+	MaxMirrorHistory = 16
+)
+
+const (
+	beatFlagLeader uint8 = 1 << 0
+	beatFlagReady  uint8 = 1 << 1
+
+	cohortFlagOrphaned uint8 = 1 << 0
+)
+
+// PeerBeat is an aggregator's compact state heartbeat to its HA peers.
+// (Inc, Seq) doubles as the liveness heartbeat in the receiving peer's
+// SFD registry, exactly as leaf digests do for leaves.
+type PeerBeat struct {
+	// Agg is the sending aggregator's identity.
+	Agg string
+	// Region is informational (beats stay within a region's pair).
+	Region string
+	// Inc is the aggregator's incarnation, bumped on restart so the
+	// peer's detector starts the stream over.
+	Inc uint64
+	// Seq increases with every beat within one incarnation.
+	Seq uint64
+	// SentAt is the sender's clock at send (the heartbeat timestamp).
+	SentAt clock.Time
+	// AssignVersion is the sender's current assignment-table version —
+	// the ratchet a promoted standby continues from.
+	AssignVersion uint64
+	// Leader reports whether the sender currently believes it leads.
+	Leader bool
+	// Ready is false while the sender is still catching up by
+	// anti-entropy after a (re)start; peers exclude non-ready senders
+	// from the election so a blank restarted aggregator rejoins as
+	// standby instead of reclaiming leadership with an empty view.
+	Ready bool
+	// Compact state summary, for /fleet peer rows and sanity checks.
+	Leaves       uint32
+	Cohorts      uint32
+	FleetStreams uint64
+}
+
+// MirrorLeaf is one leaf record in a mirror chunk.
+type MirrorLeaf struct {
+	ID       string
+	Addr     string
+	Region   string
+	Weight   float64
+	Inc      uint64
+	LastSeq  uint64
+	LastAt   clock.Time
+	EchoedAV uint64
+	Live     uint8 // leafLiveness value as seen by the sender
+}
+
+// MirrorCohort is one cohort record in a mirror chunk: the owner (one
+// row of the versioned assignment table), the current counting epoch,
+// and the cumulative transition counters split exactly as the
+// aggregator stores them (carried = closed epochs, Last = the live
+// epoch) so the receiver can merge without losing a transition.
+type MirrorCohort struct {
+	Filter   string
+	Owner    string
+	Orphaned bool
+
+	EpochLeaf string
+	EpochInc  uint64
+
+	CarriedSuspects  uint64
+	CarriedTrusts    uint64
+	CarriedOfflines  uint64
+	CarriedEvictions uint64
+
+	// Last is the live epoch's newest digest row. Notable transitions
+	// are deliberately not mirrored (the standby hears them first-hand
+	// from the dual-sent digests); the encoder ignores the field.
+	Last      CohortDigest
+	UpdatedAt clock.Time
+}
+
+// Mirror is one anti-entropy chunk of an aggregator's fleet view.
+type Mirror struct {
+	Agg           string
+	Inc           uint64
+	Seq           uint64
+	SentAt        clock.Time
+	AssignVersion uint64
+	Leaves        []MirrorLeaf
+	Cohorts       []MirrorCohort
+	History       []RedelegationRecord
+}
+
+// Ack is an aggregator's per-digest receipt to a leaf: proof of
+// reachability (the leaf's unreachable accounting keys off ack
+// silence), plus the sender's leadership claim and table version.
+type Ack struct {
+	Agg           string
+	Leader        bool
+	AssignVersion uint64
+	// EchoSeq echoes the acknowledged digest's sequence number.
+	EchoSeq uint64
+	SentAt  clock.Time
+}
+
+// Message is one decoded federation datagram: exactly one field is
+// non-nil.
+type Message struct {
+	Digest   *Digest
+	Assign   *Assignment
+	PeerBeat *PeerBeat
+	Mirror   *Mirror
+	Ack      *Ack
+}
+
+// Decode decodes any federation datagram. Same contract as Unmarshal:
+// malformed input returns ErrBadMessage, no input may panic, and
+// accepted messages re-encode to the exact input bytes.
+func Decode(b []byte) (Message, error) {
+	r := reader{buf: b}
+	m0, _ := r.u8()
+	m1, _ := r.u8()
+	ver, ok := r.u8()
+	if !ok || m0 != wireMagic[0] || m1 != wireMagic[1] {
+		return Message{}, fmt.Errorf("%w: bad magic", ErrBadMessage)
+	}
+	if ver != wireVersion {
+		return Message{}, fmt.Errorf("%w: version %d", ErrBadMessage, ver)
+	}
+	kind, ok := r.u8()
+	if !ok {
+		return Message{}, fmt.Errorf("%w: truncated kind", ErrBadMessage)
+	}
+	switch kind {
+	case kindDigest:
+		d, err := unmarshalDigest(&r)
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{Digest: d}, nil
+	case kindAssign:
+		a, err := unmarshalAssign(&r)
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{Assign: a}, nil
+	case kindPeerBeat:
+		p, err := unmarshalPeerBeat(&r)
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{PeerBeat: p}, nil
+	case kindMirror:
+		m, err := unmarshalMirror(&r)
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{Mirror: m}, nil
+	case kindAck:
+		k, err := unmarshalAck(&r)
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{Ack: k}, nil
+	default:
+		return Message{}, fmt.Errorf("%w: kind %d", ErrBadMessage, kind)
+	}
+}
+
+// Marshal encodes the peer beat.
+func (p PeerBeat) Marshal() []byte {
+	checkName("aggregator id", p.Agg)
+	checkName("region", p.Region)
+	buf := make([]byte, 0, 4+2+len(p.Agg)+2+len(p.Region)+8+8+8+8+1+4+4+8)
+	buf = append(buf, wireMagic[0], wireMagic[1], wireVersion, kindPeerBeat)
+	buf = appendStr(buf, p.Agg)
+	buf = appendStr(buf, p.Region)
+	buf = binary.BigEndian.AppendUint64(buf, p.Inc)
+	buf = binary.BigEndian.AppendUint64(buf, p.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.SentAt))
+	buf = binary.BigEndian.AppendUint64(buf, p.AssignVersion)
+	var flags uint8
+	if p.Leader {
+		flags |= beatFlagLeader
+	}
+	if p.Ready {
+		flags |= beatFlagReady
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint32(buf, p.Leaves)
+	buf = binary.BigEndian.AppendUint32(buf, p.Cohorts)
+	buf = binary.BigEndian.AppendUint64(buf, p.FleetStreams)
+	return buf
+}
+
+func unmarshalPeerBeat(r *reader) (*PeerBeat, error) {
+	agg, ok1 := r.str()
+	region, ok2 := r.str()
+	inc, ok3 := r.u64()
+	seq, ok4 := r.u64()
+	sentAt, ok5 := r.u64()
+	av, ok6 := r.u64()
+	flags, ok7 := r.u8()
+	leaves, ok8 := r.u32()
+	cohorts, ok9 := r.u32()
+	streams, ok10 := r.u64()
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || !ok6 || !ok7 || !ok8 || !ok9 || !ok10 {
+		return nil, fmt.Errorf("%w: truncated peer beat", ErrBadMessage)
+	}
+	if agg == "" {
+		return nil, fmt.Errorf("%w: empty aggregator id", ErrBadMessage)
+	}
+	if flags &^ (beatFlagLeader | beatFlagReady) != 0 {
+		return nil, fmt.Errorf("%w: peer beat flags %#x", ErrBadMessage, flags)
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(r.buf)-r.off)
+	}
+	return &PeerBeat{
+		Agg: agg, Region: region, Inc: inc, Seq: seq,
+		SentAt: clock.Time(sentAt), AssignVersion: av,
+		Leader: flags&beatFlagLeader != 0, Ready: flags&beatFlagReady != 0,
+		Leaves: leaves, Cohorts: cohorts, FleetStreams: streams,
+	}, nil
+}
+
+// Marshal encodes one mirror chunk. Panics on bound violations — the
+// aggregator chunks before encoding, same contract as Digest.Marshal.
+func (m Mirror) Marshal() []byte {
+	checkName("aggregator id", m.Agg)
+	if len(m.Leaves) > MaxMirrorLeaves {
+		panic(fmt.Sprintf("federate: %d mirror leaves exceeds %d", len(m.Leaves), MaxMirrorLeaves))
+	}
+	if len(m.Cohorts) > MaxMirrorCohorts {
+		panic(fmt.Sprintf("federate: %d mirror cohorts exceeds %d", len(m.Cohorts), MaxMirrorCohorts))
+	}
+	if len(m.History) > MaxMirrorHistory {
+		panic(fmt.Sprintf("federate: %d mirror history records exceeds %d", len(m.History), MaxMirrorHistory))
+	}
+	buf := make([]byte, 0, 512+192*len(m.Leaves)+256*len(m.Cohorts))
+	buf = append(buf, wireMagic[0], wireMagic[1], wireVersion, kindMirror)
+	buf = appendStr(buf, m.Agg)
+	buf = binary.BigEndian.AppendUint64(buf, m.Inc)
+	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.SentAt))
+	buf = binary.BigEndian.AppendUint64(buf, m.AssignVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Leaves)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Cohorts)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.History)))
+	for _, l := range m.Leaves {
+		checkName("mirror leaf id", l.ID)
+		checkName("mirror leaf addr", l.Addr)
+		checkName("mirror leaf region", l.Region)
+		buf = appendStr(buf, l.ID)
+		buf = appendStr(buf, l.Addr)
+		buf = appendStr(buf, l.Region)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(l.Weight))
+		buf = binary.BigEndian.AppendUint64(buf, l.Inc)
+		buf = binary.BigEndian.AppendUint64(buf, l.LastSeq)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(l.LastAt))
+		buf = binary.BigEndian.AppendUint64(buf, l.EchoedAV)
+		buf = append(buf, l.Live)
+	}
+	for _, c := range m.Cohorts {
+		checkName("mirror cohort filter", c.Filter)
+		checkName("mirror cohort owner", c.Owner)
+		checkName("mirror epoch leaf", c.EpochLeaf)
+		buf = appendStr(buf, c.Filter)
+		buf = appendStr(buf, c.Owner)
+		var flags uint8
+		if c.Orphaned {
+			flags |= cohortFlagOrphaned
+		}
+		buf = append(buf, flags)
+		buf = appendStr(buf, c.EpochLeaf)
+		buf = binary.BigEndian.AppendUint64(buf, c.EpochInc)
+		buf = binary.BigEndian.AppendUint64(buf, c.CarriedSuspects)
+		buf = binary.BigEndian.AppendUint64(buf, c.CarriedTrusts)
+		buf = binary.BigEndian.AppendUint64(buf, c.CarriedOfflines)
+		buf = binary.BigEndian.AppendUint64(buf, c.CarriedEvictions)
+		buf = binary.BigEndian.AppendUint32(buf, c.Last.Streams)
+		buf = binary.BigEndian.AppendUint32(buf, c.Last.Trusted)
+		buf = binary.BigEndian.AppendUint32(buf, c.Last.Suspected)
+		buf = binary.BigEndian.AppendUint32(buf, c.Last.Offline)
+		buf = binary.BigEndian.AppendUint64(buf, c.Last.Suspects)
+		buf = binary.BigEndian.AppendUint64(buf, c.Last.Trusts)
+		buf = binary.BigEndian.AppendUint64(buf, c.Last.Offlines)
+		buf = binary.BigEndian.AppendUint64(buf, c.Last.Evictions)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.Last.TDSum))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.Last.MRSum))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.Last.QAPMin))
+		buf = binary.BigEndian.AppendUint32(buf, c.Last.Tuned)
+		buf = binary.BigEndian.AppendUint32(buf, c.Last.Omitted)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(c.UpdatedAt))
+	}
+	for _, h := range m.History {
+		checkName("mirror history dead leaf", h.Dead)
+		if len(h.Moved) > MaxAssignEntries {
+			panic(fmt.Sprintf("federate: %d moved entries exceeds %d", len(h.Moved), MaxAssignEntries))
+		}
+		buf = binary.BigEndian.AppendUint64(buf, h.Version)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(h.At))
+		buf = appendStr(buf, h.Dead)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Moved)))
+		for _, e := range h.Moved {
+			checkName("mirror moved cohort", e.Cohort)
+			checkName("mirror moved owner", e.Owner)
+			buf = appendStr(buf, e.Cohort)
+			buf = appendStr(buf, e.Owner)
+		}
+	}
+	return buf
+}
+
+func unmarshalMirror(r *reader) (*Mirror, error) {
+	agg, ok1 := r.str()
+	inc, ok2 := r.u64()
+	seq, ok3 := r.u64()
+	sentAt, ok4 := r.u64()
+	av, ok5 := r.u64()
+	nLeaves, ok6 := r.u16()
+	nCohorts, ok7 := r.u16()
+	nHist, ok8 := r.u16()
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || !ok6 || !ok7 || !ok8 {
+		return nil, fmt.Errorf("%w: truncated mirror header", ErrBadMessage)
+	}
+	if agg == "" {
+		return nil, fmt.Errorf("%w: empty aggregator id", ErrBadMessage)
+	}
+	if int(nLeaves) > MaxMirrorLeaves || int(nCohorts) > MaxMirrorCohorts || int(nHist) > MaxMirrorHistory {
+		return nil, fmt.Errorf("%w: mirror counts %d/%d/%d", ErrBadMessage, nLeaves, nCohorts, nHist)
+	}
+	m := &Mirror{Agg: agg, Inc: inc, Seq: seq, SentAt: clock.Time(sentAt), AssignVersion: av}
+	if nLeaves > 0 {
+		m.Leaves = make([]MirrorLeaf, 0, nLeaves)
+	}
+	for i := 0; i < int(nLeaves); i++ {
+		var l MirrorLeaf
+		var okID, okAddr, okRegion bool
+		l.ID, okID = r.str()
+		l.Addr, okAddr = r.str()
+		l.Region, okRegion = r.str()
+		wbits, okW := r.u64()
+		linc, okI := r.u64()
+		lseq, okS := r.u64()
+		lat, okA := r.u64()
+		eav, okE := r.u64()
+		live, okL := r.u8()
+		if !okID || !okAddr || !okRegion || !okW || !okI || !okS || !okA || !okE || !okL || l.ID == "" {
+			return nil, fmt.Errorf("%w: truncated mirror leaf %d", ErrBadMessage, i)
+		}
+		if live > uint8(leafDead) {
+			return nil, fmt.Errorf("%w: mirror leaf %d liveness %d", ErrBadMessage, i, live)
+		}
+		l.Weight = math.Float64frombits(wbits)
+		l.Inc, l.LastSeq, l.LastAt, l.EchoedAV, l.Live = linc, lseq, clock.Time(lat), eav, live
+		m.Leaves = append(m.Leaves, l)
+	}
+	if nCohorts > 0 {
+		m.Cohorts = make([]MirrorCohort, 0, nCohorts)
+	}
+	for i := 0; i < int(nCohorts); i++ {
+		var c MirrorCohort
+		var okF, okO, okE bool
+		c.Filter, okF = r.str()
+		c.Owner, okO = r.str()
+		flags, okFl := r.u8()
+		c.EpochLeaf, okE = r.str()
+		epochInc, okEI := r.u64()
+		if !okF || !okO || !okFl || !okE || !okEI || c.Filter == "" {
+			return nil, fmt.Errorf("%w: truncated mirror cohort %d", ErrBadMessage, i)
+		}
+		if flags &^ cohortFlagOrphaned != 0 {
+			return nil, fmt.Errorf("%w: mirror cohort %d flags %#x", ErrBadMessage, i, flags)
+		}
+		c.Orphaned = flags&cohortFlagOrphaned != 0
+		c.EpochInc = epochInc
+		carried := [4]*uint64{&c.CarriedSuspects, &c.CarriedTrusts, &c.CarriedOfflines, &c.CarriedEvictions}
+		for _, p := range carried {
+			var ok bool
+			if *p, ok = r.u64(); !ok {
+				return nil, fmt.Errorf("%w: truncated mirror cohort %d carried", ErrBadMessage, i)
+			}
+		}
+		c.Last.Filter = c.Filter
+		u32s := [4]*uint32{&c.Last.Streams, &c.Last.Trusted, &c.Last.Suspected, &c.Last.Offline}
+		for _, p := range u32s {
+			var ok bool
+			if *p, ok = r.u32(); !ok {
+				return nil, fmt.Errorf("%w: truncated mirror cohort %d counts", ErrBadMessage, i)
+			}
+		}
+		u64s := [4]*uint64{&c.Last.Suspects, &c.Last.Trusts, &c.Last.Offlines, &c.Last.Evictions}
+		for _, p := range u64s {
+			var ok bool
+			if *p, ok = r.u64(); !ok {
+				return nil, fmt.Errorf("%w: truncated mirror cohort %d transitions", ErrBadMessage, i)
+			}
+		}
+		td, okA := r.u64()
+		mr, okB := r.u64()
+		qap, okC := r.u64()
+		tuned, okD := r.u32()
+		omitted, okOm := r.u32()
+		updated, okU := r.u64()
+		if !okA || !okB || !okC || !okD || !okOm || !okU {
+			return nil, fmt.Errorf("%w: truncated mirror cohort %d qos", ErrBadMessage, i)
+		}
+		c.Last.TDSum = math.Float64frombits(td)
+		c.Last.MRSum = math.Float64frombits(mr)
+		c.Last.QAPMin = math.Float64frombits(qap)
+		c.Last.Tuned = tuned
+		c.Last.Omitted = omitted
+		c.UpdatedAt = clock.Time(updated)
+		m.Cohorts = append(m.Cohorts, c)
+	}
+	if nHist > 0 {
+		m.History = make([]RedelegationRecord, 0, nHist)
+	}
+	for i := 0; i < int(nHist); i++ {
+		var h RedelegationRecord
+		version, okV := r.u64()
+		at, okAt := r.u64()
+		dead, okD := r.str()
+		nMoved, okM := r.u16()
+		if !okV || !okAt || !okD || !okM || dead == "" {
+			return nil, fmt.Errorf("%w: truncated mirror history %d", ErrBadMessage, i)
+		}
+		if int(nMoved) > MaxAssignEntries {
+			return nil, fmt.Errorf("%w: mirror history %d has %d entries", ErrBadMessage, i, nMoved)
+		}
+		h.Version, h.At, h.Dead = version, clock.Time(at), dead
+		for j := 0; j < int(nMoved); j++ {
+			cohort, okC := r.str()
+			owner, okO := r.str()
+			if !okC || !okO || cohort == "" || owner == "" {
+				return nil, fmt.Errorf("%w: truncated mirror history %d/%d", ErrBadMessage, i, j)
+			}
+			h.Moved = append(h.Moved, AssignEntry{Cohort: cohort, Owner: owner})
+		}
+		m.History = append(m.History, h)
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(r.buf)-r.off)
+	}
+	return m, nil
+}
+
+// Marshal encodes the digest receipt.
+func (k Ack) Marshal() []byte {
+	checkName("aggregator id", k.Agg)
+	buf := make([]byte, 0, 4+2+len(k.Agg)+1+8+8+8)
+	buf = append(buf, wireMagic[0], wireMagic[1], wireVersion, kindAck)
+	buf = appendStr(buf, k.Agg)
+	var flags uint8
+	if k.Leader {
+		flags |= beatFlagLeader
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint64(buf, k.AssignVersion)
+	buf = binary.BigEndian.AppendUint64(buf, k.EchoSeq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(k.SentAt))
+	return buf
+}
+
+func unmarshalAck(r *reader) (*Ack, error) {
+	agg, ok1 := r.str()
+	flags, ok2 := r.u8()
+	av, ok3 := r.u64()
+	echo, ok4 := r.u64()
+	sentAt, ok5 := r.u64()
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
+		return nil, fmt.Errorf("%w: truncated ack", ErrBadMessage)
+	}
+	if agg == "" {
+		return nil, fmt.Errorf("%w: empty aggregator id", ErrBadMessage)
+	}
+	if flags &^ beatFlagLeader != 0 {
+		return nil, fmt.Errorf("%w: ack flags %#x", ErrBadMessage, flags)
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(r.buf)-r.off)
+	}
+	return &Ack{
+		Agg: agg, Leader: flags&beatFlagLeader != 0,
+		AssignVersion: av, EchoSeq: echo, SentAt: clock.Time(sentAt),
+	}, nil
+}

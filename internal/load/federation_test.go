@@ -1,0 +1,53 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunFederationEndToEnd drives a miniature federation-HA scenario
+// through the real stack — UDP heartbeat fleets, leaf registries with
+// roll-up agents, an HA aggregator pair, HTTP /fleet polling — with the
+// scripted active-aggregator kill and restart. Short intervals keep it
+// CI-sized while still covering promotion, failback, and the
+// zero-lost-transitions invariant over live traffic.
+func TestRunFederationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second end-to-end run")
+	}
+	spec := FederationSpec{
+		Name:            "fed-e2e",
+		Regions:         2,
+		LeavesPerRegion: 2,
+		StreamsPerLeaf:  40,
+		Interval:        200 * time.Millisecond,
+		DigestInterval:  400 * time.Millisecond,
+		Duration:        18 * time.Second,
+		KillStreams:     10,
+	}
+	rep, err := RunFederation(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("federation run failed its bounds: %v\n%+v", rep.Violations, rep)
+	}
+	if rep.KilledAgg != "agg-a" {
+		t.Fatalf("killed %q, want the stable active agg-a", rep.KilledAgg)
+	}
+	if rep.PromotionS <= 0 || rep.FailbackS <= 0 {
+		t.Fatalf("promotion %.2fs / failback %.2fs, want both observed", rep.PromotionS, rep.FailbackS)
+	}
+	if rep.LostTransitions != 0 {
+		t.Fatalf("lost %d transitions across failover", rep.LostTransitions)
+	}
+	if rep.OfflinesFinal < uint64(spec.KillStreams) {
+		t.Fatalf("final offline total %d < injected %d", rep.OfflinesFinal, spec.KillStreams)
+	}
+	if rep.FinalStreams != uint64(rep.TotalStreams) {
+		t.Fatalf("final fleet view carries %d streams, want %d", rep.FinalStreams, rep.TotalStreams)
+	}
+	if rep.Detection.Samples != int64(spec.KillStreams) {
+		t.Fatalf("leaf measured %d detections, want %d", rep.Detection.Samples, spec.KillStreams)
+	}
+}

@@ -589,18 +589,33 @@ type (
 	FederationAssignment = federate.Assignment
 	// FederationRedelegation records one re-delegation round.
 	FederationRedelegation = federate.RedelegationRecord
+	// FederationPeerBeat is one aggregator→aggregator HA state heartbeat.
+	FederationPeerBeat = federate.PeerBeat
+	// FederationMirror is one aggregator→aggregator anti-entropy state
+	// mirror chunk.
+	FederationMirror = federate.Mirror
+	// FederationAck is one aggregator→leaf digest receipt (leaves track
+	// per-aggregator reachability from it).
+	FederationAck = federate.Ack
+	// FederationPeerInfo is one HA peer row as served by /fleet.
+	FederationPeerInfo = federate.PeerInfo
 )
 
 // NewFederationLeaf attaches a roll-up agent to reg, digesting to the
-// aggregator at agg through ep. Feed received federation datagrams
-// (assignment tables) to HandleDatagram and call Start.
+// aggregator at agg through ep — or to the ordered HA pair in
+// opts.Aggs, which supersedes agg. Feed received federation datagrams
+// (assignment tables and digest acks) to HandleDatagramFrom and call
+// Start.
 func NewFederationLeaf(ep GossipEndpoint, clk Clock, reg *Registry, agg string, opts FederationLeafOptions) (*FederationLeaf, error) {
 	return federate.NewLeaf(ep, clk, reg, agg, opts)
 }
 
 // NewFederationAggregator builds a regional aggregator replying through
-// ep. Feed received datagrams to HandleDatagram(from, payload) and call
-// Start; mount Handler() for GET /fleet.
+// ep. Set opts.Peers to run it as half of an HA pair: the pair exchange
+// state heartbeats and anti-entropy mirrors, elect the lowest alive id
+// leader, and fail over within a few digest intervals. Feed received
+// datagrams to HandleDatagram(from, payload) and call Start; mount
+// Handler() for GET /fleet.
 func NewFederationAggregator(ep GossipEndpoint, clk Clock, opts FederationAggregatorOptions) *FederationAggregator {
 	return federate.NewAggregator(ep, clk, opts)
 }
@@ -775,6 +790,15 @@ type (
 	LoadFleetOptions = load.FleetOptions
 	// PacedSender is a single jitter/ramp-paced heartbeat sender.
 	PacedSender = load.PacedSender
+	// LoadFederationSpec is a federation-HA load scenario: heartbeat
+	// fleets → leaf monitors → an HA aggregator pair over real loopback
+	// UDP, with a scripted kill (and restart) of the active aggregator.
+	LoadFederationSpec = load.FederationSpec
+	// LoadFederationBounds are a federation-HA run's pass/fail gates
+	// (promotion latency, /fleet availability gap, lost transitions).
+	LoadFederationBounds = load.FederationBounds
+	// LoadFederationReport is a federation-HA run's JSON artifact.
+	LoadFederationReport = load.FederationReport
 )
 
 // LoadPresets lists the built-in load scenarios.
@@ -792,6 +816,19 @@ func RunLoad(spec LoadSpec, progress io.Writer) (*LoadReport, error) {
 
 // NewLoadFleet builds (without starting) a fleet of logical senders.
 func NewLoadFleet(opts LoadFleetOptions) (*LoadFleet, error) { return load.NewFleet(opts) }
+
+// LoadFederationPreset returns the built-in federation-HA scenario;
+// adjust StreamsPerLeaf / Duration / Bounds before RunLoadFederation.
+func LoadFederationPreset() LoadFederationSpec { return load.FederationPreset() }
+
+// RunLoadFederation executes a federation-HA scenario end to end —
+// leaves and an aggregator pair under live heartbeat load, the active
+// aggregator killed (and restarted) on a timeline — and scores the
+// failover by polling both /fleet surfaces: promotion latency, longest
+// availability gap, and transition totals that must not regress.
+func RunLoadFederation(spec LoadFederationSpec, progress io.Writer) (*LoadFederationReport, error) {
+	return load.RunFederation(spec, progress)
+}
 
 // NewPacedHeartbeatSender builds a single paced sender: heartbeats to
 // `to` through ep every pacer interval ± jitter, after a ramp delay. A
