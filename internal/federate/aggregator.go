@@ -99,6 +99,7 @@ type AggCounters struct {
 	Redelegations   uint64 `json:"redelegations"`
 	CohortsMoved    uint64 `json:"cohorts_moved"`
 	AssignsSent     uint64 `json:"assigns_sent"`
+	SendErrors      uint64 `json:"send_errors,omitempty"`
 	LeafOfflines    uint64 `json:"leaf_offlines"`
 	LeafRecoveries  uint64 `json:"leaf_recoveries"`
 
@@ -143,17 +144,24 @@ func (s leafLiveness) String() string {
 	}
 }
 
-// leafState is the aggregator's record of one leaf.
+// leafState is the aggregator's record of one leaf. (inc, lastSeq) is
+// the merge watermark — peer mirrors raise it too; (directInc,
+// directSeq) is the first-hand watermark, advanced only by digests this
+// aggregator received itself. The split keeps the liveness heartbeat
+// path honest: a direct digest whose mirrored copy arrived first is
+// stale for the merge but still a real arrival for the detector.
 type leafState struct {
-	id       string
-	addr     string // datagram source address; assignment pushes go here
-	region   string
-	weight   float64
-	inc      uint64
-	lastSeq  uint64
-	lastAt   clock.Time
-	echoedAV uint64 // newest assignment version echoed in a digest
-	live     leafLiveness
+	id        string
+	addr      string // datagram source address; assignment pushes go here
+	region    string
+	weight    float64
+	inc       uint64
+	lastSeq   uint64
+	directInc uint64
+	directSeq uint64
+	lastAt    clock.Time
+	echoedAV  uint64 // newest assignment version echoed in a digest
+	live      leafLiveness
 }
 
 // notableAt is a digest notable plus its reporting leaf, for /fleet.
@@ -204,11 +212,16 @@ func (c *cohortMerge) closeEpoch() {
 }
 
 // RedelegationRecord is one completed cohort handoff, kept for /fleet.
+// Moved is capped at MaxAssignEntries so the record always fits the
+// mirror wire; a dead leaf owning more cohorts than that counts the
+// overflow in MovedOmitted (the cohort table itself stays exact — only
+// this observability record is bounded).
 type RedelegationRecord struct {
-	Version uint64        `json:"version"`
-	At      clock.Time    `json:"at_ns"`
-	Dead    string        `json:"dead_leaf"`
-	Moved   []AssignEntry `json:"moved"`
+	Version      uint64        `json:"version"`
+	At           clock.Time    `json:"at_ns"`
+	Dead         string        `json:"dead_leaf"`
+	Moved        []AssignEntry `json:"moved"`
+	MovedOmitted uint32        `json:"moved_omitted,omitempty"`
 }
 
 // Aggregator is the regional tier above the leaves: it merges cohort
@@ -251,6 +264,7 @@ type Aggregator struct {
 	redelegations   atomic.Uint64
 	cohortsMoved    atomic.Uint64
 	assignsSent     atomic.Uint64
+	sendErrors      atomic.Uint64
 	leafOfflines    atomic.Uint64
 	leafRecoveries  atomic.Uint64
 
@@ -411,7 +425,13 @@ type push struct {
 
 func (a *Aggregator) send(pushes []push) {
 	for _, p := range pushes {
-		if a.ep.Send(p.to, p.payload) == nil && p.sent != nil {
+		if a.ep.Send(p.to, p.payload) != nil {
+			// Counted, not silent: an endpoint persistently refusing
+			// mirror or assignment traffic is replication stalling.
+			a.sendErrors.Add(1)
+			continue
+		}
+		if p.sent != nil {
 			p.sent.Add(1)
 		}
 	}
@@ -504,33 +524,49 @@ func (a *Aggregator) ingestDigest(from string, d *Digest) {
 		ls = &leafState{id: d.Leaf, live: leafAlive}
 		a.leaves[d.Leaf] = ls
 	}
-	// Stale-digest filter for the merge path (the liveness registry
-	// applies the same rule internally for the heartbeat path).
-	if d.Inc < ls.inc || (d.Inc == ls.inc && d.Seq <= ls.lastSeq && ls.lastSeq != 0) {
+	// Two staleness watermarks. The merge path ratchets on (inc,
+	// lastSeq), which peer mirrors also raise; the heartbeat path
+	// ratchets on the first-hand watermark only, so a direct digest that
+	// lost the race against its own mirrored copy still reaches the
+	// liveness detector — mirrors replicate state, not heartbeats, and
+	// inflating the detector's gap history from them would manufacture
+	// false suspicion on lossy or reordering paths. staleDirect implies
+	// staleMerge (the merge watermark is never behind the direct one).
+	staleDirect := d.Inc < ls.directInc || (d.Inc == ls.directInc && d.Seq <= ls.directSeq && ls.directSeq != 0)
+	staleMerge := d.Inc < ls.inc || (d.Inc == ls.inc && d.Seq <= ls.lastSeq && ls.lastSeq != 0)
+	if staleDirect {
 		a.mu.Unlock()
 		a.digestsStale.Add(1)
-		// Still ack: staleness here can simply mean a peer's mirror beat
-		// the direct datagram in — the leaf is reachable either way.
+		// Still ack: the leaf is reachable even when the digest is a
+		// duplicate or reordered.
 		a.ackDigest(from, d.Seq, now)
 		return
 	}
+	ls.directInc, ls.directSeq = d.Inc, d.Seq
 	ls.addr = from
-	ls.region = d.Region
-	ls.weight = d.Weight
-	ls.inc = d.Inc
-	ls.lastSeq = d.Seq
 	ls.lastAt = now
-	if d.AssignVersion > ls.echoedAV {
-		ls.echoedAV = d.AssignVersion
-	}
-	// A digest from a dead leaf needs no special casing here: the
-	// liveness registry publishes EventTrust for the recovered stream,
-	// and the next Round's drain flips the record back to alive and
-	// retries any orphaned cohorts.
-	for i := range d.Cohorts {
-		a.mergeRowLocked(d.Leaf, d.Inc, &d.Cohorts[i], now)
+	if !staleMerge {
+		ls.region = d.Region
+		ls.weight = d.Weight
+		ls.inc = d.Inc
+		ls.lastSeq = d.Seq
+		if d.AssignVersion > ls.echoedAV {
+			ls.echoedAV = d.AssignVersion
+		}
+		// A digest from a dead leaf needs no special casing here: the
+		// liveness registry publishes EventTrust for the recovered
+		// stream, and the next Round's drain flips the record back to
+		// alive and retries any orphaned cohorts.
+		for i := range d.Cohorts {
+			a.mergeRowLocked(d.Leaf, d.Inc, &d.Cohorts[i], now)
+		}
 	}
 	a.mu.Unlock()
+	if staleMerge {
+		// Rows already merged from a peer's mirror; only the heartbeat
+		// below is new information.
+		a.digestsStale.Add(1)
+	}
 
 	// Feed the digest as the leaf's liveness heartbeat — the same SFD
 	// detector machinery the leaves run on their own streams: the digest
@@ -563,6 +599,8 @@ func (a *Aggregator) ackDigest(to string, seq uint64, now clock.Time) {
 	}
 	if a.ep.Send(to, ack.Marshal()) == nil {
 		a.acksSent.Add(1)
+	} else {
+		a.sendErrors.Add(1)
 	}
 }
 
@@ -649,7 +687,11 @@ func (a *Aggregator) redelegateLocked(dead string, now clock.Time) {
 		c := a.cohorts[f]
 		c.owner = cands[i%len(cands)].id
 		c.orphaned = false
-		rec.Moved = append(rec.Moved, AssignEntry{Cohort: f, Owner: c.owner})
+		if len(rec.Moved) < MaxAssignEntries {
+			rec.Moved = append(rec.Moved, AssignEntry{Cohort: f, Owner: c.owner})
+		} else {
+			rec.MovedOmitted++
+		}
 		a.cohortsMoved.Add(1)
 	}
 	a.redelegations.Add(1)
@@ -813,6 +855,7 @@ func (a *Aggregator) Counters() AggCounters {
 		Redelegations:   a.redelegations.Load(),
 		CohortsMoved:    a.cohortsMoved.Load(),
 		AssignsSent:     a.assignsSent.Load(),
+		SendErrors:      a.sendErrors.Load(),
 		LeafOfflines:    a.leafOfflines.Load(),
 		LeafRecoveries:  a.leafRecoveries.Load(),
 

@@ -1,6 +1,9 @@
 package federate
 
 import (
+	"fmt"
+	"net"
+	"strings"
 	"testing"
 
 	"repro/internal/clock"
@@ -295,12 +298,12 @@ func TestLeafAggregatorFailover(t *testing.T) {
 	script := []round{
 		1:  {ackA: true, ackB: true, wantA: 1, wantB: 1},
 		2:  {ackA: true, ackB: true, wantA: 1, wantB: 1},
-		3:  {ackB: true, wantA: 1, wantB: 1}, // agg-a dies: silence 1s
-		4:  {ackB: true, wantA: 1, wantB: 1}, // silence 2s
-		5:  {ackB: true, wantA: 1, wantB: 1}, // silence 3s — at the bound, not past it
-		6:  {ackB: true, wantA: 1, wantB: 1}, // flips unreachable, immediate probe
-		7:  {ackB: true, wantA: 0, wantB: 1}, // backing off (next probe t=8s)
-		8:  {ackB: true, wantA: 1, wantB: 1}, // probe (backoff doubles, next t=12s)
+		3:  {ackB: true, wantA: 1, wantB: 1},             // agg-a dies: silence 1s
+		4:  {ackB: true, wantA: 1, wantB: 1},             // silence 2s
+		5:  {ackB: true, wantA: 1, wantB: 1},             // silence 3s — at the bound, not past it
+		6:  {ackB: true, wantA: 1, wantB: 1},             // flips unreachable, immediate probe
+		7:  {ackB: true, wantA: 0, wantB: 1},             // backing off (next probe t=8s)
+		8:  {ackB: true, wantA: 1, wantB: 1},             // probe (backoff doubles, next t=12s)
 		9:  {ackA: true, ackB: true, wantA: 0, wantB: 1}, // probe answered after the round
 		10: {ackA: true, ackB: true, wantA: 1, wantB: 1}, // reachable again: full dual-send
 		11: {ackA: true, ackB: true, wantA: 1, wantB: 1},
@@ -353,5 +356,289 @@ func TestLeafAggregatorFailover(t *testing.T) {
 	}
 	if c.AcksReceived == 0 || c.SendErrors != 0 {
 		t.Fatalf("acks=%d sendErrors=%d", c.AcksReceived, c.SendErrors)
+	}
+}
+
+// TestRedelegationRecordCapped is the mirror-crash regression: a dead
+// leaf owning more than MaxAssignEntries cohorts used to produce a
+// history record whose Moved list Mirror.Marshal refuses, crash-looping
+// every HA round. The record must cap at the wire bound with the
+// overflow counted in MovedOmitted, while the cohort table itself moves
+// every cohort.
+func TestRedelegationRecordCapped(t *testing.T) {
+	const extra = 7
+	sim := clock.NewSim(0)
+	hub := transport.NewHub(0, 0, 1)
+	ep := hub.Endpoint("agg-a")
+	defer ep.Close()
+	agg := NewAggregator(ep, sim, AggregatorOptions{
+		ID: "agg-a", Region: "r", Peers: []string{"agg-b"}, DigestInterval: clock.Second})
+
+	now := sim.Now()
+	agg.mu.Lock()
+	agg.leaves["l-dead"] = &leafState{id: "l-dead", region: "r", weight: 1, live: leafDead}
+	agg.leaves["l-live"] = &leafState{id: "l-live", region: "r", weight: 1, live: leafAlive}
+	for i := 0; i < MaxAssignEntries+extra; i++ {
+		f := fmt.Sprintf("r/c%04d/#", i)
+		agg.cohorts[f] = &cohortMerge{filter: f, owner: "l-dead", last: CohortDigest{Filter: f, QAPMin: 1}}
+	}
+	agg.redelegateLocked("l-dead", now)
+	chunks := agg.buildMirrorChunksLocked(now) // must not panic
+	agg.mu.Unlock()
+
+	hist := agg.History()
+	if len(hist) != 1 {
+		t.Fatalf("history records = %d, want 1", len(hist))
+	}
+	if got := len(hist[0].Moved); got != MaxAssignEntries {
+		t.Fatalf("record Moved entries = %d, want the %d cap", got, MaxAssignEntries)
+	}
+	if hist[0].MovedOmitted != extra {
+		t.Fatalf("MovedOmitted = %d, want %d", hist[0].MovedOmitted, extra)
+	}
+	// The cap bounds only the observability record — every cohort moved.
+	if got := agg.Counters().CohortsMoved; got != MaxAssignEntries+extra {
+		t.Fatalf("cohorts moved = %d, want %d", got, MaxAssignEntries+extra)
+	}
+	for i := 0; i < MaxAssignEntries+extra; i++ {
+		if owner := agg.OwnerOf(fmt.Sprintf("r/c%04d/#", i)); owner != "l-live" {
+			t.Fatalf("cohort %d owner = %q, want l-live", i, owner)
+		}
+	}
+	// Every chunk decodes, fits the MTU, and the record survives intact.
+	var gotHist, gotCohorts int
+	for i, c := range chunks {
+		if len(c) > MirrorMTU {
+			t.Fatalf("chunk %d is %d bytes, exceeds MirrorMTU %d", i, len(c), MirrorMTU)
+		}
+		msg, err := Decode(c)
+		if err != nil || msg.Mirror == nil {
+			t.Fatalf("chunk %d: decode: %v", i, err)
+		}
+		gotCohorts += len(msg.Mirror.Cohorts)
+		for _, h := range msg.Mirror.History {
+			gotHist++
+			if len(h.Moved) != MaxAssignEntries || h.MovedOmitted != extra {
+				t.Fatalf("mirrored record: moved=%d omitted=%d, want %d/%d",
+					len(h.Moved), h.MovedOmitted, MaxAssignEntries, extra)
+			}
+		}
+	}
+	if gotHist != 1 || gotCohorts != MaxAssignEntries+extra {
+		t.Fatalf("mirrored history=%d cohorts=%d, want 1/%d", gotHist, gotCohorts, MaxAssignEntries+extra)
+	}
+}
+
+// TestMirrorChunksByteBounded is the oversized-datagram regression:
+// chunking by record count alone let long names push a chunk past UDP's
+// payload ceiling, where real sockets drop it silently and netsim never
+// notices. Chunks must respect MirrorMTU, and a single history record
+// wider than a whole datagram must be truncated on the wire (head kept,
+// cut counted in MovedOmitted) rather than encoded oversize.
+func TestMirrorChunksByteBounded(t *testing.T) {
+	sim := clock.NewSim(0)
+	hub := transport.NewHub(0, 0, 1)
+	ep := hub.Endpoint("agg-a")
+	defer ep.Close()
+	agg := NewAggregator(ep, sim, AggregatorOptions{
+		ID: "agg-a", Region: "r", Peers: []string{"agg-b"}, DigestInterval: clock.Second})
+
+	const nLeaves, nMoved = 80, 100
+	wide := strings.Repeat("n", maxNameLen-12)
+	rec := RedelegationRecord{Version: 1, At: 1, Dead: "l-dead"}
+	for i := 0; i < nMoved; i++ {
+		rec.Moved = append(rec.Moved, AssignEntry{
+			Cohort: fmt.Sprintf("%s-%04d/#", wide, i), Owner: wide})
+	}
+	if rec.wireSize() <= MirrorMTU {
+		t.Fatalf("setup: record is %d bytes, want > MirrorMTU", rec.wireSize())
+	}
+	agg.mu.Lock()
+	for i := 0; i < nLeaves; i++ {
+		id := fmt.Sprintf("%s-%04d", wide, i)
+		agg.leaves[id] = &leafState{id: id, addr: id, region: "r", weight: 1, live: leafAlive}
+	}
+	agg.history = append(agg.history, rec)
+	chunks := agg.buildMirrorChunksLocked(sim.Now())
+	agg.mu.Unlock()
+
+	// 80 leaves at ~1KiB each cannot fit one 60000-byte chunk even though
+	// the 128-record count cap alone would allow it.
+	if len(chunks) < 2 {
+		t.Fatalf("chunks = %d, want >= 2 (byte budget must split before the count cap)", len(chunks))
+	}
+	gotLeaves, gotHist := 0, 0
+	for i, c := range chunks {
+		if len(c) > MirrorMTU {
+			t.Fatalf("chunk %d is %d bytes, exceeds MirrorMTU %d", i, len(c), MirrorMTU)
+		}
+		msg, err := Decode(c)
+		if err != nil || msg.Mirror == nil {
+			t.Fatalf("chunk %d: decode: %v", i, err)
+		}
+		gotLeaves += len(msg.Mirror.Leaves)
+		for _, h := range msg.Mirror.History {
+			gotHist++
+			if len(h.Moved) == 0 || len(h.Moved) >= nMoved {
+				t.Fatalf("truncated record kept %d moves, want 0 < n < %d", len(h.Moved), nMoved)
+			}
+			if int(h.MovedOmitted)+len(h.Moved) != nMoved {
+				t.Fatalf("moved %d + omitted %d != %d", len(h.Moved), h.MovedOmitted, nMoved)
+			}
+			// Head kept in order.
+			for j, e := range h.Moved {
+				if want := fmt.Sprintf("%s-%04d/#", wide, j); e.Cohort != want {
+					t.Fatalf("moved[%d] is not the head of the record", j)
+				}
+			}
+		}
+	}
+	if gotLeaves != nLeaves || gotHist != 1 {
+		t.Fatalf("mirrored leaves=%d history=%d, want %d/1", gotLeaves, gotHist, nLeaves)
+	}
+	// The local record was not mutated by the wire truncation.
+	if hist := agg.History(); len(hist[0].Moved) != nMoved || hist[0].MovedOmitted != 0 {
+		t.Fatalf("local record mutated: moved=%d omitted=%d", len(hist[0].Moved), hist[0].MovedOmitted)
+	}
+}
+
+// TestMirrorDoesNotStarveDirectHeartbeats is the liveness-starvation
+// regression: a peer's mirror raising the merge watermark used to make
+// ingestDigest drop the leaf's own digests before liveness.Observe,
+// manufacturing heartbeat gaps. A direct digest at or below the
+// mirrored seq must still reach the detector (first-hand watermark),
+// while true first-hand duplicates must not.
+func TestMirrorDoesNotStarveDirectHeartbeats(t *testing.T) {
+	sim := clock.NewSim(0)
+	hub := transport.NewHub(0, 0, 1)
+	epA := hub.Endpoint("agg-a")
+	epL := hub.Endpoint("l1")
+	defer epA.Close()
+	defer epL.Close()
+	agg := NewAggregator(epA, sim, AggregatorOptions{
+		ID: "agg-a", Region: "r", Peers: []string{"agg-b"}, DigestInterval: clock.Second})
+
+	now := sim.Now()
+	// The peer has already heard l1 up to seq 10; its mirror arrives first.
+	agg.HandleDatagram("agg-b", Mirror{Agg: "agg-b", Inc: 1, Seq: 1, SentAt: now,
+		Leaves: []MirrorLeaf{{ID: "l1", Addr: "l1", Region: "r", Weight: 1,
+			Inc: 1, LastSeq: 10, LastAt: now, Live: uint8(leafAlive)}}}.Marshal())
+	if _, heard := agg.liveness.StatusOf("l1", now); heard {
+		t.Fatal("mirror fed the liveness detector; only direct digests may")
+	}
+
+	// l1's own digest, delayed behind the mirror: stale for the merge but
+	// a real arrival for the detector.
+	agg.HandleDatagram("l1", haSeedDigest("l1", "r/c1/#", 7, now))
+	if _, heard := agg.liveness.StatusOf("l1", now); !heard {
+		t.Fatal("direct digest below the mirrored seq never reached the detector")
+	}
+	c := agg.Counters()
+	if c.DigestsStale != 1 || c.RowsMerged != 0 {
+		t.Fatalf("after mirrored-then-direct: stale=%d merged=%d, want 1/0", c.DigestsStale, c.RowsMerged)
+	}
+	if drainEP(epL) != 1 {
+		t.Fatal("merge-stale digest was not acked")
+	}
+
+	// A true first-hand duplicate is dropped without another observation.
+	agg.HandleDatagram("l1", haSeedDigest("l1", "r/c1/#", 7, now))
+	if got := agg.Counters().DigestsStale; got != 2 {
+		t.Fatalf("duplicate digest: stale=%d, want 2", got)
+	}
+
+	// Fresh digests past both watermarks merge rows again.
+	agg.HandleDatagram("l1", haSeedDigest("l1", "r/c1/#", 11, now))
+	c = agg.Counters()
+	if c.RowsMerged != 1 || c.DigestsStale != 2 {
+		t.Fatalf("after fresh digest: merged=%d stale=%d, want 1/2", c.RowsMerged, c.DigestsStale)
+	}
+}
+
+// TestAckAttributionBootstrap covers the hostname-attribution
+// regression: acks whose socket source address matches no configured
+// string used to be unattributable forever, flipping every aggregator
+// unreachable. Attribution must fall through: canonical resolved form
+// of the configured address, then the learned id, then — for a new id
+// with exactly one id-less aggregator left — elimination. An ambiguous
+// ack (two unlearned candidates) must bind to neither.
+func TestAckAttributionBootstrap(t *testing.T) {
+	sim := clock.NewSim(0)
+	hub := transport.NewHub(0, 0, 1)
+	epL := hub.Endpoint("leaf-1")
+	defer epL.Close()
+	reg := registry.New(sim,
+		func(string) detector.Detector { return detector.NewChen(8, clock.Millisecond, clock.Millisecond) },
+		registry.Options{EvictAfter: -1})
+	leaf, err := NewLeaf(epL, sim, reg, "", LeafOptions{
+		ID: "leaf-1", Region: "r", Cohorts: []string{"r/c1/#"},
+		Interval: clock.Second, Aggs: []string{"agg-one", "agg-two"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// agg-one behaves like a hostname that resolved at construction; the
+	// netsim hub has no resolver, so inject the canonical form directly.
+	leaf.mu.Lock()
+	leaf.aggs[0].canonical = "10.0.0.1:9090"
+	leaf.mu.Unlock()
+
+	now := sim.Now()
+	ackFrom := func(from, id string) {
+		leaf.HandleDatagramFrom(from, Ack{Agg: id, EchoSeq: 1, SentAt: now}.Marshal())
+	}
+	ids := func() (a, b string) {
+		leaf.mu.Lock()
+		defer leaf.mu.Unlock()
+		return leaf.aggs[0].id, leaf.aggs[1].id
+	}
+
+	// Ambiguous: unknown source, unknown id, two id-less candidates.
+	ackFrom("172.16.0.9:1", "agg-x")
+	if a, b := ids(); a != "" || b != "" {
+		t.Fatalf("ambiguous ack was attributed: ids %q/%q", a, b)
+	}
+
+	// Canonical source address binds agg-one and learns its id.
+	ackFrom("10.0.0.1:9090", "A1")
+	if a, b := ids(); a != "A1" || b != "" {
+		t.Fatalf("canonical-addr ack: ids %q/%q, want A1/\"\"", a, b)
+	}
+
+	// New id from an unknown source: exactly one id-less aggregator left,
+	// so elimination binds it to agg-two.
+	ackFrom("172.16.0.9:1", "A2")
+	if a, b := ids(); a != "A1" || b != "A2" {
+		t.Fatalf("elimination ack: ids %q/%q, want A1/A2", a, b)
+	}
+
+	// Learned-id attribution now works from any source, reviving an
+	// unreachable aggregator.
+	leaf.mu.Lock()
+	leaf.aggs[1].unreachable = true
+	leaf.mu.Unlock()
+	ackFrom("192.168.3.3:7", "A2")
+	if !leaf.AggReachable("agg-two") {
+		t.Fatal("learned-id ack did not revive agg-two")
+	}
+
+	// NewLeaf resolves hostname-form addresses when the system can.
+	if ua, err := net.ResolveUDPAddr("udp", "localhost:19001"); err == nil && ua.String() != "localhost:19001" {
+		reg2 := registry.New(sim,
+			func(string) detector.Detector { return detector.NewChen(8, clock.Millisecond, clock.Millisecond) },
+			registry.Options{EvictAfter: -1})
+		leaf2, err := NewLeaf(epL, sim, reg2, "", LeafOptions{
+			ID: "leaf-2", Region: "r", Cohorts: []string{"r/c2/#"},
+			Interval: clock.Second, Aggs: []string{"localhost:19001"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaf2.mu.Lock()
+		canon := leaf2.aggs[0].canonical
+		leaf2.mu.Unlock()
+		if canon != ua.String() {
+			t.Fatalf("canonical = %q, want %q", canon, ua.String())
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package federate
 
 import (
+	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -90,8 +91,8 @@ type LeafCounters struct {
 	BadDatagrams   uint64 `json:"bad_datagrams"`
 	NotableOmitted uint64 `json:"notable_omitted"`
 	AcksReceived   uint64 `json:"acks_received"`
-	AggUnreachable uint64 `json:"agg_unreachable"`  // reachable→unreachable transitions
-	AggsReachable  int    `json:"aggs_reachable"`   // gauge
+	AggUnreachable uint64 `json:"agg_unreachable"` // reachable→unreachable transitions
+	AggsReachable  int    `json:"aggs_reachable"`  // gauge
 	CohortsOwned   int    `json:"cohorts_owned"`   // gauge
 	AssignVersion  uint64 `json:"assign_version"`  // gauge
 	StreamsRolled  uint64 `json:"streams_rolled"`  // streams matched into cohorts, cumulative
@@ -116,6 +117,7 @@ type cohortState struct {
 // ordered list, maintained from digest acks.
 type aggState struct {
 	addr        string
+	canonical   string // addr resolved to ip:port ("" when unresolvable)
 	id          string // learned from acks
 	leader      bool   // last ack's leadership claim
 	firstSentAt clock.Time
@@ -192,7 +194,18 @@ func NewLeaf(ep gossip.Endpoint, clk clock.Clock, reg *registry.Registry, agg st
 	}
 	aggs := make([]*aggState, 0, len(addrs))
 	for _, addr := range addrs {
-		aggs = append(aggs, &aggState{addr: addr})
+		as := &aggState{addr: addr}
+		// Acks are attributed by the datagram's source address, which
+		// for a hostname-configured aggregator is its resolved ip:port
+		// and never matches the configured string. Resolve once here
+		// (best effort — netsim-style names simply don't resolve) so
+		// attribution works in either form.
+		if ua, err := net.ResolveUDPAddr("udp", addr); err == nil {
+			if s := ua.String(); s != addr {
+				as.canonical = s
+			}
+		}
+		aggs = append(aggs, as)
 	}
 	l := &Leaf{
 		ep:      ep,
@@ -602,22 +615,37 @@ func (l *Leaf) ingestAck(from string, ack *Ack) {
 	l.mu.Unlock()
 }
 
-// aggLocked resolves an ack to its aggState: by source address first,
-// then by the aggregator id learned from earlier acks, then — with a
-// single configured aggregator — trivially.
+// aggLocked resolves an ack to its aggState: by source address first
+// (configured or canonical resolved form), then by the aggregator id
+// learned from earlier acks, then — when the id is new and exactly one
+// configured aggregator has no learned id — by elimination, so
+// attribution can bootstrap even when the socket's source address
+// matches no configured form. A single configured aggregator always
+// matches trivially.
 func (l *Leaf) aggLocked(from, id string) *aggState {
 	if from != "" {
 		for _, as := range l.aggs {
-			if as.addr == from {
+			if as.addr == from || as.canonical == from {
 				return as
 			}
 		}
 	}
 	if id != "" {
+		var unlearned *aggState
+		sole := true
 		for _, as := range l.aggs {
 			if as.id == id {
 				return as
 			}
+			if as.id == "" {
+				if unlearned != nil {
+					sole = false
+				}
+				unlearned = as
+			}
+		}
+		if unlearned != nil && sole {
+			return unlearned
 		}
 	}
 	if len(l.aggs) == 1 {

@@ -47,7 +47,7 @@ func (a *Aggregator) InstrumentMetrics(set *metrics.Set) {
 	set.CounterFunc("sfd_fed_digests_bad_total",
 		"Malformed federation datagrams received.", a.digestsBad.Load)
 	set.CounterFunc("sfd_fed_digests_stale_total",
-		"Digests dropped as duplicate, reordered, or from a dead incarnation.", a.digestsStale.Load)
+		"Digests whose rows were dropped as duplicate, reordered, from a dead incarnation, or already merged from a peer's mirror.", a.digestsStale.Load)
 	set.CounterFunc("sfd_fed_rows_merged_total",
 		"Cohort rows folded into the merged fleet view.", a.rowsMerged.Load)
 	set.CounterFunc("sfd_fed_rows_conflicted_total",
@@ -58,6 +58,8 @@ func (a *Aggregator) InstrumentMetrics(set *metrics.Set) {
 		"Cohorts moved to a new owner by re-delegation.", a.cohortsMoved.Load)
 	set.CounterFunc("sfd_fed_assigns_sent_total",
 		"Assignment-table pushes sent to leaves.", a.assignsSent.Load)
+	set.CounterFunc("sfd_fed_send_errors_total",
+		"Outbound federation sends (acks, assignment pushes, peer beats, mirrors) that failed at the endpoint.", a.sendErrors.Load)
 	set.CounterFunc("sfd_fed_leaf_offlines_total",
 		"Leaves declared offline by the liveness detector.", a.leafOfflines.Load)
 	set.CounterFunc("sfd_fed_leaf_recoveries_total",

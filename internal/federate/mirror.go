@@ -22,8 +22,14 @@ import (
 // the active's.
 
 // buildMirrorChunksLocked encodes this aggregator's fleet view as mirror
-// datagrams. The first chunk carries leaf records and history beside the
-// first cohort batch; overflow leaves/cohorts spill into further chunks.
+// datagrams, chunked against both the record-count caps and MirrorMTU's
+// byte budget — counts alone cannot keep a chunk inside one UDP
+// datagram once names grow, and an oversized datagram would be silently
+// dropped by the transport where netsim drills never see it. Records
+// fill chunks greedily (leaves, then history, then cohorts); merging is
+// per-record and order-independent, so the layout is free to vary. At
+// least one chunk always goes out: an empty chunk still carries the
+// assignment version and feeds the receiver's joining gate.
 func (a *Aggregator) buildMirrorChunksLocked(now clock.Time) [][]byte {
 	leafIDs := make([]string, 0, len(a.leaves))
 	for id := range a.leaves {
@@ -64,38 +70,56 @@ func (a *Aggregator) buildMirrorChunksLocked(now clock.Time) [][]byte {
 		history = history[len(history)-MaxMirrorHistory:]
 	}
 
+	budget := MirrorMTU - mirrorHeaderSize(a.opts.ID)
 	var out [][]byte
-	first := true
-	for first || len(leaves) > 0 || len(cohorts) > 0 {
-		m := Mirror{
-			Agg:           a.opts.ID,
-			Inc:           a.opts.Incarnation,
-			SentAt:        now,
-			AssignVersion: a.assignVersion,
-		}
-		if n := len(leaves); n > 0 {
-			if n > MaxMirrorLeaves {
-				n = MaxMirrorLeaves
-			}
-			m.Leaves = leaves[:n]
-			leaves = leaves[n:]
-		}
-		if n := len(cohorts); n > 0 {
-			if n > MaxMirrorCohorts {
-				n = MaxMirrorCohorts
-			}
-			m.Cohorts = cohorts[:n]
-			cohorts = cohorts[n:]
-		}
-		if first {
-			if len(history) > 0 {
-				m.History = append([]RedelegationRecord(nil), history...)
-			}
-			first = false
-		}
+	cur := Mirror{Agg: a.opts.ID, Inc: a.opts.Incarnation, SentAt: now, AssignVersion: a.assignVersion}
+	curBytes := 0
+	flush := func() {
 		a.peerSeq++
-		m.Seq = a.peerSeq
-		out = append(out, m.Marshal())
+		cur.Seq = a.peerSeq
+		out = append(out, cur.Marshal())
+		cur = Mirror{Agg: a.opts.ID, Inc: a.opts.Incarnation, SentAt: now, AssignVersion: a.assignVersion}
+		curBytes = 0
+	}
+	for i := range leaves {
+		sz := leaves[i].wireSize()
+		if len(cur.Leaves) >= MaxMirrorLeaves || (curBytes+sz > budget && curBytes > 0) {
+			flush()
+		}
+		cur.Leaves = append(cur.Leaves, leaves[i])
+		curBytes += sz
+	}
+	for _, h := range history {
+		sz := h.wireSize()
+		if sz > budget {
+			// A single record wider than a datagram (a dead leaf owned
+			// very many cohorts with long names): truncate its Moved
+			// list on the wire, keeping the head and accounting for the
+			// cut — the local record and the cohort table stay whole.
+			h.Moved = append([]AssignEntry(nil), h.Moved...)
+			for sz > budget && len(h.Moved) > 0 {
+				e := h.Moved[len(h.Moved)-1]
+				sz -= 4 + len(e.Cohort) + len(e.Owner)
+				h.Moved = h.Moved[:len(h.Moved)-1]
+				h.MovedOmitted++
+			}
+		}
+		if len(cur.History) >= MaxMirrorHistory || (curBytes+sz > budget && curBytes > 0) {
+			flush()
+		}
+		cur.History = append(cur.History, h)
+		curBytes += sz
+	}
+	for i := range cohorts {
+		sz := cohorts[i].wireSize()
+		if len(cur.Cohorts) >= MaxMirrorCohorts || (curBytes+sz > budget && curBytes > 0) {
+			flush()
+		}
+		cur.Cohorts = append(cur.Cohorts, cohorts[i])
+		curBytes += sz
+	}
+	if curBytes > 0 || len(out) == 0 {
+		flush()
 	}
 	return out
 }

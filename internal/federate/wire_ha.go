@@ -22,8 +22,10 @@ import (
 // kindMirror (aggregator → aggregator) body — one anti-entropy chunk of
 // the merged fleet view (leaf records, per-cohort epoch counters, the
 // versioned assignment table implied by cohort owners, re-delegation
-// history). Chunked like digests: the first chunk of a round carries
-// leaves and history, later chunks carry overflow cohorts only:
+// history). Chunked by encoded size against MirrorMTU as well as by
+// record count — with names up to maxNameLen, counts alone cannot keep
+// a chunk inside one UDP datagram. Records may land in any chunk;
+// merging is per-record and order-independent:
 //
 //	aggLen(u16) agg  inc(u64) seq(u64) sentAt(u64) assignVersion(u64)
 //	leafCount(u16) cohortCount(u16) histCount(u16)
@@ -39,6 +41,7 @@ import (
 //	                 tdSum(f64) mrSum(f64) qapMin(f64) tuned(u32)
 //	                 omitted(u32) updatedAt(u64)
 //	then per hist:   version(u64) at(u64) deadLen(u16) dead movedCount(u16)
+//	                 movedOmitted(u32)
 //	                 then per moved: cohortLen(u16) cohort ownerLen(u16) owner
 //
 // kindAck (aggregator → leaf) body — a tiny per-digest receipt so leaves
@@ -59,6 +62,12 @@ const (
 	MaxMirrorCohorts = 128
 	// MaxMirrorHistory bounds one mirror chunk's re-delegation records.
 	MaxMirrorHistory = 16
+	// MirrorMTU bounds one mirror chunk's encoded bytes: safely under
+	// UDP's 65 507-byte payload ceiling and the transport's 64 KiB
+	// receive buffer. The record-count caps above do not bound the
+	// encoding on their own (names run up to maxNameLen), so the
+	// chunker tracks encoded size against this too.
+	MirrorMTU = 60000
 )
 
 const (
@@ -147,6 +156,31 @@ type Mirror struct {
 	Leaves        []MirrorLeaf
 	Cohorts       []MirrorCohort
 	History       []RedelegationRecord
+}
+
+// Encoded sizes, kept in lockstep with Mirror.Marshal so the chunker
+// can budget bytes against MirrorMTU without trial-encoding.
+
+// mirrorHeaderSize is a chunk's fixed overhead before any record.
+func mirrorHeaderSize(agg string) int {
+	return 4 + 2 + len(agg) + 4*8 + 3*2
+}
+
+func (l *MirrorLeaf) wireSize() int {
+	return 2 + len(l.ID) + 2 + len(l.Addr) + 2 + len(l.Region) + 5*8 + 1
+}
+
+func (c *MirrorCohort) wireSize() int {
+	return 2 + len(c.Filter) + 2 + len(c.Owner) + 1 + 2 + len(c.EpochLeaf) +
+		8 + 4*8 + 4*4 + 4*8 + 3*8 + 4 + 4 + 8
+}
+
+func (h *RedelegationRecord) wireSize() int {
+	s := 8 + 8 + 2 + len(h.Dead) + 2 + 4
+	for _, e := range h.Moved {
+		s += 2 + len(e.Cohort) + 2 + len(e.Owner)
+	}
+	return s
 }
 
 // Ack is an aggregator's per-digest receipt to a leaf: proof of
@@ -268,7 +302,7 @@ func unmarshalPeerBeat(r *reader) (*PeerBeat, error) {
 	if agg == "" {
 		return nil, fmt.Errorf("%w: empty aggregator id", ErrBadMessage)
 	}
-	if flags &^ (beatFlagLeader | beatFlagReady) != 0 {
+	if flags&^(beatFlagLeader|beatFlagReady) != 0 {
 		return nil, fmt.Errorf("%w: peer beat flags %#x", ErrBadMessage, flags)
 	}
 	if len(r.buf) != r.off {
@@ -360,6 +394,7 @@ func (m Mirror) Marshal() []byte {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(h.At))
 		buf = appendStr(buf, h.Dead)
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Moved)))
+		buf = binary.BigEndian.AppendUint32(buf, h.MovedOmitted)
 		for _, e := range h.Moved {
 			checkName("mirror moved cohort", e.Cohort)
 			checkName("mirror moved owner", e.Owner)
@@ -367,10 +402,16 @@ func (m Mirror) Marshal() []byte {
 			buf = appendStr(buf, e.Owner)
 		}
 	}
+	if len(buf) > MirrorMTU {
+		panic(fmt.Sprintf("federate: %d-byte mirror chunk exceeds %d", len(buf), MirrorMTU))
+	}
 	return buf
 }
 
 func unmarshalMirror(r *reader) (*Mirror, error) {
+	if len(r.buf) > MirrorMTU {
+		return nil, fmt.Errorf("%w: %d-byte mirror exceeds %d", ErrBadMessage, len(r.buf), MirrorMTU)
+	}
 	agg, ok1 := r.str()
 	inc, ok2 := r.u64()
 	seq, ok3 := r.u64()
@@ -428,7 +469,7 @@ func unmarshalMirror(r *reader) (*Mirror, error) {
 		if !okF || !okO || !okFl || !okE || !okEI || c.Filter == "" {
 			return nil, fmt.Errorf("%w: truncated mirror cohort %d", ErrBadMessage, i)
 		}
-		if flags &^ cohortFlagOrphaned != 0 {
+		if flags&^cohortFlagOrphaned != 0 {
 			return nil, fmt.Errorf("%w: mirror cohort %d flags %#x", ErrBadMessage, i, flags)
 		}
 		c.Orphaned = flags&cohortFlagOrphaned != 0
@@ -481,13 +522,14 @@ func unmarshalMirror(r *reader) (*Mirror, error) {
 		at, okAt := r.u64()
 		dead, okD := r.str()
 		nMoved, okM := r.u16()
-		if !okV || !okAt || !okD || !okM || dead == "" {
+		movedOmitted, okMO := r.u32()
+		if !okV || !okAt || !okD || !okM || !okMO || dead == "" {
 			return nil, fmt.Errorf("%w: truncated mirror history %d", ErrBadMessage, i)
 		}
 		if int(nMoved) > MaxAssignEntries {
 			return nil, fmt.Errorf("%w: mirror history %d has %d entries", ErrBadMessage, i, nMoved)
 		}
-		h.Version, h.At, h.Dead = version, clock.Time(at), dead
+		h.Version, h.At, h.Dead, h.MovedOmitted = version, clock.Time(at), dead, movedOmitted
 		for j := 0; j < int(nMoved); j++ {
 			cohort, okC := r.str()
 			owner, okO := r.str()
@@ -533,7 +575,7 @@ func unmarshalAck(r *reader) (*Ack, error) {
 	if agg == "" {
 		return nil, fmt.Errorf("%w: empty aggregator id", ErrBadMessage)
 	}
-	if flags &^ beatFlagLeader != 0 {
+	if flags&^beatFlagLeader != 0 {
 		return nil, fmt.Errorf("%w: ack flags %#x", ErrBadMessage, flags)
 	}
 	if len(r.buf) != r.off {

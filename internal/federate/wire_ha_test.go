@@ -83,9 +83,10 @@ func randMirror(rng *rand.Rand) Mirror {
 	}
 	for i, n := 0, rng.Intn(3); i < n; i++ {
 		h := RedelegationRecord{
-			Version: rng.Uint64(),
-			At:      clock.Time(rng.Int63()),
-			Dead:    randName(rng),
+			Version:      rng.Uint64(),
+			At:           clock.Time(rng.Int63()),
+			Dead:         randName(rng),
+			MovedOmitted: rng.Uint32(),
 		}
 		for j, k := 0, rng.Intn(3); j < k; j++ {
 			h.Moved = append(h.Moved, AssignEntry{Cohort: randName(rng) + "/#", Owner: randName(rng)})
@@ -245,4 +246,14 @@ func TestDecodeRejects(t *testing.T) {
 		Mirror{Agg: "a", History: make([]RedelegationRecord, MaxMirrorHistory+1)}.Marshal()
 	})
 	mustPanic("long ack agg", func() { Ack{Agg: long}.Marshal() })
+	mustPanic("mirror over byte budget", func() {
+		// Per-record counts are in bounds but long names push the
+		// encoding past MirrorMTU; the chunker must never build this.
+		big := Mirror{Agg: "a"}
+		wide := strings.Repeat("n", maxNameLen)
+		for i := 0; i < MaxMirrorLeaves; i++ {
+			big.Leaves = append(big.Leaves, MirrorLeaf{ID: wide, Addr: wide, Region: "eu", Live: uint8(leafAlive)})
+		}
+		big.Marshal()
+	})
 }
